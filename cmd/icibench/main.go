@@ -1,0 +1,49 @@
+// Command icibench regenerates the paper's experiment tables.
+//
+// Usage:
+//
+//	icibench                # all three tables at full size
+//	icibench -table 2       # one table
+//	icibench -quick         # shrunken sizes (seconds instead of minutes)
+//	icibench -table 3 -assisted  # include the user-partition comparison
+//
+// Each cell runs on a fresh BDD manager under a node/time budget playing
+// the role of the paper's "Exceeded 60MB" / "Exceeded 40 minutes" limits;
+// see EXPERIMENTS.md for the calibration and the paper-vs-measured
+// discussion.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", 0, "table to run (1, 2 or 3; 0 = all)")
+		quick    = flag.Bool("quick", false, "shrunken sizes for a fast smoke run")
+		assisted = flag.Bool("assisted", false, "table 3: add the user-partition group")
+	)
+	flag.Parse()
+
+	run := func(t bench.Table, b bench.Budget) {
+		start := time.Now()
+		t.Run(os.Stdout, b)
+		fmt.Printf("(%s finished in %v)\n\n", t.Title, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *table == 0 || *table == 1 {
+		run(bench.Table1(*quick))
+	}
+	if *table == 0 || *table == 2 {
+		run(bench.Table2(*quick))
+	}
+	if *table == 0 || *table == 3 {
+		t, b := bench.Table3(*quick, *assisted)
+		run(t, b)
+	}
+}

@@ -1,0 +1,174 @@
+// Command iciverify runs one verification engine on one benchmark model
+// and prints the paper-style statistics row, optionally with a
+// counterexample trace.
+//
+// Usage:
+//
+//	iciverify -model fifo -size 5 -method XICI
+//	iciverify -model filter -size 8 -assist -method ICI
+//	iciverify -model pipeline -regs 2 -bits 3 -method Bkwd -nodelimit 2000000
+//	iciverify -model network -size 4 -method FD
+//	iciverify -model fifo -size 3 -bug -method Fwd -trace
+//
+// Models: fifo (size = depth), network (size = processors), filter
+// (size = window depth, power of two), pipeline (-regs/-bits).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bdd"
+	"repro/internal/core"
+	"repro/internal/fsm"
+	"repro/internal/lang"
+	"repro/internal/models"
+	"repro/internal/verify"
+)
+
+func main() {
+	var (
+		model     = flag.String("model", "fifo", "model: fifo, network, filter, pipeline, coherence, link")
+		size      = flag.Int("size", 5, "model size (fifo depth, network processors, filter depth, coherence caches, link data bits)")
+		regs      = flag.Int("regs", 2, "pipeline: number of registers")
+		bits      = flag.Int("bits", 1, "pipeline: datapath width")
+		method    = flag.String("method", "XICI", "method: Fwd, FwdID, Bkwd, FD, ICI, XICI, Induction")
+		assist    = flag.Bool("assist", false, "supply user assisting invariants / partition")
+		bug       = flag.Bool("bug", false, "seed the model's bug")
+		trace     = flag.Bool("trace", false, "print a counterexample trace on violation")
+		nodeLimit = flag.Int("nodelimit", 0, "abort when live BDD nodes exceed this (0 = unlimited)")
+		timeout   = flag.Duration("timeout", 0, "abort after this wall time (0 = unlimited)")
+		threshold = flag.Float64("threshold", core.DefaultGrowThreshold, "XICI GrowThreshold")
+		compose   = flag.Bool("compose", false, "use functional-composition back images instead of the relational product")
+		termMode  = flag.String("term", "exact", "XICI termination test: exact, implication, fast")
+		dotOut    = flag.String("dot", "", "write the property BDD(s) as Graphviz DOT to this file")
+		file      = flag.String("file", "", "verify a textual model file instead of a built-in model (see internal/lang)")
+	)
+	flag.Parse()
+
+	m := bdd.NewWithSize(1<<16, 20)
+	var p verify.Problem
+	if *file != "" {
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iciverify: %v\n", err)
+			os.Exit(2)
+		}
+		p, err = lang.Parse(m, string(src), *file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iciverify: %v\n", err)
+			os.Exit(2)
+		}
+		*model = "file"
+	}
+	switch *model {
+	case "file":
+		// parsed above
+	case "fifo":
+		cfg := models.DefaultFIFO(*size)
+		cfg.Bug = *bug
+		p = models.NewFIFO(m, cfg)
+	case "network":
+		p = models.NewNetwork(m, models.NetworkConfig{Procs: *size, Bug: *bug})
+	case "filter":
+		cfg := models.DefaultFilter(*size, *assist)
+		cfg.Bug = *bug
+		p = models.NewFilter(m, cfg)
+	case "pipeline":
+		cfg := models.DefaultPipeline(*regs, *bits)
+		cfg.Assist = *assist
+		cfg.Bug = *bug
+		p = models.NewPipeline(m, cfg)
+	case "coherence":
+		p = models.NewCoherence(m, models.CoherenceConfig{Caches: *size, Bug: *bug})
+	case "link":
+		p = models.NewLink(m, models.LinkConfig{DataBits: *size, Bug: *bug})
+	default:
+		fmt.Fprintf(os.Stderr, "iciverify: unknown model %q\n", *model)
+		os.Exit(2)
+	}
+	if *compose {
+		p.Machine.PreImageMode = fsm.PreCompose
+	}
+
+	var tm verify.TerminationMode
+	switch *termMode {
+	case "exact":
+		tm = verify.TermExact
+	case "implication":
+		tm = verify.TermImplication
+	case "fast":
+		tm = verify.TermFast
+	default:
+		fmt.Fprintf(os.Stderr, "iciverify: unknown termination mode %q\n", *termMode)
+		os.Exit(2)
+	}
+
+	opt := verify.Options{
+		NodeLimit:   *nodeLimit,
+		Timeout:     *timeout,
+		WantTrace:   *trace,
+		Termination: tm,
+		Core:        core.Options{GrowThreshold: *threshold},
+	}
+
+	if *dotOut != "" {
+		f, err := os.Create(*dotOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iciverify: %v\n", err)
+			os.Exit(2)
+		}
+		goods := p.GoodList
+		if goods == nil {
+			goods = []bdd.Ref{p.Good}
+		}
+		if err := m.WriteDOT(f, goods...); err != nil {
+			fmt.Fprintf(os.Stderr, "iciverify: %v\n", err)
+			os.Exit(2)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "iciverify: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("wrote property BDDs to %s\n", *dotOut)
+	}
+
+	known := map[string]bool{}
+	for _, meth := range verify.Methods {
+		known[string(meth)] = true
+	}
+	known[string(verify.ForwardID)] = true
+	known[string(verify.Induction)] = true
+	if !known[*method] {
+		fmt.Fprintf(os.Stderr, "iciverify: unknown method %q\n", *method)
+		os.Exit(2)
+	}
+
+	fmt.Printf("model %s  (%d state bits, %d input bits)\n",
+		p.Name, p.Machine.StateBits(), p.Machine.InputBits())
+	start := time.Now()
+	res := verify.Run(p, verify.Method(*method), opt)
+	fmt.Println(res)
+	fmt.Printf("wall %v, peak live nodes %d\n", time.Since(start).Round(time.Millisecond), m.PeakNodes())
+
+	if res.Trace != nil {
+		goods := p.GoodList
+		if goods == nil {
+			goods = []bdd.Ref{p.Good}
+		}
+		if err := res.Trace.Validate(p.Machine, goods); err != nil {
+			fmt.Fprintf(os.Stderr, "trace validation FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("counterexample (validated by replay):")
+		fmt.Print(res.Trace.Format(m, p.Machine.CurVars()))
+	}
+	if res.Outcome == verify.Violated {
+		os.Exit(1)
+	}
+	if res.Outcome == verify.Exhausted {
+		os.Exit(3)
+	}
+}

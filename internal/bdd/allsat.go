@@ -1,0 +1,75 @@
+package bdd
+
+// AllSat enumeration: walk every path to the One terminal, yielding each
+// as a cube over the variables actually tested on that path. The cubes
+// are pairwise disjoint and their union is exactly the function — useful
+// for small counterexample sets, test oracles, and debugging.
+
+// AllSat calls yield for every satisfying cube of f, in lexicographic
+// path order (low branch first). Enumeration stops early if yield
+// returns false. The []Lit slice passed to yield is reused between
+// calls; copy it if it must outlive the callback.
+//
+// The number of cubes can be exponential in the BDD size; callers
+// enumerate at their own risk (or stop via yield).
+func (m *Manager) AllSat(f Ref, yield func([]Lit) bool) {
+	if f == Zero {
+		return
+	}
+	var path []Lit
+	var walk func(r Ref) bool
+	walk = func(r Ref) bool {
+		if r == One {
+			return yield(path)
+		}
+		if r == Zero {
+			return true
+		}
+		v := m.TopVar(r)
+		path = append(path, Lit{Var: v, Val: false})
+		if !walk(m.Low(r)) {
+			return false
+		}
+		path[len(path)-1].Val = true
+		if !walk(m.High(r)) {
+			return false
+		}
+		path = path[:len(path)-1]
+		return true
+	}
+	walk(f)
+}
+
+// AllSatCubes collects up to max satisfying cubes (max <= 0 collects all
+// — beware exponential blowup).
+func (m *Manager) AllSatCubes(f Ref, max int) [][]Lit {
+	var out [][]Lit
+	m.AllSat(f, func(cube []Lit) bool {
+		out = append(out, append([]Lit(nil), cube...))
+		return max <= 0 || len(out) < max
+	})
+	return out
+}
+
+// CountPaths returns the number of distinct paths from f to the One
+// terminal — the number of cubes AllSat would yield. Unlike SatCount it
+// does not weight by unassigned variables.
+func (m *Manager) CountPaths(f Ref) int {
+	memo := make(map[Ref]int)
+	var count func(r Ref) int
+	count = func(r Ref) int {
+		if r == One {
+			return 1
+		}
+		if r == Zero {
+			return 0
+		}
+		if c, ok := memo[r]; ok {
+			return c
+		}
+		c := count(m.Low(r)) + count(m.High(r))
+		memo[r] = c
+		return c
+	}
+	return count(f)
+}

@@ -1,0 +1,82 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAllSatCoversExactly(t *testing.T) {
+	const n = 5
+	m := newTestManager(t, n)
+	rng := rand.New(rand.NewSource(141))
+	for _, tbl := range randTables(rng, n, 40) {
+		f := truthToBDD(m, n, tbl)
+		// Union of all cubes == f, cubes pairwise disjoint.
+		union := Zero
+		cubes := m.AllSatCubes(f, 0)
+		for i, cube := range cubes {
+			c := m.CubeRef(cube)
+			if c == Zero {
+				t.Fatal("contradictory cube emitted")
+			}
+			if m.And(union, c) != Zero {
+				t.Fatalf("cube %d overlaps earlier cubes (table %#x)", i, tbl)
+			}
+			union = m.Or(union, c)
+		}
+		if union != f {
+			t.Fatalf("cube union != f for table %#x", tbl)
+		}
+		if len(cubes) != m.CountPaths(f) {
+			t.Fatalf("CountPaths %d != emitted cubes %d", m.CountPaths(f), len(cubes))
+		}
+	}
+}
+
+func TestAllSatConstants(t *testing.T) {
+	m := newTestManager(t, 3)
+	if got := m.AllSatCubes(Zero, 0); got != nil {
+		t.Fatal("Zero yielded cubes")
+	}
+	got := m.AllSatCubes(One, 0)
+	if len(got) != 1 || len(got[0]) != 0 {
+		t.Fatalf("One should yield exactly the empty cube, got %v", got)
+	}
+	if m.CountPaths(One) != 1 || m.CountPaths(Zero) != 0 {
+		t.Fatal("CountPaths on constants wrong")
+	}
+}
+
+func TestAllSatEarlyStop(t *testing.T) {
+	m := newTestManager(t, 4)
+	f := One
+	for i := 0; i < 4; i++ {
+		f = m.And(f, m.Or(m.VarRef(Var(i)), m.VarRef(Var((i+1)%4))))
+	}
+	calls := 0
+	m.AllSat(f, func([]Lit) bool {
+		calls++
+		return calls < 2
+	})
+	if calls != 2 {
+		t.Fatalf("early stop did not stop: %d calls", calls)
+	}
+	if got := m.AllSatCubes(f, 3); len(got) != 3 {
+		t.Fatalf("AllSatCubes(max=3) returned %d cubes", len(got))
+	}
+}
+
+func TestAllSatCubesAreIndependentCopies(t *testing.T) {
+	m := newTestManager(t, 3)
+	f := m.Or(m.VarRef(0), m.VarRef(1))
+	cubes := m.AllSatCubes(f, 0)
+	if len(cubes) < 2 {
+		t.Fatalf("expected several cubes, got %d", len(cubes))
+	}
+	// Mutating one cube must not affect another (reuse bug guard).
+	cubes[0][0].Val = !cubes[0][0].Val
+	c1 := m.CubeRef(cubes[1])
+	if !m.Implies(c1, f) {
+		t.Fatal("later cube corrupted by mutation of earlier cube")
+	}
+}

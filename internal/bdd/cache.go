@@ -1,0 +1,84 @@
+package bdd
+
+import "time"
+
+// Operation tags for the computed cache. Each memoized operation gets a
+// distinct tag so results of different operations on the same operands
+// cannot collide.
+const (
+	opNone uint32 = iota
+	opITE
+	opExists
+	opAndExists
+	opRestrict
+	opConstrain
+	opCofactor
+)
+
+// cacheEntry memoizes one (op, f, g, h) -> result quadruple.
+type cacheEntry struct {
+	op      uint32
+	f, g, h Ref
+	res     Ref
+}
+
+// computedCache is a direct-mapped cache: colliding entries overwrite each
+// other. This is the classical BDD-package design — correctness never
+// depends on a hit, only speed.
+type computedCache struct {
+	entries []cacheEntry
+	mask    uint32
+}
+
+func (c *computedCache) init(bits uint) {
+	if bits < 8 {
+		bits = 8
+	}
+	c.entries = make([]cacheEntry, 1<<bits)
+	c.mask = uint32(len(c.entries) - 1)
+}
+
+func (c *computedCache) memBytes() int {
+	return len(c.entries) * 20
+}
+
+// clear invalidates every entry (used after GC, when node indices may be
+// reused for different functions).
+func (c *computedCache) clear() {
+	for i := range c.entries {
+		c.entries[i].op = opNone
+	}
+}
+
+func cacheHash(op uint32, f, g, h Ref) uint32 {
+	x := uint64(op)<<48 ^ uint64(f) ^ uint64(g)<<16 ^ uint64(h)<<32
+	x *= 0x9e3779b97f4a7c15
+	x ^= x >> 32
+	return uint32(x)
+}
+
+// lookup probes the cache. The Manager funnels all probes through here so
+// hit-rate statistics stay centralized. This is also a deadline
+// checkpoint: when the direct-mapped cache thrashes, a recursion can
+// spin through already-allocated nodes indefinitely without ever calling
+// alloc, so the allocation-side check alone would never fire.
+func (m *Manager) cacheLookup(op uint32, f, g, h Ref) (Ref, bool) {
+	m.stats.CacheLookups++
+	if !m.deadline.IsZero() && m.stats.CacheLookups%deadlineStride == 0 {
+		if time.Now().After(m.deadline) {
+			panic(&DeadlineError{Deadline: m.deadline})
+		}
+	}
+	e := &m.cache.entries[cacheHash(op, f, g, h)&m.cache.mask]
+	if e.op == op && e.f == f && e.g == g && e.h == h {
+		m.stats.CacheHits++
+		return e.res, true
+	}
+	return 0, false
+}
+
+// cacheStore records a computed result.
+func (m *Manager) cacheStore(op uint32, f, g, h, res Ref) {
+	e := &m.cache.entries[cacheHash(op, f, g, h)&m.cache.mask]
+	*e = cacheEntry{op: op, f: f, g: g, h: h, res: res}
+}

@@ -1,0 +1,39 @@
+package bdd
+
+// CofactorLit returns the cofactor of f with respect to the literal
+// (v = val) — f with variable v fixed, wherever it occurs in the graph,
+// not just at the root. Equivalent to Compose(f, v, constant) but cheaper
+// and memoized through the shared computed cache.
+func (m *Manager) CofactorLit(f Ref, v Var, val bool) Ref {
+	lit := m.VarRef(v)
+	if !val {
+		lit = lit.Not()
+	}
+	return m.cofactorLit(f, uint32(v), lit)
+}
+
+// CofactorVar returns both cofactors of f with respect to v.
+func (m *Manager) CofactorVar(f Ref, v Var) (lo, hi Ref) {
+	return m.CofactorLit(f, v, false), m.CofactorLit(f, v, true)
+}
+
+func (m *Manager) cofactorLit(f Ref, level uint32, lit Ref) Ref {
+	fl := m.Level(f)
+	if fl > level {
+		// Every variable in f sits below v in the order, so f cannot
+		// depend on v (constants included: their level is maximal).
+		return f
+	}
+	if fl == level {
+		if lit.complement() {
+			return m.Low(f)
+		}
+		return m.High(f)
+	}
+	if r, ok := m.cacheLookup(opCofactor, f, lit, 0); ok {
+		return r
+	}
+	r := m.mk(fl, m.cofactorLit(m.Low(f), level, lit), m.cofactorLit(m.High(f), level, lit))
+	m.cacheStore(opCofactor, f, lit, 0, r)
+	return r
+}

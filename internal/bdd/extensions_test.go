@@ -1,0 +1,267 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// --- RestrictMulti (Section V: simplify by multiple care sets) ---------
+
+// TestRestrictMultiAgreement: wherever ALL care sets hold, the result
+// equals f — the defining property.
+func TestRestrictMultiAgreement(t *testing.T) {
+	const n = 5
+	m := newTestManager(t, n)
+	mask := tableMask(n)
+	prop := func(tf, tc1, tc2, tc3 uint64) bool {
+		tf &= mask
+		cares := []uint64{tc1 & mask, tc2 & mask, tc3 & mask}
+		f := truthToBDD(m, n, tf)
+		cs := make([]Ref, len(cares))
+		careAll := mask
+		for i, tc := range cares {
+			cs[i] = truthToBDD(m, n, tc)
+			careAll &= tc
+		}
+		r := m.RestrictMulti(f, cs)
+		rt := bddToTruth(m, r, n)
+		return (rt^tf)&careAll == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+	checkInv(t, m)
+}
+
+func TestRestrictMultiEdgeCases(t *testing.T) {
+	m := newTestManager(t, 4)
+	x, y := m.VarRef(0), m.VarRef(1)
+	f := m.Or(m.And(x, y), m.And(x.Not(), y.Not()))
+
+	if m.RestrictMulti(f, nil) != f {
+		t.Fatal("empty family changed f")
+	}
+	if m.RestrictMulti(f, []Ref{One, One}) != f {
+		t.Fatal("all-One family changed f")
+	}
+	if m.RestrictMulti(f, []Ref{x, Zero}) != f {
+		t.Fatal("family containing Zero should return f (empty care set)")
+	}
+	if m.RestrictMulti(One, []Ref{x}) != One || m.RestrictMulti(Zero, []Ref{x}) != Zero {
+		t.Fatal("constants changed")
+	}
+	// Single care set: semantics must match plain Restrict's contract
+	// (agreement on the care set), though the chosen don't-care values
+	// may differ.
+	r1 := m.RestrictMulti(f, []Ref{x})
+	if m.And(m.Xor(r1, f), x) != Zero {
+		t.Fatal("single-care RestrictMulti disagrees on the care set")
+	}
+}
+
+// TestRestrictMultiBeatsSequential reproduces the Section V scenario:
+// two care sets that individually blow f up but jointly collapse it.
+func TestRestrictMultiBeatsSequential(t *testing.T) {
+	m := newTestManager(t, 6)
+	x0, x1, x2, x3, x4 := m.VarRef(0), m.VarRef(1), m.VarRef(2), m.VarRef(3), m.VarRef(4)
+
+	// x4's coefficient vanishes only under BOTH care sets: c1 forces
+	// x0==x1 and c2 forces x2==x3, so (x0⊕x1) ∨ (x2⊕x3) becomes 0 and f
+	// collapses to x0⊕x2. Simplifying by either care set alone cannot
+	// eliminate x4.
+	coef := m.Or(m.Xor(x0, x1), m.Xor(x2, x3))
+	f := m.Xor(m.Xor(x0, x2), m.And(coef, x4))
+	c1 := m.Xnor(x0, x1)
+	c2 := m.Xnor(x2, x3)
+
+	joint := m.RestrictMulti(f, []Ref{c1, c2})
+	explicit := m.Restrict(f, m.And(c1, c2))
+
+	// Agreement with f on c1 ∧ c2, like the explicit-conjunction route.
+	care := m.And(c1, c2)
+	if m.And(m.Xor(joint, f), care) != Zero {
+		t.Fatal("joint simplification disagrees on the joint care set")
+	}
+	// The simplification quality matches having built the conjunction:
+	// x4 drops out and the result is the 3-node x0⊕x2.
+	if joint != explicit {
+		t.Fatalf("joint %s differs from explicit-conjunction restrict %s",
+			m.String(joint), m.String(explicit))
+	}
+	for _, v := range m.Support(joint) {
+		if v == 4 {
+			t.Fatalf("joint care sets did not eliminate x4 (support %v)", m.Support(joint))
+		}
+	}
+	// Simplifying by either care set alone keeps x4, demonstrating why
+	// Section V wants the simultaneous routine.
+	only1 := m.RestrictMulti(f, []Ref{c1})
+	hasX4 := false
+	for _, v := range m.Support(only1) {
+		if v == 4 {
+			hasX4 = true
+		}
+	}
+	if !hasX4 {
+		t.Fatal("single care set unexpectedly eliminated x4; scenario lost its point")
+	}
+}
+
+// --- Bounded operations (Section V: abort on size) ----------------------
+
+func TestAndBoundedWithinBudget(t *testing.T) {
+	m := newTestManager(t, 6)
+	a := m.And(m.VarRef(0), m.VarRef(1))
+	b := m.And(m.VarRef(2), m.VarRef(3))
+	r, ok := m.AndBounded(a, b, 1000)
+	if !ok || r != m.And(a, b) {
+		t.Fatal("in-budget AndBounded failed")
+	}
+	// Unbounded convention.
+	if r, ok := m.AndBounded(a, b, 0); !ok || r != m.And(a, b) {
+		t.Fatal("budget 0 should be unbounded")
+	}
+}
+
+func TestAndBoundedAborts(t *testing.T) {
+	const n = 16
+	m := newTestManager(t, n)
+	// Two parity functions over disjoint halves: their conjunction has
+	// ~2x nodes; a budget of 1 node cannot hold it (fresh manager state
+	// means everything must be allocated).
+	a, b := One, One
+	for i := 0; i < n/2; i++ {
+		a = m.Xor(a, m.VarRef(Var(i)))
+		b = m.Xor(b, m.VarRef(Var(n/2+i)))
+	}
+	before := m.NumNodes()
+	_, ok := m.AndBounded(a, b, 1)
+	if ok {
+		t.Fatal("AndBounded did not abort on a 1-node budget")
+	}
+	// Manager remains usable, limit restored.
+	if m.NodeLimit() != 0 {
+		t.Fatalf("node limit not restored: %d", m.NodeLimit())
+	}
+	r := m.And(a, b)
+	if r == Zero || r == One {
+		t.Fatal("manager broken after bounded abort")
+	}
+	_ = before
+	checkInv(t, m)
+}
+
+func TestAndBoundedRespectsOuterLimit(t *testing.T) {
+	m := newTestManager(t, 16)
+	a, b := One, One
+	for i := 0; i < 8; i++ {
+		a = m.Xor(a, m.VarRef(Var(i)))
+		b = m.Xor(b, m.VarRef(Var(8+i)))
+	}
+	m.SetNodeLimit(m.NumNodes() + 2) // run-level budget nearly exhausted
+	err := Guard(func() {
+		// A generous operation budget must NOT override the run budget.
+		m.AndBounded(a, b, 1_000_000)
+	})
+	m.SetNodeLimit(0)
+	if err == nil {
+		t.Fatal("outer node limit was swallowed by AndBounded")
+	}
+}
+
+func TestITEBounded(t *testing.T) {
+	m := newTestManager(t, 12)
+	f := m.VarRef(0)
+	g := m.Xor(m.VarRef(1), m.VarRef(2))
+	h := m.Xor(m.VarRef(3), m.VarRef(4))
+	r, ok := m.ITEBounded(f, g, h, 1000)
+	if !ok || r != m.ITE(f, g, h) {
+		t.Fatal("in-budget ITEBounded failed")
+	}
+}
+
+// --- General cofactor ----------------------------------------------------
+
+func TestCofactorLitTruthTables(t *testing.T) {
+	const n = 5
+	m := newTestManager(t, n)
+	rng := rand.New(rand.NewSource(111))
+	for _, tbl := range randTables(rng, n, 40) {
+		f := truthToBDD(m, n, tbl)
+		for v := 0; v < n; v++ {
+			lo, hi := m.CofactorVar(f, Var(v))
+			wantLo := composeTruth(tbl, 0, n, v)            // v <- false
+			wantHi := composeTruth(tbl, tableMask(n), n, v) // v <- true
+			if got := bddToTruth(m, lo, n); got != wantLo {
+				t.Fatalf("CofactorLit(%#x, x%d, false) = %#x, want %#x", tbl, v, got, wantLo)
+			}
+			if got := bddToTruth(m, hi, n); got != wantHi {
+				t.Fatalf("CofactorLit(%#x, x%d, true) = %#x, want %#x", tbl, v, got, wantHi)
+			}
+			// Shannon reconstruction.
+			if m.ITE(m.VarRef(Var(v)), hi, lo) != f {
+				t.Fatal("Shannon reconstruction failed")
+			}
+			// Cofactors never mention the variable.
+			for _, s := range m.Support(lo) {
+				if s == Var(v) {
+					t.Fatal("low cofactor still depends on the variable")
+				}
+			}
+		}
+	}
+	checkInv(t, m)
+}
+
+func TestCofactorLitBelowTop(t *testing.T) {
+	m := newTestManager(t, 4)
+	// f's top is x0 but we cofactor on x2, deep in the graph.
+	f := m.Or(m.And(m.VarRef(0), m.VarRef(2)), m.And(m.VarRef(1), m.VarRef(2).Not()))
+	hi := m.CofactorLit(f, 2, true)
+	if hi != m.Or(m.VarRef(0), bddAnd(m, m.VarRef(1), Zero)) {
+		// x2=1: f = x0 ∨ (x1 ∧ 0) = x0.
+		if hi != m.VarRef(0) {
+			t.Fatalf("deep cofactor wrong: %s", m.String(hi))
+		}
+	}
+	lo := m.CofactorLit(f, 2, false)
+	if lo != m.VarRef(1) {
+		t.Fatalf("deep cofactor (false) wrong: %s", m.String(lo))
+	}
+}
+
+func bddAnd(m *Manager, a, b Ref) Ref { return m.And(a, b) }
+
+// --- Deadline ------------------------------------------------------------
+
+func TestDeadlineAbortsLongOperation(t *testing.T) {
+	m := newTestManager(t, 40)
+	m.SetDeadline(time.Now().Add(-time.Second)) // already expired
+	err := Guard(func() {
+		acc := One
+		for i := 0; i < 40; i++ {
+			acc = m.Xor(acc, m.VarRef(Var(i)))
+		}
+		// Force enough fresh allocations to pass a deadline check.
+		f := Zero
+		for i := 0; i+1 < 40; i++ {
+			f = m.Or(f, m.And(m.VarRef(Var(i)), m.VarRef(Var(i+1))))
+		}
+	})
+	m.SetDeadline(time.Time{})
+	if err == nil {
+		t.Skip("operation finished before the first deadline check (too few allocations)")
+	}
+	if _, ok := err.(*DeadlineError); !ok {
+		t.Fatalf("got %T, want *DeadlineError", err)
+	}
+	if err.Error() == "" {
+		t.Fatal("empty deadline error")
+	}
+	// Manager remains usable after the abort and with deadline cleared.
+	if m.And(m.VarRef(0), m.VarRef(1)) == Zero {
+		t.Fatal("manager broken after deadline abort")
+	}
+}

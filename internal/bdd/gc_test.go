@@ -1,0 +1,166 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGCReclaimsGarbage(t *testing.T) {
+	const n = 8
+	m := newTestManager(t, n)
+	rng := rand.New(rand.NewSource(51))
+
+	keep := m.Protect(truthToBDD(m, 6, rng.Uint64()&tableMask(6)))
+	keepTruth := bddToTruth(m, keep, 6)
+
+	// Generate garbage.
+	for i := 0; i < 50; i++ {
+		a := truthToBDD(m, 6, rng.Uint64()&tableMask(6))
+		b := truthToBDD(m, 6, rng.Uint64()&tableMask(6))
+		m.Xor(a, b)
+	}
+	before := m.NumNodes()
+	freed := m.GC()
+	if freed == 0 {
+		t.Fatal("GC freed nothing despite garbage")
+	}
+	if m.NumNodes() != before-freed {
+		t.Fatalf("node accounting wrong: %d before, %d freed, %d after",
+			before, freed, m.NumNodes())
+	}
+	checkInv(t, m)
+
+	// The protected function must be intact and usable.
+	if got := bddToTruth(m, keep, 6); got != keepTruth {
+		t.Fatalf("protected function corrupted: %#x want %#x", got, keepTruth)
+	}
+
+	// Freed slots are reused and canonical refs still work.
+	again := truthToBDD(m, 6, keepTruth)
+	if again != keep {
+		t.Fatal("rebuilding protected function gave different ref")
+	}
+	m.Unprotect(keep)
+	if got := m.GC(); got == 0 {
+		// keep may share nothing beyond itself; it must now be gone.
+		t.Fatal("GC after Unprotect freed nothing")
+	}
+	checkInv(t, m)
+}
+
+func TestGCKeepsReachableSubgraphs(t *testing.T) {
+	m := newTestManager(t, 6)
+	x, y, z := m.VarRef(0), m.VarRef(1), m.VarRef(2)
+	inner := m.Xor(y, z)
+	outer := m.Protect(m.And(x, inner))
+	// inner is unprotected but reachable from outer, so it survives GC.
+	// The standalone variable nodes y and z are NOT reachable from outer
+	// (outer's graph contains y- and z-labelled nodes with different
+	// children), so those Refs dangle after GC — re-acquire them.
+	m.GC()
+	checkInv(t, m)
+	y2, z2 := m.VarRef(1), m.VarRef(2)
+	if m.Xor(y2, z2) != inner {
+		t.Fatal("reachable subgraph was collected or rebuilt differently")
+	}
+	m.Unprotect(outer)
+}
+
+func TestUnprotectImbalancePanics(t *testing.T) {
+	m := newTestManager(t, 2)
+	f := m.And(m.VarRef(0), m.VarRef(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unprotect without Protect did not panic")
+		}
+	}()
+	m.Unprotect(f)
+}
+
+func TestProtectConstantsNoop(t *testing.T) {
+	m := newTestManager(t, 2)
+	m.Protect(One)
+	m.Unprotect(One)
+	m.Protect(Zero)
+	m.Unprotect(Zero)
+	m.GC()
+	if m.NumNodes() != 3 { // terminal + two variable nodes? none built yet
+		// Only the terminal exists plus nothing else; NumNodes is 1.
+		if m.NumNodes() != 1 {
+			t.Fatalf("NumNodes = %d after constant-only protect cycle", m.NumNodes())
+		}
+	}
+}
+
+func TestGCInvalidatesCachesCorrectly(t *testing.T) {
+	const n = 5
+	m := newTestManager(t, n)
+	rng := rand.New(rand.NewSource(52))
+
+	// Interleave computation and GC; results must stay canonical.
+	roots := make([]Ref, 0, 8)
+	truths := make([]uint64, 0, 8)
+	for i := 0; i < 8; i++ {
+		tbl := rng.Uint64() & tableMask(n)
+		r := m.Protect(truthToBDD(m, n, tbl))
+		roots = append(roots, r)
+		truths = append(truths, tbl)
+	}
+	for iter := 0; iter < 10; iter++ {
+		a := roots[rng.Intn(len(roots))]
+		b := roots[rng.Intn(len(roots))]
+		m.And(a, b) // garbage
+		m.GC()
+		for i, r := range roots {
+			if got := bddToTruth(m, r, n); got != truths[i] {
+				t.Fatalf("root %d corrupted after GC round %d", i, iter)
+			}
+		}
+		checkInv(t, m)
+	}
+	s := m.Stats()
+	if s.GCs < 10 {
+		t.Fatalf("GC count = %d, want >= 10", s.GCs)
+	}
+
+	// After GC, recomputation through the (cleared) cache is consistent.
+	and01 := m.And(roots[0], roots[1])
+	if got := bddToTruth(m, and01, n); got != truths[0]&truths[1] {
+		t.Fatal("post-GC And incorrect")
+	}
+}
+
+// TestSubstitutionEpochInvalidation ensures a Substitution built before a
+// GC does not serve stale memo entries afterwards.
+func TestSubstitutionEpochInvalidation(t *testing.T) {
+	const n = 5
+	m := newTestManager(t, n)
+	rng := rand.New(rand.NewSource(53))
+
+	g := m.Protect(truthToBDD(m, n, rng.Uint64()&tableMask(n)))
+	s := m.NewSubstitution()
+	s.Set(1, g)
+
+	f1 := m.Protect(truthToBDD(m, n, rng.Uint64()&tableMask(n)))
+	r1 := m.Protect(s.Compose(f1))
+	want1 := bddToTruth(m, r1, n)
+
+	// Create garbage, collect, then reuse the substitution.
+	for i := 0; i < 30; i++ {
+		m.Xor(truthToBDD(m, n, rng.Uint64()&tableMask(n)), f1)
+	}
+	m.GC()
+
+	f2 := m.Protect(truthToBDD(m, n, rng.Uint64()&tableMask(n)))
+	r2 := s.Compose(f2)
+	// Reference computation with a fresh substitution.
+	s2 := m.NewSubstitution()
+	s2.Set(1, g)
+	if r2 != s2.Compose(f2) {
+		t.Fatal("stale substitution memo after GC")
+	}
+	if got := bddToTruth(m, s.Compose(f1), n); got != want1 {
+		t.Fatal("substitution result changed after GC")
+	}
+	checkInv(t, m)
+}

@@ -1,0 +1,154 @@
+package bdd
+
+import "sort"
+
+// RestrictMulti simplifies f by the implicit conjunction of several care
+// sets simultaneously, without ever building the conjunction — the
+// routine the paper's Section V asks for:
+//
+//	"We really wish to simplify by c1 ∧ c2, which gives a smaller
+//	 care-set, but we can't afford to build the BDD for c1 ∧ c2.
+//	 What's needed, therefore, is a routine that simplifies using
+//	 multiple BDDs simultaneously."
+//
+// The returned function agrees with f wherever ALL care sets hold.
+// Sequentially applying Restrict once per care set does not achieve
+// this: each pass sees only one care set's don't-cares, and (as the
+// paper observes) the intermediate results can grow several-fold and get
+// discarded. This recursion cofactors f and every care set together, so
+// a point is don't-care as soon as any care set rules it out.
+//
+// Like Restrict, the empty care-set family (or all-constant-One family)
+// returns f unchanged; a family containing Zero makes everything
+// don't-care, and f itself is returned by convention.
+func (m *Manager) RestrictMulti(f Ref, cares []Ref) Ref {
+	cs := make([]Ref, 0, len(cares))
+	for _, c := range cares {
+		if c == Zero {
+			return f // empty care set: no constraint to exploit
+		}
+		if c != One {
+			cs = append(cs, c)
+		}
+	}
+	if len(cs) == 0 || f.IsConst() {
+		return f
+	}
+	r := &multiRestrict{m: m, memo: make(map[string]Ref)}
+	out, dc := r.run(f, cs)
+	if dc {
+		return f
+	}
+	return out
+}
+
+// multiRestrict carries the memo table of one RestrictMulti call. The
+// key includes the full care list, which varies along the recursion, so
+// memoization is per-call rather than through the global computed cache.
+type multiRestrict struct {
+	m    *Manager
+	memo map[string]Ref
+}
+
+// dcMarker distinguishes "this whole branch is don't-care" from ordinary
+// results in the memo (Refs are only 32 bits; we store dc results under
+// a flipped key prefix instead of widening every entry).
+const (
+	keyResult byte = 'r'
+	keyDC     byte = 'd'
+)
+
+// run returns the simplified function and whether the entire branch is
+// don't-care (some care set is identically false under the current path).
+func (r *multiRestrict) run(f Ref, cares []Ref) (Ref, bool) {
+	m := r.m
+
+	// Normalize the care list: drop Ones, deduplicate, detect collapse.
+	cs := cares[:0:0]
+	for _, c := range cares {
+		if c == Zero {
+			return 0, true // no care points remain anywhere below here
+		}
+		if c == One {
+			continue
+		}
+		cs = append(cs, c)
+	}
+	if len(cs) == 0 {
+		return f, false
+	}
+	if f.IsConst() {
+		return f, false
+	}
+	// f itself may be forced by the remaining care set: agreeing with f
+	// on the care set allows returning constants when f covers it.
+	for _, c := range cs {
+		if f == c {
+			return One, false
+		}
+		if f == c.Not() {
+			return Zero, false
+		}
+	}
+
+	key := r.key(f, cs)
+	if v, ok := r.memo[string(keyResult)+key]; ok {
+		return v, false
+	}
+	if _, ok := r.memo[string(keyDC)+key]; ok {
+		return 0, true
+	}
+
+	// Top level across f and all care sets.
+	top := m.Level(f)
+	for _, c := range cs {
+		if l := m.Level(c); l < top {
+			top = l
+		}
+	}
+
+	lo, hi := m.cofactor(f, top)
+	csLo := make([]Ref, len(cs))
+	csHi := make([]Ref, len(cs))
+	for i, c := range cs {
+		csLo[i], csHi[i] = m.cofactor(c, top)
+	}
+
+	rLo, dcLo := r.run(lo, csLo)
+	rHi, dcHi := r.run(hi, csHi)
+
+	var out Ref
+	var dc bool
+	switch {
+	case dcLo && dcHi:
+		dc = true
+	case dcLo:
+		out = rHi // the else-branch is entirely don't-care: drop the variable
+	case dcHi:
+		out = rLo
+	default:
+		out = m.mk(top, rLo, rHi)
+	}
+	if dc {
+		r.memo[string(keyDC)+key] = 0
+	} else {
+		r.memo[string(keyResult)+key] = out
+	}
+	return out, dc
+}
+
+// key canonicalizes (f, care list) — order of care sets is irrelevant.
+func (r *multiRestrict) key(f Ref, cs []Ref) string {
+	sorted := append([]Ref(nil), cs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	buf := make([]byte, 0, 4*(len(sorted)+1))
+	buf = appendRef(buf, f)
+	for _, c := range sorted {
+		buf = appendRef(buf, c)
+	}
+	return string(buf)
+}
+
+func appendRef(buf []byte, r Ref) []byte {
+	return append(buf, byte(r), byte(r>>8), byte(r>>16), byte(r>>24))
+}

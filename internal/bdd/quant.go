@@ -1,0 +1,143 @@
+package bdd
+
+// Quantification and the relational product (AndExists). Cubes are BDDs
+// that are conjunctions of positive literals; MkCube builds them.
+
+// MkCube returns the conjunction of the positive literals of vars.
+func (m *Manager) MkCube(vars []Var) Ref {
+	// Build bottom-up (largest level first) so each mk call is O(1).
+	sorted := append([]Var(nil), vars...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] > sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	acc := One
+	for _, v := range sorted {
+		acc = m.mk(uint32(v), Zero, acc)
+	}
+	return acc
+}
+
+// CubeVars decomposes a positive cube back into its variables. It panics
+// if cube is not a conjunction of positive literals.
+func (m *Manager) CubeVars(cube Ref) []Var {
+	var vs []Var
+	for cube != One {
+		if cube.IsConst() || m.Low(cube) != Zero {
+			panic("bdd: CubeVars of non-cube")
+		}
+		vs = append(vs, m.TopVar(cube))
+		cube = m.High(cube)
+	}
+	return vs
+}
+
+// Exists returns ∃cube. f — the existential quantification of f over the
+// variables of the (positive) cube.
+func (m *Manager) Exists(f, cube Ref) Ref {
+	if cube == One || f.IsConst() {
+		return f
+	}
+	return m.exists(f, cube)
+}
+
+// ForAll returns ∀cube. f, via the duality ∀x.f == ¬∃x.¬f.
+func (m *Manager) ForAll(f, cube Ref) Ref {
+	return m.Exists(f.Not(), cube).Not()
+}
+
+func (m *Manager) exists(f, cube Ref) Ref {
+	if f.IsConst() {
+		return f
+	}
+	top := m.Level(f)
+	// Skip quantified variables above f's support: they do not affect f.
+	for !cube.IsConst() && m.Level(cube) < top {
+		cube = m.High(cube)
+	}
+	if cube == One {
+		return f
+	}
+
+	if r, ok := m.cacheLookup(opExists, f, cube, 0); ok {
+		return r
+	}
+
+	f0, f1 := m.cofactor(f, top)
+	var r Ref
+	if m.Level(cube) == top {
+		rest := m.High(cube)
+		r0 := m.exists(f0, rest)
+		if r0 == One {
+			r = One
+		} else {
+			r = m.Or(r0, m.exists(f1, rest))
+		}
+	} else {
+		r = m.mk(top, m.exists(f0, cube), m.exists(f1, cube))
+	}
+	m.cacheStore(opExists, f, cube, 0, r)
+	return r
+}
+
+// AndExists returns ∃cube. (f ∧ g) without building the full conjunction
+// first — the relational-product primitive of symbolic image computation
+// (Burch–Clarke–Long partitioned transition relations, ref [4] of the
+// paper).
+func (m *Manager) AndExists(f, g, cube Ref) Ref {
+	return m.andExists(f, g, cube)
+}
+
+func (m *Manager) andExists(f, g, cube Ref) Ref {
+	// Terminal and coincidence cases.
+	switch {
+	case f == Zero || g == Zero || f == g.Not():
+		return Zero
+	case f == One && g == One:
+		return One
+	case f == One || f == g:
+		return m.Exists(g, cube)
+	case g == One:
+		return m.Exists(f, cube)
+	}
+	if cube == One {
+		return m.And(f, g)
+	}
+	// Canonical operand order for the cache.
+	if f.index() > g.index() {
+		f, g = g, f
+	}
+
+	top := m.Level(f)
+	if l := m.Level(g); l < top {
+		top = l
+	}
+	for !cube.IsConst() && m.Level(cube) < top {
+		cube = m.High(cube)
+	}
+	if cube == One {
+		return m.And(f, g)
+	}
+
+	if r, ok := m.cacheLookup(opAndExists, f, g, cube); ok {
+		return r
+	}
+
+	f0, f1 := m.cofactor(f, top)
+	g0, g1 := m.cofactor(g, top)
+	var r Ref
+	if m.Level(cube) == top {
+		rest := m.High(cube)
+		r0 := m.andExists(f0, g0, rest)
+		if r0 == One {
+			r = One
+		} else {
+			r = m.Or(r0, m.andExists(f1, g1, rest))
+		}
+	} else {
+		r = m.mk(top, m.andExists(f0, g0, cube), m.andExists(f1, g1, cube))
+	}
+	m.cacheStore(opAndExists, f, g, cube, r)
+	return r
+}

@@ -1,0 +1,163 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// quantTruth computes ∃/∀ over a variable on a truth table.
+func existsTruth(tbl uint64, n, v int) uint64 {
+	var out uint64
+	for i := 0; i < int(tableBits(n)); i++ {
+		j := i ^ (1 << uint(v)) // flip variable v
+		if tbl&(1<<uint(i)) != 0 || tbl&(1<<uint(j)) != 0 {
+			out |= 1 << uint(i)
+		}
+	}
+	return out
+}
+
+func forallTruth(tbl uint64, n, v int) uint64 {
+	var out uint64
+	for i := 0; i < int(tableBits(n)); i++ {
+		j := i ^ (1 << uint(v))
+		if tbl&(1<<uint(i)) != 0 && tbl&(1<<uint(j)) != 0 {
+			out |= 1 << uint(i)
+		}
+	}
+	return out
+}
+
+func TestMkCubeAndCubeVars(t *testing.T) {
+	m := newTestManager(t, 6)
+	for _, vars := range [][]Var{{}, {0}, {3}, {0, 2, 4}, {5, 1, 3}, {0, 1, 2, 3, 4, 5}} {
+		cube := m.MkCube(vars)
+		got := m.CubeVars(cube)
+		want := append([]Var(nil), vars...)
+		// CubeVars returns ascending order.
+		for i := 1; i < len(want); i++ {
+			for j := i; j > 0 && want[j] < want[j-1]; j-- {
+				want[j], want[j-1] = want[j-1], want[j]
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("CubeVars(%v) = %v", vars, got)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("CubeVars(%v) = %v, want %v", vars, got, want)
+			}
+		}
+		// Semantics: cube true iff all vars true.
+		a := make([]bool, 6)
+		for i := range a {
+			a[i] = true
+		}
+		if !m.Eval(cube, a) {
+			t.Fatal("cube false under all-true")
+		}
+		if len(vars) > 0 {
+			a[vars[0]] = false
+			if m.Eval(cube, a) {
+				t.Fatal("cube true with a variable false")
+			}
+		}
+	}
+	// Non-cube input panics.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CubeVars of non-cube did not panic")
+		}
+	}()
+	m.CubeVars(m.Or(m.VarRef(0), m.VarRef(1)))
+}
+
+func TestExistsForAllTruthTables(t *testing.T) {
+	const n = 4
+	m := newTestManager(t, n)
+	rng := rand.New(rand.NewSource(11))
+	for _, tbl := range randTables(rng, n, 40) {
+		f := truthToBDD(m, n, tbl)
+		for v := 0; v < n; v++ {
+			cube := m.MkCube([]Var{Var(v)})
+			if got := bddToTruth(m, m.Exists(f, cube), n); got != existsTruth(tbl, n, v) {
+				t.Fatalf("Exists(%#x, x%d) = %#x, want %#x", tbl, v, got, existsTruth(tbl, n, v))
+			}
+			if got := bddToTruth(m, m.ForAll(f, cube), n); got != forallTruth(tbl, n, v) {
+				t.Fatalf("ForAll(%#x, x%d) = %#x, want %#x", tbl, v, got, forallTruth(tbl, n, v))
+			}
+		}
+		// Multi-variable cube == iterated single-variable quantification.
+		cube := m.MkCube([]Var{0, 2, 3})
+		want := existsTruth(existsTruth(existsTruth(tbl, n, 0), n, 2), n, 3)
+		if got := bddToTruth(m, m.Exists(f, cube), n); got != want {
+			t.Fatalf("multi-var Exists = %#x, want %#x", got, want)
+		}
+	}
+	checkInv(t, m)
+}
+
+func TestExistsEdgeCases(t *testing.T) {
+	m := newTestManager(t, 4)
+	x := m.VarRef(0)
+	cube := m.MkCube([]Var{0, 1})
+	if m.Exists(One, cube) != One || m.Exists(Zero, cube) != Zero {
+		t.Fatal("quantifying constants changed them")
+	}
+	if m.Exists(x, One) != x {
+		t.Fatal("empty cube changed function")
+	}
+	if m.Exists(x, m.MkCube([]Var{0})) != One {
+		t.Fatal("∃x.x != true")
+	}
+	if m.ForAll(x, m.MkCube([]Var{0})) != Zero {
+		t.Fatal("∀x.x != false")
+	}
+	// Quantified variable not in support: identity.
+	if m.Exists(x, m.MkCube([]Var{3})) != x {
+		t.Fatal("quantifying non-support var changed function")
+	}
+}
+
+func TestAndExistsMatchesComposition(t *testing.T) {
+	const n = 5
+	m := newTestManager(t, n)
+	rng := rand.New(rand.NewSource(12))
+	tabs := randTables(rng, n, 16)
+	cubes := [][]Var{{}, {0}, {1, 3}, {0, 2, 4}, {0, 1, 2, 3, 4}}
+	for i, ta := range tabs {
+		for _, tb := range tabs[:i+1] {
+			fa := truthToBDD(m, n, ta)
+			fb := truthToBDD(m, n, tb)
+			for _, cv := range cubes {
+				cube := m.MkCube(cv)
+				want := m.Exists(m.And(fa, fb), cube)
+				if got := m.AndExists(fa, fb, cube); got != want {
+					t.Fatalf("AndExists(%#x,%#x,%v) mismatch", ta, tb, cv)
+				}
+			}
+		}
+	}
+	checkInv(t, m)
+}
+
+func TestAndExistsShortCircuits(t *testing.T) {
+	m := newTestManager(t, 4)
+	x, y := m.VarRef(0), m.VarRef(1)
+	cube := m.MkCube([]Var{0, 1})
+	if m.AndExists(Zero, x, cube) != Zero {
+		t.Fatal("AndExists with Zero operand")
+	}
+	if m.AndExists(x, x.Not(), cube) != Zero {
+		t.Fatal("AndExists of complements")
+	}
+	if m.AndExists(One, y, cube) != m.Exists(y, cube) {
+		t.Fatal("AndExists with One operand")
+	}
+	if m.AndExists(x, x, cube) != m.Exists(x, cube) {
+		t.Fatal("AndExists of equal operands")
+	}
+	if m.AndExists(x, y, One) != m.And(x, y) {
+		t.Fatal("AndExists with empty cube")
+	}
+}

@@ -1,0 +1,101 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSiftOrderFindsInterleaving: starting from the pathological block
+// order a0..a3 b0..b3, sifting must rediscover (something as good as)
+// the interleaved order for a comparator.
+func TestSiftOrderFindsInterleaving(t *testing.T) {
+	const w = 4
+	src := New()
+	av := src.NewVars("a", w)
+	bv := src.NewVars("b", w)
+	eq := One
+	for i := 0; i < w; i++ {
+		eq = src.And(eq, src.Xnor(src.VarRef(av[i]), src.VarRef(bv[i])))
+	}
+	blockSize := src.Size(eq)
+
+	varMap, best := SiftOrder(src, []Ref{eq}, 0)
+	if best >= blockSize {
+		t.Fatalf("sifting failed to improve: %d -> %d", blockSize, best)
+	}
+	// The interleaved comparator is 3w+2 nodes; sifting should get there
+	// (it is reachable by single-variable moves from the block order).
+	if best > 3*w+2 {
+		t.Fatalf("sifting stuck above the interleaved optimum: %d > %d", best, 3*w+2)
+	}
+	// The returned map reproduces the reported size.
+	if got := EvalOrder(src, []Ref{eq}, varMap); got != best {
+		t.Fatalf("EvalOrder(varMap) = %d, reported %d", got, best)
+	}
+	// And semantics are preserved under the transfer.
+	dst := New()
+	dst.NewVars("x", src.NumVars())
+	moved := Transfer(dst, src, eq, varMap)
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		a := make([]bool, src.NumVars())
+		for i := range a {
+			a[i] = rng.Intn(2) == 1
+		}
+		pulled := make([]bool, len(a))
+		for srcVar, dstVar := range varMap {
+			pulled[dstVar] = a[srcVar]
+		}
+		if src.Eval(eq, a) != dst.Eval(moved, pulled) {
+			t.Fatal("sifted function differs semantically")
+		}
+	}
+}
+
+func TestSiftOrderAlreadyOptimal(t *testing.T) {
+	src := New()
+	src.NewVars("x", 4)
+	// A single cube: every order gives the same size.
+	f := src.AndN(src.VarRef(0), src.VarRef(1).Not(), src.VarRef(3))
+	varMap, best := SiftOrder(src, []Ref{f}, 2)
+	if best != src.Size(f) {
+		t.Fatalf("sifting changed the size of a cube: %d vs %d", best, src.Size(f))
+	}
+	if len(varMap) != 4 {
+		t.Fatalf("varMap length %d", len(varMap))
+	}
+}
+
+func TestSiftOrderMultipleRoots(t *testing.T) {
+	src := New()
+	av := src.NewVars("a", 3)
+	bv := src.NewVars("b", 3)
+	f := One
+	g := Zero
+	for i := 0; i < 3; i++ {
+		f = src.And(f, src.Xnor(src.VarRef(av[i]), src.VarRef(bv[i])))
+		g = src.Or(g, src.And(src.VarRef(av[i]), src.VarRef(bv[i])))
+	}
+	before := src.SharedSize(f, g)
+	_, best := SiftOrder(src, []Ref{f, g}, 0)
+	if best > before {
+		t.Fatalf("sifting made the pair worse: %d -> %d", before, best)
+	}
+}
+
+func TestMoveVar(t *testing.T) {
+	order := []Var{0, 1, 2, 3}
+	if got := moveVar(order, 0, 3); got[3] != 0 || got[0] != 1 {
+		t.Fatalf("moveVar forward: %v", got)
+	}
+	if got := moveVar(order, 3, 0); got[0] != 3 || got[1] != 0 {
+		t.Fatalf("moveVar backward: %v", got)
+	}
+	if got := moveVar(order, 2, 2); got[2] != 2 {
+		t.Fatalf("moveVar no-op: %v", got)
+	}
+	// Original untouched.
+	if order[0] != 0 || order[3] != 3 {
+		t.Fatal("moveVar mutated its input")
+	}
+}

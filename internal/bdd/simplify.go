@@ -1,0 +1,138 @@
+package bdd
+
+// The Coudert–Berthet–Madre care-set simplification operators. Restrict
+// (also called Reduce in Long's package) is the BDDSimplify the paper
+// uses throughout: Restrict(f, c) returns a (hopefully smaller) BDD that
+// agrees with f wherever c is true. Constrain is the generalized cofactor
+// f↓c, which additionally satisfies useful image-computation identities
+// but can blow up more readily; the paper's Theorem 3 holds for both.
+
+// Restrict returns a function that agrees with f wherever the care set c
+// holds. Outside c the result is arbitrary (chosen to shrink the BDD).
+//
+// Restrict(f, One) == f. By convention Restrict(f, Zero) == f: an empty
+// care set places no constraint at all, and returning f keeps the
+// operator total and idempotent. (Classical presentations leave this case
+// undefined.)
+func (m *Manager) Restrict(f, c Ref) Ref {
+	if c == One || c == Zero || f.IsConst() {
+		return f
+	}
+	if f == c {
+		return One
+	}
+	if f == c.Not() {
+		return Zero
+	}
+	return m.restrict(f, c)
+}
+
+func (m *Manager) restrict(f, c Ref) Ref {
+	if c == One || f.IsConst() {
+		return f
+	}
+	if f == c {
+		return One
+	}
+	if f == c.Not() {
+		return Zero
+	}
+
+	if r, ok := m.cacheLookup(opRestrict, f, c, 0); ok {
+		return r
+	}
+
+	lf, lc := m.Level(f), m.Level(c)
+	var r Ref
+	switch {
+	case lc < lf:
+		// c's top variable does not occur (at the top) in f:
+		// existentially quantify it out of the care set — the paper's
+		// "Restrict(f, c_x or c_x̄)" case.
+		r = m.restrict(f, m.Or(m.Low(c), m.High(c)))
+	case lf < lc:
+		// f branches on a variable the care set does not constrain yet.
+		r = m.mk(lf, m.restrict(m.Low(f), c), m.restrict(m.High(f), c))
+	default:
+		c0, c1 := m.Low(c), m.High(c)
+		f0, f1 := m.Low(f), m.High(f)
+		switch {
+		case c1 == Zero: // x must be false in the care set
+			r = m.restrict(f0, c0)
+		case c0 == Zero: // x must be true in the care set
+			r = m.restrict(f1, c1)
+		default:
+			r = m.mk(lf, m.restrict(f0, c0), m.restrict(f1, c1))
+		}
+	}
+	m.cacheStore(opRestrict, f, c, 0, r)
+	return r
+}
+
+// Constrain returns the generalized cofactor f↓c. Like Restrict it agrees
+// with f wherever c holds; unlike Restrict it maps each point outside c
+// to the value of f at the "nearest" point inside c, which gives it the
+// algebraic identity ∃x.(f ∧ c) = ∃x.(f↓c ∧ c) used in image
+// computations. Constrain(f, Zero) is Zero by convention.
+func (m *Manager) Constrain(f, c Ref) Ref {
+	if c == Zero {
+		return Zero
+	}
+	return m.constrain(f, c)
+}
+
+func (m *Manager) constrain(f, c Ref) Ref {
+	if c == One || f.IsConst() {
+		return f
+	}
+	if f == c {
+		return One
+	}
+	if f == c.Not() {
+		return Zero
+	}
+
+	if r, ok := m.cacheLookup(opConstrain, f, c, 0); ok {
+		return r
+	}
+
+	lf, lc := m.Level(f), m.Level(c)
+	top := lf
+	if lc < top {
+		top = lc
+	}
+	c0, c1 := m.cofactor(c, top)
+	f0, f1 := m.cofactor(f, top)
+
+	var r Ref
+	switch {
+	case c1 == Zero:
+		r = m.constrain(f0, c0)
+	case c0 == Zero:
+		r = m.constrain(f1, c1)
+	default:
+		r = m.mk(top, m.constrain(f0, c0), m.constrain(f1, c1))
+	}
+	m.cacheStore(opConstrain, f, c, 0, r)
+	return r
+}
+
+// Simplifier selects which care-set simplification operator the
+// higher-level algorithms use. The paper uses Restrict; Constrain is
+// provided for the ablation study (Theorem 3 covers both).
+type Simplifier int
+
+const (
+	// UseRestrict selects the Restrict (Reduce) operator.
+	UseRestrict Simplifier = iota
+	// UseConstrain selects the generalized cofactor.
+	UseConstrain
+)
+
+// Simplify applies the selected care-set operator.
+func (m *Manager) Simplify(s Simplifier, f, c Ref) Ref {
+	if s == UseConstrain {
+		return m.Constrain(f, c)
+	}
+	return m.Restrict(f, c)
+}

@@ -1,0 +1,152 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestRestrictAgreesOnCareSet is the defining property of BDDSimplify:
+// wherever c holds, Restrict(f, c) equals f.
+func TestRestrictAgreesOnCareSet(t *testing.T) {
+	const n = 5
+	m := newTestManager(t, n)
+	mask := tableMask(n)
+	prop := func(tf, tc uint64) bool {
+		tf, tc = tf&mask, tc&mask
+		f := truthToBDD(m, n, tf)
+		c := truthToBDD(m, n, tc)
+		r := m.Restrict(f, c)
+		rt := bddToTruth(m, r, n)
+		// Agreement on the care set.
+		return (rt^tf)&tc == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+	checkInv(t, m)
+}
+
+func TestConstrainAgreesOnCareSet(t *testing.T) {
+	const n = 5
+	m := newTestManager(t, n)
+	mask := tableMask(n)
+	prop := func(tf, tc uint64) bool {
+		tf, tc = tf&mask, tc&mask
+		if tc == 0 {
+			return true // Constrain(f, Zero) is Zero by convention
+		}
+		f := truthToBDD(m, n, tf)
+		c := truthToBDD(m, n, tc)
+		r := m.Constrain(f, c)
+		rt := bddToTruth(m, r, n)
+		if (rt^tf)&tc != 0 {
+			return false
+		}
+		// The generalized-cofactor identity: f↓c ∧ c == f ∧ c.
+		return m.And(r, c) == m.And(f, c)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+	checkInv(t, m)
+}
+
+func TestSimplifyIdentities(t *testing.T) {
+	m := newTestManager(t, 4)
+	x, y := m.VarRef(0), m.VarRef(1)
+	f := m.Or(m.And(x, y), m.And(x.Not(), y.Not()))
+
+	if m.Restrict(f, One) != f {
+		t.Fatal("Restrict(f, One) != f")
+	}
+	if m.Restrict(f, Zero) != f {
+		t.Fatal("Restrict(f, Zero) != f (documented convention)")
+	}
+	if m.Restrict(f, f) != One {
+		t.Fatal("Restrict(f, f) != One")
+	}
+	if m.Restrict(f, f.Not()) != Zero {
+		t.Fatal("Restrict(f, ¬f) != Zero")
+	}
+	if m.Restrict(One, f) != One || m.Restrict(Zero, f) != Zero {
+		t.Fatal("Restrict of constants changed them")
+	}
+	if m.Constrain(f, Zero) != Zero {
+		t.Fatal("Constrain(f, Zero) != Zero (documented convention)")
+	}
+	if m.Constrain(f, One) != f {
+		t.Fatal("Constrain(f, One) != f")
+	}
+	if m.Constrain(f, f) != One {
+		t.Fatal("Constrain(f, f) != One")
+	}
+}
+
+// TestRestrictShrinksDisjointSupport exercises the classic use: if the
+// care set forces part of f's support, the simplified BDD drops it.
+func TestRestrictShrinksDisjointSupport(t *testing.T) {
+	m := newTestManager(t, 6)
+	x, y, z := m.VarRef(0), m.VarRef(1), m.VarRef(2)
+	// f = (x ∧ y) ∨ (¬x ∧ z); care set forces x true.
+	f := m.Or(m.And(x, y), m.And(x.Not(), z))
+	r := m.Restrict(f, x)
+	if r != y {
+		t.Fatalf("Restrict under x=1 should reduce to y, got %s", m.String(r))
+	}
+	if m.Size(r) >= m.Size(f) {
+		t.Fatal("Restrict did not shrink the BDD")
+	}
+}
+
+// TestTheorem3 verifies the paper's Theorem 3: a ∨ b is a tautology iff
+// BDDSimplify(a, ¬b) is a tautology — for Restrict and for Constrain.
+func TestTheorem3(t *testing.T) {
+	const n = 5
+	m := newTestManager(t, n)
+	mask := tableMask(n)
+	rng := rand.New(rand.NewSource(31))
+	check := func(ta, tb uint64) {
+		if tb == mask {
+			// b is a tautology, so ¬b == Zero: the theorem's care set is
+			// empty and both operators fall back to their documented
+			// conventions. The disjunction is trivially a tautology and
+			// callers (the termination test's Step 1) catch this before
+			// ever simplifying.
+			return
+		}
+		a := truthToBDD(m, n, ta)
+		b := truthToBDD(m, n, tb)
+		want := (ta | tb) == mask
+		if got := m.Restrict(a, b.Not()) == One; got != want {
+			t.Fatalf("Theorem 3 (Restrict) fails for %#x, %#x: simplified-taut=%v, or-taut=%v",
+				ta, tb, got, want)
+		}
+		if got := m.Constrain(a, b.Not()) == One; got != want {
+			t.Fatalf("Theorem 3 (Constrain) fails for %#x, %#x", ta, tb)
+		}
+	}
+	// Random pairs plus adversarial near-tautologies.
+	for i := 0; i < 300; i++ {
+		check(rng.Uint64()&mask, rng.Uint64()&mask)
+	}
+	for i := 0; i < int(tableBits(n)); i++ {
+		ta := mask &^ (1 << uint(i)) // tautology minus one minterm
+		check(ta, 1<<uint(i))        // together exactly a tautology
+		check(ta, 0)                 // not a tautology
+		check(ta, mask)              // trivially a tautology
+	}
+}
+
+func TestSimplifierSelector(t *testing.T) {
+	m := newTestManager(t, 3)
+	x, y := m.VarRef(0), m.VarRef(1)
+	f := m.Or(m.And(x, y), m.And(x.Not(), y.Not()))
+	c := x
+	if m.Simplify(UseRestrict, f, c) != m.Restrict(f, c) {
+		t.Fatal("Simplify(UseRestrict) != Restrict")
+	}
+	if m.Simplify(UseConstrain, f, c) != m.Constrain(f, c) {
+		t.Fatal("Simplify(UseConstrain) != Constrain")
+	}
+}

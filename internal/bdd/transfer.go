@@ -1,0 +1,60 @@
+package bdd
+
+// Transfer copies BDDs between managers, optionally remapping variables.
+// Because the destination may order the (remapped) variables differently,
+// the copy rebuilds each node with a full ITE rather than structurally —
+// the standard way to evaluate an alternative static variable order (the
+// paper's ordering heuristic reference [19]) without destructive
+// reordering machinery.
+
+// Transfer copies f from src into dst. varMap gives, for each source
+// variable (indexed by source level), the corresponding destination
+// variable; a nil varMap maps each variable to the same index. All
+// variables in f's support must be declared in dst.
+func Transfer(dst, src *Manager, f Ref, varMap []Var) Ref {
+	t := &transferCtx{dst: dst, src: src, varMap: varMap, memo: make(map[Ref]Ref)}
+	return t.copy(f)
+}
+
+// TransferAll copies several roots, sharing the rebuild memo so common
+// subgraphs transfer once.
+func TransferAll(dst, src *Manager, fs []Ref, varMap []Var) []Ref {
+	t := &transferCtx{dst: dst, src: src, varMap: varMap, memo: make(map[Ref]Ref)}
+	out := make([]Ref, len(fs))
+	for i, f := range fs {
+		out[i] = t.copy(f)
+	}
+	return out
+}
+
+type transferCtx struct {
+	dst, src *Manager
+	varMap   []Var
+	memo     map[Ref]Ref
+}
+
+func (t *transferCtx) copy(f Ref) Ref {
+	if f == One {
+		return One
+	}
+	if f == Zero {
+		return Zero
+	}
+	reg := f &^ 1
+	if r, ok := t.memo[reg]; ok {
+		return r ^ (f & 1)
+	}
+	srcVar := Var(t.src.Level(reg))
+	dstVar := srcVar
+	if t.varMap != nil {
+		if int(srcVar) >= len(t.varMap) {
+			panic("bdd: Transfer varMap does not cover the support")
+		}
+		dstVar = t.varMap[srcVar]
+	}
+	lo := t.copy(t.src.Low(reg))
+	hi := t.copy(t.src.High(reg))
+	r := t.dst.ite(t.dst.VarRef(dstVar), hi, lo)
+	t.memo[reg] = r
+	return r ^ (f & 1)
+}

@@ -1,0 +1,146 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTransferIdentity(t *testing.T) {
+	const n = 5
+	src := newTestManager(t, n)
+	dst := newTestManager(t, n)
+	rng := rand.New(rand.NewSource(131))
+	for _, tbl := range randTables(rng, n, 40) {
+		f := truthToBDD(src, n, tbl)
+		g := Transfer(dst, src, f, nil)
+		if got := bddToTruth(dst, g, n); got != tbl {
+			t.Fatalf("identity transfer changed semantics: %#x -> %#x", tbl, got)
+		}
+		// Same order, same canonical structure: sizes match.
+		if dst.Size(g) != src.Size(f) {
+			t.Fatalf("identity transfer changed size: %d -> %d", src.Size(f), dst.Size(g))
+		}
+	}
+	checkInv(t, dst)
+}
+
+func TestTransferConstantsAndComplements(t *testing.T) {
+	src := newTestManager(t, 3)
+	dst := newTestManager(t, 3)
+	if Transfer(dst, src, One, nil) != One || Transfer(dst, src, Zero, nil) != Zero {
+		t.Fatal("constants did not transfer to constants")
+	}
+	f := src.Xor(src.VarRef(0), src.VarRef(2))
+	g := Transfer(dst, src, f, nil)
+	gn := Transfer(dst, src, f.Not(), nil)
+	if gn != g.Not() {
+		t.Fatal("complement not preserved across transfer")
+	}
+}
+
+// TestTransferReorder permutes variables and checks pointwise semantics
+// under the permutation.
+func TestTransferReorder(t *testing.T) {
+	const n = 5
+	src := newTestManager(t, n)
+	dst := newTestManager(t, n)
+	rng := rand.New(rand.NewSource(132))
+
+	perm := []Var{3, 0, 4, 1, 2} // src var i -> dst var perm[i]
+	for _, tbl := range randTables(rng, n, 30) {
+		f := truthToBDD(src, n, tbl)
+		g := Transfer(dst, src, f, perm)
+		// Pointwise: g under assignment a equals f under the pullback.
+		for i := 0; i < int(tableBits(n)); i++ {
+			a := make([]bool, n)
+			for j := 0; j < n; j++ {
+				a[j] = (i>>uint(j))&1 == 1
+			}
+			pulled := make([]bool, n)
+			for srcVar, dstVar := range perm {
+				pulled[srcVar] = a[dstVar]
+			}
+			if dst.Eval(g, a) != src.Eval(f, pulled) {
+				t.Fatalf("reorder transfer wrong at %v (table %#x)", a, tbl)
+			}
+		}
+	}
+	checkInv(t, dst)
+}
+
+// TestTransferOrderingMatters demonstrates the point of the facility:
+// the same function under block vs interleaved ordering has drastically
+// different sizes (the [19] datapath heuristic).
+func TestTransferOrderingMatters(t *testing.T) {
+	const w = 8
+	// Source: block order a0..a7 b0..b7; equality comparator.
+	src := New()
+	av := src.NewVars("a", w)
+	bv := src.NewVars("b", w)
+	eq := One
+	for i := 0; i < w; i++ {
+		eq = src.And(eq, src.Xnor(src.VarRef(av[i]), src.VarRef(bv[i])))
+	}
+	blockSize := src.Size(eq)
+
+	// Destination: interleaved order a0 b0 a1 b1 ...
+	dst := New()
+	dst.NewVars("x", 2*w)
+	varMap := make([]Var, 2*w)
+	for i := 0; i < w; i++ {
+		varMap[av[i]] = Var(2 * i)
+		varMap[bv[i]] = Var(2*i + 1)
+	}
+	inter := Transfer(dst, src, eq, varMap)
+	interSize := dst.Size(inter)
+
+	// Equality under block ordering is exponential (must remember all of
+	// a before seeing b); interleaved is linear.
+	if interSize*8 > blockSize {
+		t.Fatalf("expected dramatic shrink: block %d vs interleaved %d", blockSize, interSize)
+	}
+	if interSize > 3*w+2 {
+		t.Fatalf("interleaved comparator should be linear: %d nodes", interSize)
+	}
+
+	// Round trip back to block order reproduces the original size.
+	back := make([]Var, 2*w)
+	for srcVar, dstVar := range varMap {
+		back[dstVar] = Var(srcVar)
+	}
+	again := Transfer(src, dst, inter, back)
+	if again != eq {
+		t.Fatal("round-trip transfer lost the function")
+	}
+}
+
+func TestTransferAllSharesMemo(t *testing.T) {
+	const n = 4
+	src := newTestManager(t, n)
+	dst := newTestManager(t, n)
+	common := src.Xor(src.VarRef(1), src.VarRef(2))
+	f := src.And(src.VarRef(0), common)
+	g := src.Or(src.VarRef(3), common)
+	out := TransferAll(dst, src, []Ref{f, g, f.Not()}, nil)
+	if len(out) != 3 {
+		t.Fatal("wrong arity")
+	}
+	if out[2] != out[0].Not() {
+		t.Fatal("complement pair broken")
+	}
+	if dst.SharedSize(out[0], out[1]) != src.SharedSize(f, g) {
+		t.Fatal("shared structure not preserved")
+	}
+}
+
+func TestTransferUncoveredSupportPanics(t *testing.T) {
+	src := newTestManager(t, 3)
+	dst := newTestManager(t, 3)
+	f := src.VarRef(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short varMap did not panic")
+		}
+	}()
+	Transfer(dst, src, f, []Var{0})
+}

@@ -1,0 +1,163 @@
+// Package bench regenerates the paper's experimental tables. Each table
+// is a grid of (model size × verification method) cells; every cell runs
+// on a fresh BDD manager under a resource budget calibrated to play the
+// role of the paper's limits ("Exceeded 60MB", "Exceeded 40 minutes" on
+// a Sun 4/75).
+//
+// Absolute numbers are not expected to match a 1990s workstation; the
+// shape is: which methods complete each row, the relative node counts of
+// the iterates, and the per-conjunct size profiles of the implicit
+// methods.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/bdd"
+	"repro/internal/verify"
+)
+
+// Budget is the per-cell resource bound.
+type Budget struct {
+	// NodeLimit bounds live BDD nodes. At ~20 bytes per node, 3M nodes
+	// is the analog of the paper's 60MB ceiling.
+	NodeLimit int
+	// Timeout is the per-cell wall-clock bound (the paper's 40 minutes,
+	// scaled to modern hardware).
+	Timeout time.Duration
+}
+
+// DefaultBudget is the budget used by cmd/icibench.
+var DefaultBudget = Budget{NodeLimit: 3_000_000, Timeout: 60 * time.Second}
+
+// QuickBudget keeps `go test -bench` runs short.
+var QuickBudget = Budget{NodeLimit: 1_000_000, Timeout: 10 * time.Second}
+
+// Cell is one table entry: a model constructor and a method.
+type Cell struct {
+	Group  string // e.g. "8-Bit Wide Typed FIFO Buffer, depth 5"
+	Method verify.Method
+	Label  string // row label override (defaults to the method name)
+	Build  func(m *bdd.Manager) verify.Problem
+	Opt    verify.Options // method-specific options (core policy etc.)
+}
+
+// RowLabel is the label printed for this cell's row.
+func (c Cell) RowLabel() string {
+	if c.Label != "" {
+		return c.Label
+	}
+	return string(c.Method)
+}
+
+// CellResult pairs a cell with its outcome and the manager-level peak.
+type CellResult struct {
+	Cell      Cell
+	Result    verify.Result
+	PeakLive  int // peak live nodes across the whole run (incl. intermediates)
+	TotalVars int
+}
+
+// RunCell executes one cell on a fresh manager under the budget.
+func RunCell(c Cell, budget Budget) CellResult {
+	m := bdd.NewWithSize(1<<16, 20)
+	p := c.Build(m)
+	opt := c.Opt
+	if opt.NodeLimit == 0 {
+		opt.NodeLimit = budget.NodeLimit
+	}
+	if opt.Timeout == 0 {
+		opt.Timeout = budget.Timeout
+	}
+	res := verify.Run(p, c.Method, opt)
+	return CellResult{Cell: c, Result: res, PeakLive: m.PeakNodes(), TotalVars: m.NumVars()}
+}
+
+// Table is an ordered list of cells with a title.
+type Table struct {
+	Title string
+	Cells []Cell
+}
+
+// Run executes every cell and renders the paper-style rows to w.
+func (t Table) Run(w io.Writer, budget Budget) []CellResult {
+	fmt.Fprintf(w, "%s\n%s\n", t.Title, strings.Repeat("=", len(t.Title)))
+	results := make([]CellResult, 0, len(t.Cells))
+	group := ""
+	for _, c := range t.Cells {
+		if c.Group != group {
+			group = c.Group
+			fmt.Fprintf(w, "\nExample: %s\n", group)
+			fmt.Fprintf(w, "%-5s %-9s %-5s %-10s %s\n", "Meth.", "Time", "Iter", "Mem", "BDD Nodes")
+		}
+		cr := RunCell(c, budget)
+		fmt.Fprintln(w, formatRow(cr))
+		results = append(results, cr)
+	}
+	fmt.Fprintln(w)
+	return results
+}
+
+// formatRow renders one result in the paper's column layout.
+func formatRow(cr CellResult) string {
+	r := cr.Result
+	label := cr.Cell.RowLabel()
+	switch r.Outcome {
+	case verify.Exhausted:
+		return fmt.Sprintf("%-5s %s", label, exhaustedLabel(r.Why))
+	case verify.Violated:
+		return fmt.Sprintf("%-5s VIOLATED at depth %d (%s)", label, r.ViolationDepth, fmtDur(r.Elapsed))
+	}
+	return fmt.Sprintf("%-5s %-9s %-5d %-10s %d%s",
+		label, fmtDur(r.Elapsed), r.Iterations, fmtMem(r.MemBytes), r.PeakStateNodes,
+		fmtProfile(r.PeakProfile))
+}
+
+// exhaustedLabel mirrors the paper's "Exceeded 60MB." / "Exceeded 40
+// minutes." annotations.
+func exhaustedLabel(why string) string {
+	switch {
+	case strings.Contains(why, "node limit"):
+		return "Exceeded node budget."
+	case strings.Contains(why, "timeout"), strings.Contains(why, "deadline"):
+		return "Exceeded time budget."
+	default:
+		return "Exceeded " + why + "."
+	}
+}
+
+func fmtDur(d time.Duration) string {
+	secs := d.Seconds()
+	return fmt.Sprintf("%d:%05.2f", int(secs)/60, secs-float64(int(secs)/60*60))
+}
+
+func fmtMem(bytes int) string {
+	return fmt.Sprintf("%dK", (bytes+1023)/1024)
+}
+
+// fmtProfile renders the per-conjunct size breakdown: "(5 x 9 nodes)"
+// when all conjuncts have equal size, "(102, 45)" otherwise, and nothing
+// for monolithic (single-conjunct) iterates.
+func fmtProfile(profile []int) string {
+	if len(profile) < 2 {
+		return ""
+	}
+	allEqual := true
+	for _, s := range profile[1:] {
+		if s != profile[0] {
+			allEqual = false
+			break
+		}
+	}
+	if allEqual {
+		return fmt.Sprintf(" (%d x %d nodes)", len(profile), profile[0])
+	}
+	parts := make([]string, len(profile))
+	for i, s := range profile {
+		parts[i] = fmt.Sprint(s)
+	}
+	return " (" + strings.Join(parts, ", ") + ")"
+}

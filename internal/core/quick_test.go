@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bdd"
+)
+
+// Property-based invariants of the List data structure driven through
+// testing/quick. The generator derives small conjunct lists from the
+// random seed values quick supplies.
+
+func listFromSeeds(m *bdd.Manager, seeds []uint32) List {
+	cs := make([]bdd.Ref, 0, len(seeds))
+	for _, s := range seeds {
+		rng := rand.New(rand.NewSource(int64(s)))
+		cs = append(cs, randFn(m, rng))
+	}
+	return NewList(m, cs...)
+}
+
+func TestQuickListInvariants(t *testing.T) {
+	m := newM(t)
+	tt := NewTermination(m)
+	prop := func(s1, s2, s3 uint32, opt4 bool) bool {
+		seeds := []uint32{s1, s2, s3}
+		if opt4 {
+			seeds = append(seeds, s1^s2)
+		}
+		l := listFromSeeds(m, seeds)
+
+		// Normalization idempotence.
+		l2 := l.Clone()
+		l2.Normalize()
+		if !FastListsEqual(l, l2) {
+			return false
+		}
+		// The policy never changes the represented set, and the exact
+		// termination test agrees the results are equal.
+		out := SimplifyAndEvaluate(l, Options{})
+		if out.Explicit() != l.Explicit() {
+			return false
+		}
+		if !tt.ListsEqual(l, out) {
+			return false
+		}
+		// ContainsSet is monotone under conjunction with the explicit set.
+		if !l.ContainsSet(l.Explicit()) {
+			return false
+		}
+		// SharedSize is bounded by the sum of the individual sizes.
+		total := 0
+		for _, s := range l.Sizes() {
+			total += s
+		}
+		return l.SharedSize() <= total
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickImplicationAntisymmetry(t *testing.T) {
+	m := newM(t)
+	tt := NewTermination(m)
+	prop := func(s1, s2 uint32) bool {
+		x := listFromSeeds(m, []uint32{s1, s2})
+		y := listFromSeeds(m, []uint32{s2, s1})
+		// Mutual implication must coincide with explicit equality.
+		eq := tt.ListImplies(x, y) && tt.ListImplies(y, x)
+		return eq == (x.Explicit() == y.Explicit())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"repro/internal/bdd"
+)
+
+// Section III.B: the exact termination test. Deciding whether two
+// implicitly conjoined lists X and Y represent the same function, without
+// building the BDD for either conjunction:
+//
+//	X = Y          iff  X ⇒ Y and Y ⇒ X
+//	X ⇒ Y          iff  for every Y_j:  X ⇒ Y_j
+//	X ⇒ Y_j        iff  ¬X_1 ∨ … ∨ ¬X_n ∨ Y_j is a tautology
+//
+// The disjunction-tautology check proceeds through the paper's four
+// steps: constants, complement/duplicate pairs, pairwise disjunction
+// tautology (obtained for free via Theorem 3 by cross-simplifying), and
+// finally Shannon expansion on the top variable of the first BDD with
+// recursion on both cofactor lists. Exponential in the worst case;
+// verification "should favor a method that is guaranteed correct, but
+// possibly slow, over a method that is fast, but possibly wrong."
+
+// TermStats accumulates effort counters for the exact test, reported in
+// the ablation benchmarks.
+type TermStats struct {
+	TautCalls     int    // disjunction-tautology invocations (incl. recursion)
+	ShannonSplits int    // Step 4 expansions performed
+	MaxSplitDepth int    // deepest recursion reached
+	StepResolved  [3]int // calls settled by step 1/2, by step 3, or at [2] ... index: 0 = steps 1-2, 1 = step 3, 2 = step 4 leaves
+}
+
+// VarChoice selects the Shannon-expansion variable of Step 4 — the
+// heuristic knob the paper's Section V proposes experimenting with
+// ("choosing the best variable to use for cofactoring").
+type VarChoice int
+
+const (
+	// VarTopmost cofactors on the topmost variable across the list.
+	// This coincides with the paper's "top variable of the first BDD"
+	// whenever that BDD owns the top, and refines it otherwise (a BDD
+	// never branches on anything above its own top, so the topmost
+	// variable admits constant-time cofactoring).
+	VarTopmost VarChoice = iota
+
+	// VarMostCommonTop cofactors on the variable that is the top of the
+	// largest number of disjuncts, splitting the most BDDs at once.
+	// Cofactors of BDDs whose top sits elsewhere are computed by a full
+	// (memoized) cofactor traversal.
+	VarMostCommonTop
+)
+
+// Termination bundles the manager and options of the exact test.
+type Termination struct {
+	// M is the BDD manager the lists live on.
+	M *bdd.Manager
+
+	// Simplifier selects the BDDSimplify operator used by Step 3 via
+	// Theorem 3 (Restrict in the paper).
+	Simplifier bdd.Simplifier
+
+	// SkipStep3 disables the Theorem-3 cross-simplification, falling
+	// straight through to Shannon expansion (ablation).
+	SkipStep3 bool
+
+	// VarChoice selects the Step 4 cofactoring variable.
+	VarChoice VarChoice
+
+	// Stats, if non-nil, accumulates effort counters.
+	Stats *TermStats
+}
+
+// NewTermination returns the paper-default exact test on m.
+func NewTermination(m *bdd.Manager) Termination {
+	return Termination{M: m, Simplifier: bdd.UseRestrict}
+}
+
+// ListsEqual reports whether the two implicit conjunctions represent the
+// same set. This is the exact termination test the traversal uses to
+// detect convergence of the G_i sequence.
+func (tt Termination) ListsEqual(x, y List) bool {
+	return tt.ListImplies(x, y) && tt.ListImplies(y, x)
+}
+
+// ListImplies reports whether ∧x ⇒ ∧y. Since the traversal sequences are
+// monotonic, checking a single implication suffices for termination —
+// the optimization the paper mentions but leaves unexploited; the
+// traversal engines expose both modes.
+func (tt Termination) ListImplies(x, y List) bool {
+	if y.IsTrue() || x.IsFalse() {
+		return true
+	}
+	// Base disjunction: the negated conjuncts of x. Appending one
+	// conjunct of y at a time gives each X ⇒ Y_j check.
+	base := make([]bdd.Ref, 0, len(x.Conjuncts)+1)
+	for _, c := range x.Conjuncts {
+		base = append(base, c.Not())
+	}
+	for _, yj := range y.Conjuncts {
+		ds := append(append([]bdd.Ref(nil), base...), yj)
+		if !tt.DisjunctionTautology(ds) {
+			return false
+		}
+	}
+	return true
+}
+
+// DisjunctionTautology reports whether d_1 ∨ … ∨ d_k is the constant
+// True, never building the BDD of the disjunction.
+func (tt Termination) DisjunctionTautology(ds []bdd.Ref) bool {
+	return tt.disjTaut(ds, 0)
+}
+
+func (tt Termination) disjTaut(ds []bdd.Ref, depth int) bool {
+	m := tt.M
+	if tt.Stats != nil {
+		tt.Stats.TautCalls++
+		if depth > tt.Stats.MaxSplitDepth {
+			tt.Stats.MaxSplitDepth = depth
+		}
+	}
+
+	// Steps 1 and 2: constants, duplicates, complementary pairs.
+	list, verdict := filterStep12(ds)
+	if verdict != undecided {
+		if tt.Stats != nil {
+			tt.Stats.StepResolved[0]++
+		}
+		return verdict == taut
+	}
+
+	// Step 3 via Theorem 3: simplify each disjunct by the complement of
+	// every other disjunct. If some pair d_i ∨ d_j is a tautology, the
+	// simplification maps d_i to True, which the repeated Steps 1-2
+	// catch. Simplification may also shrink disjuncts or expose new
+	// duplicates, all profit.
+	//
+	// Soundness requires updating the list IN PLACE: replacing the
+	// current d_i by Simplify(d_i, ¬d_j) only alters values inside the
+	// current d_j, which the disjunction covers, so each atomic step
+	// preserves the disjunction. Simplifying every element against a
+	// snapshot of the original list is NOT sound — two overlapping
+	// disjuncts could each delegate a point to the other's stale value
+	// and both drop it. (This is the same simultaneity trap the paper's
+	// Section V discusses for multi-BDD care sets.)
+	if !tt.SkipStep3 && len(list) > 1 {
+		cur := append([]bdd.Ref(nil), list...)
+		for i := range cur {
+			f := cur[i]
+			for j := range cur {
+				if i == j {
+					continue
+				}
+				f = m.Simplify(tt.Simplifier, f, cur[j].Not())
+				if f == bdd.One {
+					break
+				}
+			}
+			cur[i] = f
+		}
+		var v2 tautVerdict
+		list, v2 = filterStep12(cur)
+		if v2 != undecided {
+			if tt.Stats != nil {
+				tt.Stats.StepResolved[1]++
+			}
+			return v2 == taut
+		}
+	}
+
+	// A single surviving non-constant disjunct cannot be a tautology.
+	if len(list) == 1 {
+		if tt.Stats != nil {
+			tt.Stats.StepResolved[2]++
+		}
+		return false
+	}
+
+	// Step 4: Shannon expansion, then recursion on both cofactor lists.
+	v := tt.chooseVar(list)
+	if tt.Stats != nil {
+		tt.Stats.ShannonSplits++
+	}
+	lo := make([]bdd.Ref, len(list))
+	hi := make([]bdd.Ref, len(list))
+	for i, d := range list {
+		if d.IsConst() || m.Level(d) > v {
+			lo[i], hi[i] = d, d // d cannot depend on a variable above its top
+		} else if m.Level(d) == v {
+			lo[i], hi[i] = m.Low(d), m.High(d)
+		} else {
+			lo[i], hi[i] = m.CofactorVar(d, bdd.Var(v))
+		}
+	}
+	return tt.disjTaut(hi, depth+1) && tt.disjTaut(lo, depth+1)
+}
+
+type tautVerdict int
+
+const (
+	undecided tautVerdict = iota
+	taut
+	notTaut
+)
+
+// filterStep12 performs Steps 1 and 2: drops False and duplicate
+// disjuncts, and decides immediately on a True disjunct or a
+// complementary pair.
+func filterStep12(ds []bdd.Ref) ([]bdd.Ref, tautVerdict) {
+	seen := make(map[bdd.Ref]struct{}, len(ds))
+	out := make([]bdd.Ref, 0, len(ds))
+	for _, d := range ds {
+		if d == bdd.One {
+			return out, taut
+		}
+		if d == bdd.Zero {
+			continue
+		}
+		if _, dup := seen[d]; dup {
+			continue
+		}
+		if _, compl := seen[d.Not()]; compl {
+			return out, taut
+		}
+		seen[d] = struct{}{}
+		out = append(out, d)
+	}
+	if len(out) == 0 {
+		return out, notTaut // empty disjunction is False
+	}
+	return out, undecided
+}
+
+// chooseVar picks the Step 4 Shannon-expansion level per VarChoice. The
+// list is guaranteed non-empty and free of constants here.
+func (tt Termination) chooseVar(list []bdd.Ref) uint32 {
+	m := tt.M
+	switch tt.VarChoice {
+	case VarMostCommonTop:
+		counts := make(map[uint32]int)
+		for _, d := range list {
+			counts[m.Level(d)]++
+		}
+		best, bestN := uint32(0), -1
+		for l, n := range counts {
+			if n > bestN || (n == bestN && l < best) {
+				best, bestN = l, n
+			}
+		}
+		return best
+	default: // VarTopmost — the paper's choice, made exact
+		v := m.Level(list[0])
+		for _, d := range list[1:] {
+			if l := m.Level(d); l < v {
+				v = l
+			}
+		}
+		return v
+	}
+}
+
+// FastListsEqual is the inexact termination test of the original CAV'93
+// method: positional Ref equality. Because single BDDs are canonical it
+// never reports equality wrongly; it can, however, fail to detect that
+// two differently-partitioned lists are equal — exactly the weakness the
+// exact test above repairs.
+func FastListsEqual(x, y List) bool {
+	if len(x.Conjuncts) != len(y.Conjuncts) {
+		return false
+	}
+	for i := range x.Conjuncts {
+		if x.Conjuncts[i] != y.Conjuncts[i] {
+			return false
+		}
+	}
+	return true
+}

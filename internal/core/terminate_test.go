@@ -1,0 +1,219 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bdd"
+)
+
+// TestDisjunctionTautologyAgainstExplicit: the decomposed check of
+// Section III.B must agree with explicitly OR-ing the list.
+func TestDisjunctionTautologyAgainstExplicit(t *testing.T) {
+	m := newM(t)
+	tt := NewTermination(m)
+	rng := rand.New(rand.NewSource(81))
+	for iter := 0; iter < 300; iter++ {
+		k := 1 + rng.Intn(5)
+		ds := make([]bdd.Ref, k)
+		for i := range ds {
+			ds[i] = randFn(m, rng)
+			if rng.Intn(4) == 0 {
+				ds[i] = ds[i].Not()
+			}
+		}
+		want := m.OrN(ds...) == bdd.One
+		if got := tt.DisjunctionTautology(ds); got != want {
+			t.Fatalf("iter %d: DisjunctionTautology = %v, explicit = %v", iter, got, want)
+		}
+	}
+}
+
+// TestDisjunctionTautologyAdversarial builds lists that defeat the easy
+// steps so Step 4 (Shannon expansion) must do the work.
+func TestDisjunctionTautologyAdversarial(t *testing.T) {
+	m := newM(t)
+	tt := NewTermination(m)
+	x := make([]bdd.Ref, tn)
+	for i := range x {
+		x[i] = m.VarRef(bdd.Var(i))
+	}
+	// Cover the space with non-overlapping cubes: x0∧x1, x0∧¬x1, ¬x0∧x2, ¬x0∧¬x2.
+	ds := []bdd.Ref{
+		m.And(x[0], x[1]),
+		m.And(x[0], x[1].Not()),
+		m.And(x[0].Not(), x[2]),
+		m.And(x[0].Not(), x[2].Not()),
+	}
+	if !tt.DisjunctionTautology(ds) {
+		t.Fatal("cube cover not recognized as tautology")
+	}
+	// Remove one cube: no longer a tautology.
+	if tt.DisjunctionTautology(ds[:3]) {
+		t.Fatal("partial cover misclassified as tautology")
+	}
+	// Parity decompositions: xor and its complement split across terms.
+	parity := m.Xor(m.Xor(x[0], x[1]), x[2])
+	ds2 := []bdd.Ref{m.And(parity, x[3]), m.And(parity, x[3].Not()), parity.Not()}
+	if !tt.DisjunctionTautology(ds2) {
+		t.Fatal("parity split not recognized as tautology")
+	}
+}
+
+func TestDisjunctionTautologyEdgeCases(t *testing.T) {
+	m := newM(t)
+	tt := NewTermination(m)
+	if tt.DisjunctionTautology(nil) {
+		t.Fatal("empty disjunction is not a tautology")
+	}
+	if tt.DisjunctionTautology([]bdd.Ref{bdd.Zero, bdd.Zero}) {
+		t.Fatal("all-false disjunction is not a tautology")
+	}
+	if !tt.DisjunctionTautology([]bdd.Ref{bdd.Zero, bdd.One}) {
+		t.Fatal("list containing One must be a tautology (Step 1)")
+	}
+	x := m.VarRef(0)
+	if !tt.DisjunctionTautology([]bdd.Ref{x, x.Not()}) {
+		t.Fatal("complement pair must be a tautology (Step 2)")
+	}
+	if tt.DisjunctionTautology([]bdd.Ref{x, x}) {
+		t.Fatal("duplicates must not fake a tautology")
+	}
+}
+
+// TestListsEqualAgainstExplicit cross-checks the exact termination test
+// against canonical single-BDD equality on random repartitionings.
+func TestListsEqualAgainstExplicit(t *testing.T) {
+	m := newM(t)
+	tt := NewTermination(m)
+	rng := rand.New(rand.NewSource(82))
+	for iter := 0; iter < 120; iter++ {
+		x := randList(m, rng, 1+rng.Intn(4))
+		y := repartition(m, rng, x)
+		wantEq := x.Explicit() == y.Explicit()
+		if got := tt.ListsEqual(x, y); got != wantEq {
+			t.Fatalf("iter %d: ListsEqual = %v, explicit equality = %v (x=%v y=%v)",
+				iter, got, wantEq, x.Conjuncts, y.Conjuncts)
+		}
+		// And against an unrelated list (almost surely different).
+		z := randList(m, rng, 1+rng.Intn(4))
+		wantEq = x.Explicit() == z.Explicit()
+		if got := tt.ListsEqual(x, z); got != wantEq {
+			t.Fatalf("iter %d: ListsEqual(x,z) = %v, explicit = %v", iter, got, wantEq)
+		}
+	}
+}
+
+// repartition produces a semantically identical list with a different
+// syntactic shape: merge random pairs, append implied conjuncts, run the
+// evaluation policy, or collapse to the monolithic BDD.
+func repartition(m *bdd.Manager, rng *rand.Rand, l List) List {
+	switch rng.Intn(4) {
+	case 0: // monolithic
+		return NewList(m, l.Explicit())
+	case 1: // append a conjunct implied by the list (weakening of explicit)
+		extra := m.Or(l.Explicit(), randFn(m, rng))
+		return NewList(m, append(append([]bdd.Ref(nil), l.Conjuncts...), extra)...)
+	case 2: // run the Section III.A policy (arbitrary restructuring)
+		return SimplifyAndEvaluate(l, Options{GrowThreshold: 1 + rng.Float64()*2})
+	default: // merge the first pair
+		if l.Len() < 2 {
+			return l.Clone()
+		}
+		merged := m.And(l.Conjuncts[0], l.Conjuncts[1])
+		rest := append([]bdd.Ref{merged}, l.Conjuncts[2:]...)
+		return NewList(m, rest...)
+	}
+}
+
+func TestListImpliesAgainstExplicit(t *testing.T) {
+	m := newM(t)
+	tt := NewTermination(m)
+	rng := rand.New(rand.NewSource(83))
+	for iter := 0; iter < 150; iter++ {
+		x := randList(m, rng, 1+rng.Intn(4))
+		y := randList(m, rng, 1+rng.Intn(4))
+		want := m.Implies(x.Explicit(), y.Explicit())
+		if got := tt.ListImplies(x, y); got != want {
+			t.Fatalf("iter %d: ListImplies = %v, want %v", iter, got, want)
+		}
+	}
+	// Monotone special cases.
+	x := randList(m, rng, 3)
+	if !tt.ListImplies(x, NewList(m)) {
+		t.Fatal("everything implies the true list")
+	}
+	if !tt.ListImplies(NewList(m, bdd.Zero), x) {
+		t.Fatal("false list implies everything")
+	}
+	// A list implies any sublist of itself.
+	sub := NewList(m, x.Conjuncts[0], x.Conjuncts[2])
+	if !tt.ListImplies(x, sub) {
+		t.Fatal("list does not imply its own sublist")
+	}
+}
+
+// TestTerminationVariants: all configurations (Constrain, SkipStep3)
+// remain exact.
+func TestTerminationVariants(t *testing.T) {
+	m := newM(t)
+	rng := rand.New(rand.NewSource(84))
+	variants := []Termination{
+		NewTermination(m),
+		{M: m, Simplifier: bdd.UseConstrain},
+		{M: m, SkipStep3: true},
+		{M: m, Simplifier: bdd.UseConstrain, SkipStep3: true},
+	}
+	for iter := 0; iter < 60; iter++ {
+		x := randList(m, rng, 1+rng.Intn(4))
+		y := repartition(m, rng, x)
+		want := x.Explicit() == y.Explicit()
+		for vi, tt2 := range variants {
+			if got := tt2.ListsEqual(x, y); got != want {
+				t.Fatalf("variant %d: ListsEqual = %v, want %v", vi, got, want)
+			}
+		}
+	}
+}
+
+func TestTermStatsAccumulate(t *testing.T) {
+	m := newM(t)
+	stats := &TermStats{}
+	tt := Termination{M: m, Stats: stats}
+	rng := rand.New(rand.NewSource(85))
+	for i := 0; i < 10; i++ {
+		x := randList(m, rng, 3)
+		y := repartition(m, rng, x)
+		tt.ListsEqual(x, y)
+	}
+	if stats.TautCalls == 0 {
+		t.Fatal("no tautology calls recorded")
+	}
+	if stats.StepResolved[0]+stats.StepResolved[1]+stats.StepResolved[2] == 0 {
+		t.Fatal("no step resolutions recorded")
+	}
+}
+
+func TestFastListsEqual(t *testing.T) {
+	m := newM(t)
+	x, y := m.VarRef(0), m.VarRef(1)
+	a := NewList(m, x, y)
+	b := NewList(m, x, y)
+	if !FastListsEqual(a, b) {
+		t.Fatal("identical lists not fast-equal")
+	}
+	// Same set, different shape: the fast test misses it (the documented
+	// weakness of the CAV'93 test), the exact test catches it.
+	c := NewList(m, m.And(x, y))
+	if FastListsEqual(a, c) {
+		t.Fatal("fast test claimed equality across repartitioning")
+	}
+	if !NewTermination(m).ListsEqual(a, c) {
+		t.Fatal("exact test missed equality across repartitioning")
+	}
+	// Different sets.
+	d := NewList(m, x)
+	if FastListsEqual(a, d) || NewTermination(m).ListsEqual(a, d) {
+		t.Fatal("unequal lists reported equal")
+	}
+}

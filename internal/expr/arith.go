@@ -1,0 +1,83 @@
+package expr
+
+import "repro/internal/bdd"
+
+// Additional word-level operators: shift-add multiplication and signed
+// (two's complement) comparisons. Not needed by the paper's models but
+// part of any credible word-level layer; multiplication in particular is
+// the canonical BDD stress test (its middle output bits are exponential
+// under every variable order).
+
+// Mul returns a × b modulo 2^width (both operands the same width).
+func Mul(a, b Word) Word {
+	a.sameWidth(b, "Mul")
+	m := a.M
+	w := a.Width()
+	acc := Const(m, 0, w)
+	for i := 0; i < w; i++ {
+		// acc += (b>>i & 1) ? (a << i) : 0
+		shifted := Shl(a, i)
+		addend := Mux(b.Bits[i], shifted, Const(m, 0, w))
+		acc = Add(acc, addend)
+	}
+	return acc
+}
+
+// MulExpand returns the full 2×width-bit product.
+func MulExpand(a, b Word) Word {
+	a.sameWidth(b, "MulExpand")
+	m := a.M
+	w := a.Width()
+	acc := Const(m, 0, 2*w)
+	ax := a.Extend(2 * w)
+	for i := 0; i < w; i++ {
+		shifted := Shl(ax, i)
+		addend := Mux(b.Bits[i], shifted, Const(m, 0, 2*w))
+		acc = Add(acc, addend)
+	}
+	return acc
+}
+
+// SignBit returns the most significant (two's complement sign) bit.
+func (w Word) SignBit() bdd.Ref { return w.Bits[w.Width()-1] }
+
+// SLt returns the signed predicate a < b (two's complement).
+func SLt(a, b Word) bdd.Ref {
+	a.sameWidth(b, "SLt")
+	m := a.M
+	sa, sb := a.SignBit(), b.SignBit()
+	// Different signs: a < b iff a negative. Same signs: unsigned order.
+	diff := m.Xor(sa, sb)
+	return m.ITE(diff, sa, Lt(a, b))
+}
+
+// SLe returns the signed predicate a <= b.
+func SLe(a, b Word) bdd.Ref { return SLt(b, a).Not() }
+
+// SGt returns the signed predicate a > b.
+func SGt(a, b Word) bdd.Ref { return SLt(b, a) }
+
+// SGe returns the signed predicate a >= b.
+func SGe(a, b Word) bdd.Ref { return SLt(a, b).Not() }
+
+// Neg returns the two's complement negation -a.
+func Neg(a Word) Word {
+	m := a.M
+	nb := make([]bdd.Ref, a.Width())
+	for i, bit := range a.Bits {
+		nb[i] = bit.Not()
+	}
+	return Inc(Word{M: m, Bits: nb})
+}
+
+// Abs returns |a| interpreting a as two's complement (Abs of the minimum
+// value wraps, as in hardware).
+func Abs(a Word) Word {
+	return Mux(a.SignBit(), Neg(a), a)
+}
+
+// Min and Max return the unsigned minimum / maximum of a and b.
+func Min(a, b Word) Word { return Mux(Lt(a, b), a, b) }
+
+// Max returns the unsigned maximum of a and b.
+func Max(a, b Word) Word { return Mux(Lt(a, b), b, a) }

@@ -1,0 +1,131 @@
+package expr
+
+import (
+	"testing"
+)
+
+// signExtend interprets a w-bit value as two's complement.
+func signExtend(v uint64, w int) int64 {
+	if v&(1<<uint(w-1)) != 0 {
+		return int64(v) - int64(1)<<uint(w)
+	}
+	return int64(v)
+}
+
+func TestMulExhaustive(t *testing.T) {
+	const w = 4
+	p := newPair(w)
+	mask := uint64(1<<w - 1)
+	prod := Mul(p.a, p.b)
+	prodX := MulExpand(p.a, p.b)
+	for va := uint64(0); va <= mask; va++ {
+		for vb := uint64(0); vb <= mask; vb++ {
+			env := p.assign(va, vb)
+			if got := prod.Value(env); got != (va*vb)&mask {
+				t.Fatalf("Mul(%d,%d) = %d", va, vb, got)
+			}
+			if got := prodX.Value(env); got != va*vb {
+				t.Fatalf("MulExpand(%d,%d) = %d", va, vb, got)
+			}
+		}
+	}
+	if prodX.Width() != 2*w {
+		t.Fatalf("MulExpand width %d", prodX.Width())
+	}
+}
+
+func TestSignedComparisonsExhaustive(t *testing.T) {
+	const w = 4
+	p := newPair(w)
+	mask := uint64(1<<w - 1)
+	slt, sle := SLt(p.a, p.b), SLe(p.a, p.b)
+	sgt, sge := SGt(p.a, p.b), SGe(p.a, p.b)
+	for va := uint64(0); va <= mask; va++ {
+		for vb := uint64(0); vb <= mask; vb++ {
+			env := p.assign(va, vb)
+			sa, sb := signExtend(va, w), signExtend(vb, w)
+			checks := []struct {
+				name string
+				got  bool
+				want bool
+			}{
+				{"SLt", p.m.Eval(slt, env), sa < sb},
+				{"SLe", p.m.Eval(sle, env), sa <= sb},
+				{"SGt", p.m.Eval(sgt, env), sa > sb},
+				{"SGe", p.m.Eval(sge, env), sa >= sb},
+			}
+			for _, c := range checks {
+				if c.got != c.want {
+					t.Fatalf("%s(%d,%d) = %v", c.name, sa, sb, c.got)
+				}
+			}
+		}
+	}
+}
+
+func TestNegAbsMinMax(t *testing.T) {
+	const w = 4
+	p := newPair(w)
+	mask := uint64(1<<w - 1)
+	neg := Neg(p.a)
+	abs := Abs(p.a)
+	mn, mx := Min(p.a, p.b), Max(p.a, p.b)
+	for va := uint64(0); va <= mask; va++ {
+		for vb := uint64(0); vb <= mask; vb++ {
+			env := p.assign(va, vb)
+			if got := neg.Value(env); got != (-va)&mask {
+				t.Fatalf("Neg(%d) = %d", va, got)
+			}
+			sa := signExtend(va, w)
+			wantAbs := sa
+			if wantAbs < 0 {
+				wantAbs = -wantAbs
+			}
+			if got := abs.Value(env); got != uint64(wantAbs)&mask {
+				t.Fatalf("Abs(%d) = %d, want %d", sa, got, uint64(wantAbs)&mask)
+			}
+			wantMin, wantMax := va, vb
+			if vb < va {
+				wantMin, wantMax = vb, va
+			}
+			if mn.Value(env) != wantMin || mx.Value(env) != wantMax {
+				t.Fatalf("Min/Max(%d,%d) = %d/%d", va, vb, mn.Value(env), mx.Value(env))
+			}
+		}
+	}
+}
+
+// TestMulAlgebra: structural identities via canonical refs.
+func TestMulAlgebra(t *testing.T) {
+	const w = 5
+	p := newPair(w)
+	ab := Mul(p.a, p.b)
+	ba := Mul(p.b, p.a)
+	for i := 0; i < w; i++ {
+		if ab.Bits[i] != ba.Bits[i] {
+			t.Fatal("multiplication not commutative bitwise")
+		}
+	}
+	// a * 1 == a; a * 0 == 0.
+	one := Const(p.m, 1, w)
+	zero := Const(p.m, 0, w)
+	a1 := Mul(p.a, one)
+	a0 := Mul(p.a, zero)
+	for i := 0; i < w; i++ {
+		if a1.Bits[i] != p.a.Bits[i] {
+			t.Fatal("a*1 != a")
+		}
+		if a0.Bits[i] != zero.Bits[i] {
+			t.Fatal("a*0 != 0")
+		}
+	}
+	// Distributivity: a*(b+c) == a*b + a*c (mod 2^w), with c = a.
+	bc := Add(p.b, p.a)
+	lhs := Mul(p.a, bc)
+	rhs := Add(Mul(p.a, p.b), Mul(p.a, p.a))
+	for i := 0; i < w; i++ {
+		if lhs.Bits[i] != rhs.Bits[i] {
+			t.Fatal("distributivity failed")
+		}
+	}
+}

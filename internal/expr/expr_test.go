@@ -1,0 +1,315 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bdd"
+)
+
+// Harness: build words over fresh variables and exhaustively (or
+// randomly) compare against uint64 arithmetic.
+
+type wordPair struct {
+	m    *bdd.Manager
+	a, b Word
+	av   []bdd.Var
+	bv   []bdd.Var
+}
+
+func newPair(w int) wordPair {
+	m := bdd.New()
+	av := m.NewVars("a", w)
+	bv := m.NewVars("b", w)
+	return wordPair{m: m, a: FromVars(m, av), b: FromVars(m, bv), av: av, bv: bv}
+}
+
+// assign builds a total assignment realizing a and b values.
+func (p wordPair) assign(va, vb uint64) []bool {
+	out := make([]bool, p.m.NumVars())
+	for i, v := range p.av {
+		out[v] = va&(1<<uint(i)) != 0
+	}
+	for i, v := range p.bv {
+		out[v] = vb&(1<<uint(i)) != 0
+	}
+	return out
+}
+
+func TestArithmeticExhaustive(t *testing.T) {
+	const w = 4
+	p := newPair(w)
+	mask := uint64(1<<w - 1)
+
+	sum := Add(p.a, p.b)
+	sumX := AddExpand(p.a, p.b)
+	diff := Sub(p.a, p.b)
+	inc := Inc(p.a)
+	dec := Dec(p.a)
+
+	for va := uint64(0); va <= mask; va++ {
+		for vb := uint64(0); vb <= mask; vb++ {
+			env := p.assign(va, vb)
+			if got := sum.Value(env); got != (va+vb)&mask {
+				t.Fatalf("Add(%d,%d) = %d", va, vb, got)
+			}
+			if got := sumX.Value(env); got != va+vb {
+				t.Fatalf("AddExpand(%d,%d) = %d", va, vb, got)
+			}
+			if got := diff.Value(env); got != (va-vb)&mask {
+				t.Fatalf("Sub(%d,%d) = %d", va, vb, got)
+			}
+			if got := inc.Value(env); got != (va+1)&mask {
+				t.Fatalf("Inc(%d) = %d", va, got)
+			}
+			if got := dec.Value(env); got != (va-1)&mask {
+				t.Fatalf("Dec(%d) = %d", va, got)
+			}
+		}
+	}
+}
+
+func TestComparisonsExhaustive(t *testing.T) {
+	const w = 4
+	p := newPair(w)
+	mask := uint64(1<<w - 1)
+
+	eq, ne := Eq(p.a, p.b), Ne(p.a, p.b)
+	lt, le := Lt(p.a, p.b), Le(p.a, p.b)
+	gt, ge := Gt(p.a, p.b), Ge(p.a, p.b)
+
+	for va := uint64(0); va <= mask; va++ {
+		for vb := uint64(0); vb <= mask; vb++ {
+			env := p.assign(va, vb)
+			checks := []struct {
+				name string
+				ref  bdd.Ref
+				want bool
+			}{
+				{"Eq", eq, va == vb}, {"Ne", ne, va != vb},
+				{"Lt", lt, va < vb}, {"Le", le, va <= vb},
+				{"Gt", gt, va > vb}, {"Ge", ge, va >= vb},
+			}
+			for _, c := range checks {
+				if got := p.m.Eval(c.ref, env); got != c.want {
+					t.Fatalf("%s(%d,%d) = %v", c.name, va, vb, got)
+				}
+			}
+		}
+	}
+}
+
+func TestEqListConjunctionIsEq(t *testing.T) {
+	p := newPair(5)
+	list := EqList(p.a, p.b)
+	if len(list) != 5 {
+		t.Fatalf("EqList length %d", len(list))
+	}
+	if p.m.AndN(list...) != Eq(p.a, p.b) {
+		t.Fatal("conjunction of EqList != Eq")
+	}
+}
+
+func TestConstAndEqConst(t *testing.T) {
+	m := bdd.New()
+	vars := m.NewVars("x", 8)
+	w := FromVars(m, vars)
+	for _, v := range []uint64{0, 1, 128, 200, 255} {
+		c := Const(m, v, 8)
+		env := make([]bool, m.NumVars())
+		if c.Value(env) != v {
+			t.Fatalf("Const(%d) reads back %d", v, c.Value(env))
+		}
+		pred := EqConst(w, v)
+		for i := range vars {
+			env[vars[i]] = v&(1<<uint(i)) != 0
+		}
+		if !m.Eval(pred, env) {
+			t.Fatalf("EqConst(%d) false at %d", v, v)
+		}
+		env[vars[0]] = !env[vars[0]]
+		if m.Eval(pred, env) {
+			t.Fatalf("EqConst(%d) true at wrong value", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized constant did not panic")
+		}
+	}()
+	Const(m, 256, 8)
+}
+
+func TestLeConstTypedRange(t *testing.T) {
+	// The FIFO model's type constraint: value <= 128 over 8 bits. The
+	// paper's per-slot conjunct is ~9 nodes; ours should be in the same
+	// small ballpark.
+	m := bdd.New()
+	vars := m.NewVars("x", 8)
+	w := FromVars(m, vars)
+	pred := LeConst(w, 128)
+	env := make([]bool, m.NumVars())
+	for v := uint64(0); v < 256; v++ {
+		for i := range vars {
+			env[vars[i]] = v&(1<<uint(i)) != 0
+		}
+		if got := m.Eval(pred, env); got != (v <= 128) {
+			t.Fatalf("LeConst(128) at %d = %v", v, got)
+		}
+	}
+	if s := m.Size(pred); s > 12 {
+		t.Fatalf("type-constraint BDD unexpectedly large: %d nodes", s)
+	}
+}
+
+func TestMuxShiftExtend(t *testing.T) {
+	const w = 4
+	p := newPair(w)
+	m := p.m
+	sel := m.NewVar("sel")
+	mux := Mux(m.VarRef(sel), p.a, p.b)
+	mask := uint64(1<<w - 1)
+
+	for va := uint64(0); va <= mask; va++ {
+		for vb := uint64(0); vb <= mask; vb++ {
+			env := p.assign(va, vb)
+			env[sel] = true
+			if mux.Value(env) != va {
+				t.Fatal("Mux(true) != a")
+			}
+			env[sel] = false
+			if mux.Value(env) != vb {
+				t.Fatal("Mux(false) != b")
+			}
+			for k := 0; k <= w; k++ {
+				if got := Shr(p.a, k).Value(env); got != va>>uint(k) {
+					t.Fatalf("Shr(%d,%d) = %d", va, k, got)
+				}
+				if got := Shl(p.a, k).Value(env); got != (va<<uint(k))&mask {
+					t.Fatalf("Shl(%d,%d) = %d", va, k, got)
+				}
+			}
+			if got := p.a.Extend(7).Value(env); got != va {
+				t.Fatal("Extend changed value")
+			}
+			if got := p.a.Truncate(2).Value(env); got != va&3 {
+				t.Fatal("Truncate wrong")
+			}
+			cat := p.a.Concat(p.b)
+			if got := cat.Value(env); got != va|vb<<w {
+				t.Fatal("Concat wrong")
+			}
+		}
+	}
+}
+
+func TestPopCount(t *testing.T) {
+	m := bdd.New()
+	vars := m.NewVars("f", 7)
+	flags := make([]bdd.Ref, len(vars))
+	for i, v := range vars {
+		flags[i] = m.VarRef(v)
+	}
+	pc := PopCount(m, flags)
+	if pc.Width() != 3 {
+		t.Fatalf("PopCount width = %d, want 3", pc.Width())
+	}
+	env := make([]bool, m.NumVars())
+	for mask := 0; mask < 1<<7; mask++ {
+		want := uint64(0)
+		for i := range vars {
+			set := mask&(1<<uint(i)) != 0
+			env[vars[i]] = set
+			if set {
+				want++
+			}
+		}
+		if got := pc.Value(env); got != want {
+			t.Fatalf("PopCount(%07b) = %d, want %d", mask, got, want)
+		}
+	}
+	// Empty flag list: the zero-width-plus-one constant 0.
+	zero := PopCount(m, nil)
+	if zero.Value(env) != 0 {
+		t.Fatal("PopCount(nil) != 0")
+	}
+}
+
+func TestWidthMismatchPanics(t *testing.T) {
+	m := bdd.New()
+	a := FromVars(m, m.NewVars("a", 3))
+	b := FromVars(m, m.NewVars("b", 4))
+	for name, f := range map[string]func(){
+		"Add": func() { Add(a, b) },
+		"Sub": func() { Sub(a, b) },
+		"Eq":  func() { Eq(a, b) },
+		"Lt":  func() { Lt(a, b) },
+		"Mux": func() { Mux(bdd.One, a, b) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s with mismatched widths did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Extend narrowing did not panic")
+			}
+		}()
+		b.Extend(2)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Truncate widening did not panic")
+			}
+		}()
+		a.Truncate(5)
+	}()
+}
+
+// TestAdderAlgebraQuick drives algebraic identities through testing/quick
+// at a width where exhaustive checking is too slow.
+func TestAdderAlgebraQuick(t *testing.T) {
+	const w = 8
+	p := newPair(w)
+	mask := uint64(1<<w - 1)
+	sum := Add(p.a, p.b)
+	sumBA := Add(p.b, p.a)
+	diff := Sub(sum, p.b)
+
+	// Structural identities hold as BDD equalities (canonical form).
+	for i := 0; i < w; i++ {
+		if sum.Bits[i] != sumBA.Bits[i] {
+			t.Fatal("addition not commutative bitwise")
+		}
+		if diff.Bits[i] != p.a.Bits[i] {
+			t.Fatal("(a+b)-b != a")
+		}
+	}
+
+	prop := func(va, vb uint64) bool {
+		va, vb = va&mask, vb&mask
+		env := p.assign(va, vb)
+		return sum.Value(env) == (va+vb)&mask
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Random double-word chains: ((a+b)-a) == b pointwise.
+	rng := rand.New(rand.NewSource(101))
+	chain := Sub(Add(p.a, p.b), p.a)
+	for i := 0; i < 50; i++ {
+		env := p.assign(rng.Uint64()&mask, rng.Uint64()&mask)
+		if chain.Value(env) != p.b.Value(env) {
+			t.Fatal("(a+b)-a != b")
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package fsm
+
+import (
+	"sort"
+
+	"repro/internal/bdd"
+)
+
+// Cone-of-influence analysis: which state bits can affect a property,
+// transitively through the next-state functions. Useful for model
+// debugging ("why is this bit in my property's cone?") and as the
+// standard pre-reduction before traversal.
+
+// ConeOfInfluence returns the state variables that can influence the
+// given functions: the least set containing the state-variable support
+// of each root and closed under "v is in the cone ⇒ the state-variable
+// support of v's next-state function is in the cone". Input variables
+// never appear in the result. The machine must be sealed.
+func (ma *Machine) ConeOfInfluence(roots ...bdd.Ref) []bdd.Var {
+	ma.mustBeSealed()
+	m := ma.M
+
+	isState := make(map[bdd.Var]bool, len(ma.cur))
+	for _, c := range ma.cur {
+		isState[c] = true
+	}
+
+	in := make(map[bdd.Var]bool)
+	var queue []bdd.Var
+	add := func(f bdd.Ref) {
+		for _, v := range m.Support(f) {
+			if isState[v] && !in[v] {
+				in[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	for _, r := range roots {
+		add(r)
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		add(ma.nextFn[v])
+	}
+
+	out := make([]bdd.Var, 0, len(in))
+	for v := range in {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,80 @@
+package fsm
+
+import (
+	"testing"
+
+	"repro/internal/bdd"
+)
+
+// TestConeOfInfluenceShiftChain: in a shift chain s0 <- in, s1 <- s0,
+// s2 <- s1, a property over s2 has cone {s0, s1, s2}; over s0 just {s0}.
+func TestConeOfInfluenceShiftChain(t *testing.T) {
+	m := bdd.New()
+	ma := New(m)
+	s := ma.NewStateBits("s", 3)
+	in := ma.NewInputBit("in")
+	ma.SetNext(s[0], m.VarRef(in))
+	ma.SetNext(s[1], m.VarRef(s[0]))
+	ma.SetNext(s[2], m.VarRef(s[1]))
+	ma.SetInit(m.AndN(m.NVarRef(s[0]), m.NVarRef(s[1]), m.NVarRef(s[2])))
+	ma.MustSeal()
+
+	want := func(got []bdd.Var, exp ...bdd.Var) {
+		t.Helper()
+		if len(got) != len(exp) {
+			t.Fatalf("cone %v, want %v", got, exp)
+		}
+		for i := range exp {
+			if got[i] != exp[i] {
+				t.Fatalf("cone %v, want %v", got, exp)
+			}
+		}
+	}
+	want(ma.ConeOfInfluence(m.VarRef(s[2])), s[0], s[1], s[2])
+	want(ma.ConeOfInfluence(m.VarRef(s[0])), s[0])
+	want(ma.ConeOfInfluence(m.VarRef(s[1])), s[0], s[1])
+	// Multiple roots: union.
+	want(ma.ConeOfInfluence(m.VarRef(s[0]), m.VarRef(s[1])), s[0], s[1])
+	// Constants have empty cones.
+	want(ma.ConeOfInfluence(bdd.One))
+}
+
+// TestConeOfInfluenceIndependentBlocks: two disconnected sub-machines
+// have disjoint cones.
+func TestConeOfInfluenceIndependentBlocks(t *testing.T) {
+	m := bdd.New()
+	ma := New(m)
+	a := ma.NewStateBit("a")
+	b := ma.NewStateBit("b")
+	ia := ma.NewInputBit("ia")
+	ib := ma.NewInputBit("ib")
+	ma.SetNext(a, m.Xor(m.VarRef(a), m.VarRef(ia)))
+	ma.SetNext(b, m.Xor(m.VarRef(b), m.VarRef(ib)))
+	ma.SetInit(m.And(m.NVarRef(a), m.NVarRef(b)))
+	ma.MustSeal()
+
+	coneA := ma.ConeOfInfluence(m.VarRef(a))
+	if len(coneA) != 1 || coneA[0] != a {
+		t.Fatalf("cone of a: %v", coneA)
+	}
+	both := ma.ConeOfInfluence(m.And(m.VarRef(a), m.VarRef(b)))
+	if len(both) != 2 {
+		t.Fatalf("joint cone: %v", both)
+	}
+}
+
+// TestConeOfInfluenceCycle: mutually-dependent bits pull each other in.
+func TestConeOfInfluenceCycle(t *testing.T) {
+	m := bdd.New()
+	ma := New(m)
+	a := ma.NewStateBit("a")
+	b := ma.NewStateBit("b")
+	ma.SetNext(a, m.VarRef(b))
+	ma.SetNext(b, m.VarRef(a))
+	ma.SetInit(m.And(m.NVarRef(a), m.NVarRef(b)))
+	ma.MustSeal()
+	cone := ma.ConeOfInfluence(m.VarRef(a))
+	if len(cone) != 2 {
+		t.Fatalf("cycle cone: %v", cone)
+	}
+}

@@ -1,0 +1,325 @@
+// Package lang provides a small textual model language so the verifier
+// can be driven without writing Go — the kind of front end the paper's
+// Ever verifier provided. Models are sequences of s-expressions:
+//
+//	; a comment
+//	(input  tick)                       ; primary inputs
+//	(state  x :init 0 :next (xor x tick))
+//	(state  y :init 0 :next x)
+//	(constraint (not tick))             ; optional environment assumption
+//	(good (nand x y))                   ; property conjuncts: one form
+//	(good ...)                          ; per conjunct = the partition
+//
+// Variable order is declaration order (interleave by declaring
+// interleaved). Boolean operators: and, or, not, xor, xnor, imp, ite,
+// nand, nor; constants: true, false. The `good` forms together are the
+// implicit conjunction the ICI methods consume.
+package lang
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bdd"
+	"repro/internal/fsm"
+	"repro/internal/verify"
+)
+
+// Parse compiles source text into a verification problem on the given
+// manager.
+func Parse(m *bdd.Manager, src, name string) (verify.Problem, error) {
+	forms, err := read(src)
+	if err != nil {
+		return verify.Problem{}, err
+	}
+
+	ma := fsm.New(m)
+	type stateDecl struct {
+		v    bdd.Var
+		init bool
+		next sexp
+	}
+	vars := make(map[string]bdd.Var)
+	var states []stateDecl
+	var constraints, goods []sexp
+
+	for _, f := range forms {
+		list, ok := f.(list)
+		if !ok || len(list) == 0 {
+			return verify.Problem{}, fmt.Errorf("lang: top-level form must be a list, got %v", f)
+		}
+		head, ok := list[0].(atom)
+		if !ok {
+			return verify.Problem{}, fmt.Errorf("lang: form head must be a symbol")
+		}
+		switch string(head) {
+		case "input":
+			for _, a := range list[1:] {
+				name, ok := a.(atom)
+				if !ok {
+					return verify.Problem{}, fmt.Errorf("lang: input names must be symbols")
+				}
+				if _, dup := vars[string(name)]; dup {
+					return verify.Problem{}, fmt.Errorf("lang: duplicate variable %q", name)
+				}
+				vars[string(name)] = ma.NewInputBit(string(name))
+			}
+		case "state":
+			if len(list) != 6 {
+				return verify.Problem{}, fmt.Errorf("lang: state form is (state NAME :init 0|1 :next EXPR)")
+			}
+			name, ok := list[1].(atom)
+			if !ok {
+				return verify.Problem{}, fmt.Errorf("lang: state name must be a symbol")
+			}
+			if _, dup := vars[string(name)]; dup {
+				return verify.Problem{}, fmt.Errorf("lang: duplicate variable %q", name)
+			}
+			if k, _ := list[2].(atom); string(k) != ":init" {
+				return verify.Problem{}, fmt.Errorf("lang: state %q: expected :init", name)
+			}
+			initAtom, _ := list[3].(atom)
+			var initVal bool
+			switch string(initAtom) {
+			case "0":
+				initVal = false
+			case "1":
+				initVal = true
+			default:
+				return verify.Problem{}, fmt.Errorf("lang: state %q: :init must be 0 or 1", name)
+			}
+			if k, _ := list[4].(atom); string(k) != ":next" {
+				return verify.Problem{}, fmt.Errorf("lang: state %q: expected :next", name)
+			}
+			v := ma.NewStateBit(string(name))
+			vars[string(name)] = v
+			states = append(states, stateDecl{v: v, init: initVal, next: list[5]})
+		case "constraint":
+			if len(list) != 2 {
+				return verify.Problem{}, fmt.Errorf("lang: constraint takes one expression")
+			}
+			constraints = append(constraints, list[1])
+		case "good":
+			if len(list) != 2 {
+				return verify.Problem{}, fmt.Errorf("lang: good takes one expression")
+			}
+			goods = append(goods, list[1])
+		default:
+			return verify.Problem{}, fmt.Errorf("lang: unknown form %q", head)
+		}
+	}
+
+	eval := func(e sexp) (bdd.Ref, error) { return evalExpr(m, vars, e) }
+
+	initSet := bdd.One
+	for _, s := range states {
+		f, err := eval(s.next)
+		if err != nil {
+			return verify.Problem{}, err
+		}
+		ma.SetNext(s.v, f)
+		lit := m.VarRef(s.v)
+		if !s.init {
+			lit = lit.Not()
+		}
+		initSet = m.And(initSet, lit)
+	}
+	ma.SetInit(initSet)
+	for _, c := range constraints {
+		f, err := eval(c)
+		if err != nil {
+			return verify.Problem{}, err
+		}
+		ma.AddInputConstraint(f)
+	}
+	if err := ma.Seal(); err != nil {
+		return verify.Problem{}, err
+	}
+
+	if len(goods) == 0 {
+		return verify.Problem{}, fmt.Errorf("lang: model has no (good ...) property")
+	}
+	goodList := make([]bdd.Ref, len(goods))
+	for i, g := range goods {
+		f, err := eval(g)
+		if err != nil {
+			return verify.Problem{}, err
+		}
+		goodList[i] = f
+	}
+
+	return verify.Problem{Machine: ma, GoodList: goodList, Name: name}, nil
+}
+
+// evalExpr compiles a boolean expression over the declared variables.
+func evalExpr(m *bdd.Manager, vars map[string]bdd.Var, e sexp) (bdd.Ref, error) {
+	switch e := e.(type) {
+	case atom:
+		switch string(e) {
+		case "true":
+			return bdd.One, nil
+		case "false":
+			return bdd.Zero, nil
+		}
+		v, ok := vars[string(e)]
+		if !ok {
+			return 0, fmt.Errorf("lang: undeclared variable %q", e)
+		}
+		return m.VarRef(v), nil
+	case list:
+		if len(e) == 0 {
+			return 0, fmt.Errorf("lang: empty expression")
+		}
+		head, ok := e[0].(atom)
+		if !ok {
+			return 0, fmt.Errorf("lang: operator must be a symbol")
+		}
+		args := make([]bdd.Ref, len(e)-1)
+		for i, a := range e[1:] {
+			f, err := evalExpr(m, vars, a)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = f
+		}
+		return applyOp(m, string(head), args)
+	}
+	return 0, fmt.Errorf("lang: malformed expression")
+}
+
+func applyOp(m *bdd.Manager, op string, args []bdd.Ref) (bdd.Ref, error) {
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("lang: %s takes %d arguments, got %d", op, n, len(args))
+		}
+		return nil
+	}
+	switch op {
+	case "and":
+		return m.AndN(args...), nil
+	case "or":
+		return m.OrN(args...), nil
+	case "not":
+		if err := need(1); err != nil {
+			return 0, err
+		}
+		return args[0].Not(), nil
+	case "xor":
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		return m.Xor(args[0], args[1]), nil
+	case "xnor", "eq":
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		return m.Xnor(args[0], args[1]), nil
+	case "imp":
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		return m.Imp(args[0], args[1]), nil
+	case "nand":
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		return m.Nand(args[0], args[1]), nil
+	case "nor":
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		return m.Nor(args[0], args[1]), nil
+	case "ite":
+		if err := need(3); err != nil {
+			return 0, err
+		}
+		return m.ITE(args[0], args[1], args[2]), nil
+	}
+	return 0, fmt.Errorf("lang: unknown operator %q", op)
+}
+
+// --- s-expression reader -------------------------------------------------
+
+type sexp interface{ isSexp() }
+
+type atom string
+
+func (atom) isSexp() {}
+
+type list []sexp
+
+func (list) isSexp() {}
+
+// read tokenizes and parses a whole source file into top-level forms.
+func read(src string) ([]sexp, error) {
+	toks, err := tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	var forms []sexp
+	pos := 0
+	for pos < len(toks) {
+		f, next, err := parseOne(toks, pos)
+		if err != nil {
+			return nil, err
+		}
+		forms = append(forms, f)
+		pos = next
+	}
+	return forms, nil
+}
+
+func tokenize(src string) ([]string, error) {
+	var toks []string
+	for i := 0; i < len(src); {
+		c := src[i]
+		switch {
+		case c == ';': // comment to end of line
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '(' || c == ')':
+			toks = append(toks, string(c))
+			i++
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		default:
+			j := i
+			for j < len(src) && !strings.ContainsRune(" \t\n\r();", rune(src[j])) {
+				j++
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+func parseOne(toks []string, pos int) (sexp, int, error) {
+	if pos >= len(toks) {
+		return nil, pos, fmt.Errorf("lang: unexpected end of input")
+	}
+	switch toks[pos] {
+	case "(":
+		var out list
+		pos++
+		for {
+			if pos >= len(toks) {
+				return nil, pos, fmt.Errorf("lang: unclosed parenthesis")
+			}
+			if toks[pos] == ")" {
+				return out, pos + 1, nil
+			}
+			elem, next, err := parseOne(toks, pos)
+			if err != nil {
+				return nil, pos, err
+			}
+			out = append(out, elem)
+			pos = next
+		}
+	case ")":
+		return nil, pos, fmt.Errorf("lang: unexpected ')'")
+	default:
+		return atom(toks[pos]), pos + 1, nil
+	}
+}

@@ -1,0 +1,143 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/verify"
+)
+
+const mutexModel = `
+; two-client arbiter: at most one grant at a time
+(input req0 req1)
+(state g0 :init 0 :next (and req0 (not g1)))
+(state g1 :init 0 :next (and req1 (not g0) (not (and req0 (not g1)))))
+(good (nand g0 g1))
+`
+
+const brokenMutex = `
+(input req0 req1)
+(state g0 :init 0 :next req0)
+(state g1 :init 0 :next req1)
+(good (nand g0 g1))
+`
+
+func TestParseAndVerifyMutex(t *testing.T) {
+	m := bdd.New()
+	p, err := Parse(m, mutexModel, "mutex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Machine.StateBits() != 2 || p.Machine.InputBits() != 2 {
+		t.Fatalf("bits: %d state, %d input", p.Machine.StateBits(), p.Machine.InputBits())
+	}
+	for _, method := range []verify.Method{verify.Forward, verify.Backward, verify.XICI} {
+		res := verify.Run(p, method, verify.Options{})
+		if res.Outcome != verify.Verified {
+			t.Fatalf("%s: %v (%s)", method, res.Outcome, res.Why)
+		}
+	}
+}
+
+func TestParsedModelViolation(t *testing.T) {
+	m := bdd.New()
+	p, err := Parse(m, brokenMutex, "broken")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := verify.Run(p, verify.XICI, verify.Options{WantTrace: true})
+	if res.Outcome != verify.Violated {
+		t.Fatalf("outcome %v", res.Outcome)
+	}
+	if err := res.Trace.Validate(p.Machine, p.GoodList); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseConstraintAndPartition(t *testing.T) {
+	src := `
+(input tick)
+(state x :init 0 :next (xor x tick))
+(state y :init 1 :next x)
+(constraint (not tick))     ; environment never ticks
+(good (not x))              ; two conjuncts: the ICI partition
+(good y)
+`
+	m := bdd.New()
+	p, err := Parse(m, src, "frozen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.GoodList) != 2 {
+		t.Fatalf("partition size %d", len(p.GoodList))
+	}
+	// With the constraint the machine is frozen at x=0... but y <- x
+	// drives y to 0, violating the second conjunct at depth 1.
+	res := verify.Run(p, verify.ICI, verify.Options{WantTrace: true})
+	if res.Outcome != verify.Violated || res.ViolationDepth != 1 {
+		t.Fatalf("outcome %v depth %d", res.Outcome, res.ViolationDepth)
+	}
+	// Remove the y conjunct: x stays 0 forever under the constraint.
+	p2, err := Parse(bdd.New(), strings.Replace(src, "(good y)", "", 1), "frozen2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := verify.Run(p2, verify.XICI, verify.Options{}); res.Outcome != verify.Verified {
+		t.Fatalf("outcome %v", res.Outcome)
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	src := `
+(input a b c)
+(state s :init 0 :next (ite a (xnor b c) (imp b (or c false (nor a b)))))
+(good true)
+(good (not false))
+`
+	p, err := Parse(bdd.New(), src, "ops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trivially true property: everything verifies instantly.
+	if res := verify.Run(p, verify.Backward, verify.Options{}); res.Outcome != verify.Verified {
+		t.Fatalf("outcome %v", res.Outcome)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unclosed":        `(input a`,
+		"stray-paren":     `)`,
+		"bad-top":         `foo`,
+		"unknown-form":    `(frob x)`,
+		"dup-var":         "(input a)\n(state a :init 0 :next a)\n(good true)",
+		"bad-init":        `(state s :init 2 :next s)`,
+		"missing-next":    `(state s :init 0)`,
+		"undeclared":      "(state s :init 0 :next q)\n(good true)",
+		"unknown-op":      "(state s :init 0 :next (wibble s))\n(good true)",
+		"no-good":         `(state s :init 0 :next s)`,
+		"arity-not":       "(state s :init 0 :next (not s s))\n(good true)",
+		"arity-ite":       "(state s :init 0 :next (ite s s))\n(good true)",
+		"constraint-args": "(state s :init 0 :next s)\n(constraint s s)\n(good true)",
+		"empty-expr":      "(state s :init 0 :next ())\n(good true)",
+	}
+	for name, src := range cases {
+		if _, err := Parse(bdd.New(), src, name); err == nil {
+			t.Fatalf("%s: expected a parse error", name)
+		}
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := "; leading comment\n(input a)\n\t(state s :init 1 :next a) ; trailing\n(good s)\n"
+	p, err := Parse(bdd.New(), src, "ws")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// s starts 1 but tracks the free input: violated at depth 1.
+	res := verify.Run(p, verify.Forward, verify.Options{})
+	if res.Outcome != verify.Violated || res.ViolationDepth != 1 {
+		t.Fatalf("outcome %v depth %d", res.Outcome, res.ViolationDepth)
+	}
+}

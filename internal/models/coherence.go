@@ -1,0 +1,188 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/bdd"
+	"repro/internal/expr"
+	"repro/internal/fsm"
+	"repro/internal/verify"
+)
+
+// CoherenceConfig parameterizes a small directory-based MSI cache
+// coherence protocol — the class of "industrial directory-based
+// cache-coherence protocols" the paper's introduction names as the
+// motivating workload for high-level BDD verification. One memory line,
+// Caches caching agents, a directory tracking sharers and ownership;
+// transactions are atomic (buffered-network effects are the business of
+// the network model, not this one).
+type CoherenceConfig struct {
+	Caches int // number of caching agents (2..8)
+
+	// Bug, if true, lets a cache upgrade from Shared to Modified
+	// without invalidating the other sharers — the classic coherence
+	// bug, violating single-writer-multiple-reader.
+	Bug bool
+}
+
+// MSI cache states (2 bits per cache).
+const (
+	msiInvalid  = 0
+	msiShared   = 1
+	msiModified = 2
+)
+
+// Protocol actions chosen nondeterministically by the environment.
+const (
+	cohIdle    = 0
+	cohRead    = 1 // requester obtains a Shared copy
+	cohUpgrade = 2 // requester obtains the Modified copy
+	cohEvict   = 3 // requester silently drops its copy
+)
+
+// NewCoherence builds the MSI protocol problem on a fresh manager.
+//
+// The safety property is the conjunction of, per cache p:
+//
+//   - SWMR: if p is Modified, every other cache is Invalid, and
+//   - directory consistency: the directory's sharer bit for p is set
+//     exactly when p holds a copy, and its dirty bit is set exactly when
+//     some cache is Modified.
+//
+// These per-cache conjuncts form the natural implicit conjunction; the
+// directory-consistency half also doubles as a functional dependency
+// (the directory state is a function of the cache states), exercising
+// the FD engine on a protocol.
+func NewCoherence(m *bdd.Manager, cfg CoherenceConfig) verify.Problem {
+	n := cfg.Caches
+	if n < 2 || n > 8 {
+		panic("models: coherence needs 2 <= Caches <= 8")
+	}
+
+	ma := fsm.New(m)
+
+	act := ma.NewInputBits("act", 2)
+	sel := ma.NewInputBits("csel", 3)
+
+	// Cache states first, then the directory (whose bits are functions
+	// of the cache states — good for both ordering and the FD engine).
+	caches := make([][]bdd.Var, n)
+	for p := 0; p < n; p++ {
+		caches[p] = ma.NewStateBits(fmt.Sprintf("c%d.s", p), 2)
+	}
+	sharer := make([]bdd.Var, n)
+	for p := 0; p < n; p++ {
+		sharer[p] = ma.NewStateBit(fmt.Sprintf("dir.sh%d", p))
+	}
+	dirty := ma.NewStateBit("dir.dirty")
+
+	action := expr.FromVars(m, act)
+	chosen := expr.FromVars(m, sel)
+	ma.AddInputConstraint(expr.Lt(chosen, expr.Const(m, uint64(n), 3)))
+
+	isRead := expr.EqConst(action, cohRead)
+	isUpgrade := expr.EqConst(action, cohUpgrade)
+	isEvict := expr.EqConst(action, cohEvict)
+
+	st := func(p int) expr.Word { return expr.FromVars(m, caches[p]) }
+	inState := func(p int, s uint64) bdd.Ref { return expr.EqConst(st(p), s) }
+
+	for p := 0; p < n; p++ {
+		selP := expr.EqConst(chosen, uint64(p))
+
+		// Read: an Invalid requester becomes Shared (a Modified owner,
+		// if any, is downgraded to Shared by the same atomic
+		// transaction). Reads by non-Invalid caches are hits: no change.
+		readHere := m.AndN(isRead, selP, inState(p, msiInvalid))
+		// A remote read downgrades a Modified copy.
+		remoteRead := m.AndN(isRead, selP.Not(), inState(p, msiModified))
+
+		// Upgrade: the requester becomes Modified; everyone else is
+		// invalidated (unless the seeded bug skips the invalidation of
+		// Shared copies).
+		upHere := m.AndN(isUpgrade, selP, inState(p, msiModified).Not())
+		remoteUp := m.AndN(isUpgrade, selP.Not())
+		if cfg.Bug {
+			// The bug: remote SHARED copies survive an upgrade. Remote
+			// Modified owners are still invalidated (otherwise even the
+			// buggy protocol's designers would have noticed).
+			remoteUp = m.And(remoteUp, inState(p, msiModified))
+		}
+
+		// Evict: the requester drops to Invalid (silently; the
+		// directory is updated in the same transaction).
+		evictHere := m.AndN(isEvict, selP, inState(p, msiInvalid).Not())
+
+		next := st(p)
+		next = expr.Mux(readHere, expr.Const(m, msiShared, 2), next)
+		next = expr.Mux(remoteRead, expr.Const(m, msiShared, 2), next)
+		next = expr.Mux(upHere, expr.Const(m, msiModified, 2), next)
+		next = expr.Mux(m.And(remoteUp, upgradeHappens(m, isUpgrade, chosen, st, n)), expr.Const(m, msiInvalid, 2), next)
+		next = expr.Mux(evictHere, expr.Const(m, msiInvalid, 2), next)
+		setWord(ma, caches[p], next)
+	}
+
+	// Directory: sharer bit p set iff cache p holds a copy after the
+	// transaction; dirty iff some cache is Modified. Built directly from
+	// the caches' next-state functions to model an atomic directory.
+	for p := 0; p < n; p++ {
+		nextSt := expr.Word{M: m, Bits: []bdd.Ref{ma.NextFn(caches[p][0]), ma.NextFn(caches[p][1])}}
+		holds := expr.EqConst(nextSt, msiInvalid).Not()
+		ma.SetNext(sharer[p], holds)
+	}
+	anyDirty := bdd.Zero
+	for p := 0; p < n; p++ {
+		nextSt := expr.Word{M: m, Bits: []bdd.Ref{ma.NextFn(caches[p][0]), ma.NextFn(caches[p][1])}}
+		anyDirty = m.Or(anyDirty, expr.EqConst(nextSt, msiModified))
+	}
+	ma.SetNext(dirty, anyDirty)
+
+	initSet := bdd.One
+	for _, v := range ma.CurVars() {
+		initSet = m.And(initSet, m.NVarRef(v))
+	}
+	ma.SetInit(initSet)
+	ma.MustSeal()
+
+	// Property conjuncts and the directory functional dependency.
+	var goodList []bdd.Ref
+	var deps []verify.Dependency
+	for p := 0; p < n; p++ {
+		othersInvalid := bdd.One
+		for q := 0; q < n; q++ {
+			if q != p {
+				othersInvalid = m.And(othersInvalid, inState(q, msiInvalid))
+			}
+		}
+		swmr := m.Imp(inState(p, msiModified), othersInvalid)
+		dirOK := m.Xnor(m.VarRef(sharer[p]), inState(p, msiInvalid).Not())
+		goodList = append(goodList, m.And(swmr, dirOK))
+		deps = append(deps, verify.Dependency{Var: sharer[p], Def: inState(p, msiInvalid).Not()})
+	}
+	anyMod := bdd.Zero
+	for p := 0; p < n; p++ {
+		anyMod = m.Or(anyMod, inState(p, msiModified))
+	}
+	goodList = append(goodList, m.Xnor(m.VarRef(dirty), anyMod))
+	deps = append(deps, verify.Dependency{Var: dirty, Def: anyMod})
+
+	return verify.Problem{
+		Machine:  ma,
+		GoodList: goodList,
+		Deps:     deps,
+		Name:     fmt.Sprintf("msi-n%d", n),
+	}
+}
+
+// upgradeHappens is the guard that the selected requester really
+// performs an upgrade this cycle (it is not already Modified), so remote
+// invalidations fire exactly when ownership changes hands.
+func upgradeHappens(m *bdd.Manager, isUpgrade bdd.Ref, chosen expr.Word, st func(int) expr.Word, n int) bdd.Ref {
+	fires := bdd.Zero
+	for p := 0; p < n; p++ {
+		selP := expr.EqConst(chosen, uint64(p))
+		notOwner := expr.EqConst(st(p), msiModified).Not()
+		fires = m.Or(fires, m.And(selP, notOwner))
+	}
+	return m.And(isUpgrade, fires)
+}

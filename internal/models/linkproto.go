@@ -1,0 +1,159 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/bdd"
+	"repro/internal/expr"
+	"repro/internal/fsm"
+	"repro/internal/verify"
+)
+
+// LinkConfig parameterizes an alternating-bit link protocol — the
+// "link-level protocols" of the paper's introduction. A sender transmits
+// data words over a lossy forward channel, tagging each frame with a
+// one-bit sequence number; the receiver acknowledges over a lossy
+// reverse channel. Loss and duplication are environment nondeterminism.
+type LinkConfig struct {
+	DataBits int // payload width
+
+	// Bug, if true, makes the receiver deliver a frame without checking
+	// the sequence bit, so a duplicated frame is delivered twice and
+	// the delivered stream diverges from the sent stream.
+	Bug bool
+}
+
+// NewLink builds the alternating-bit protocol problem on a fresh
+// manager.
+//
+// Model structure (one frame in flight, as in the classical ABP
+// treatment):
+//
+//	sender:   seqS bit, current payload register;
+//	fwd chan: full bit, frame payload, frame seq;
+//	rcv:      seqR bit (next expected), last delivered payload;
+//	rev chan: full bit, ack seq.
+//
+// Actions (environment-chosen): sender (re)sends, forward channel drops,
+// receiver consumes (delivers or discards duplicate, then acks), reverse
+// channel drops, sender consumes ack (advances and latches new nondet
+// payload), idle. The safety property: whenever the receiver has just
+// delivered, the delivered payload equals the sender's payload for that
+// sequence number, and the protocol's control invariant (the
+// seq/ack/expected bits form a coherent configuration) holds. Both
+// decompose into small conjuncts.
+func NewLink(m *bdd.Manager, cfg LinkConfig) verify.Problem {
+	w := cfg.DataBits
+	if w < 1 || w > 16 {
+		panic("models: link needs 1 <= DataBits <= 16")
+	}
+
+	ma := fsm.New(m)
+
+	act := ma.NewInputBits("act", 3)
+	freshData := ma.NewInputBits("fresh", w)
+
+	// Sender.
+	seqS := ma.NewStateBit("snd.seq")
+	payload := ma.NewStateBits("snd.data", w)
+	// Forward channel (capacity 1).
+	fFull := ma.NewStateBit("fwd.full")
+	fSeq := ma.NewStateBit("fwd.seq")
+	fData := ma.NewStateBits("fwd.data", w)
+	// Receiver.
+	seqR := ma.NewStateBit("rcv.expect")
+	delivered := ma.NewStateBits("rcv.data", w)
+	justDelivered := ma.NewStateBit("rcv.fresh")
+	// Reverse channel (capacity 1).
+	rFull := ma.NewStateBit("rev.full")
+	rSeq := ma.NewStateBit("rev.seq")
+
+	action := expr.FromVars(m, act)
+	const (
+		actSend = iota // sender (re)transmits its current frame
+		actDropF
+		actRecv // receiver consumes the frame, acks
+		actDropR
+		actAck // sender consumes a matching ack, advances
+		actIdle
+	)
+	ma.AddInputConstraint(expr.Lt(action, expr.Const(m, 6, 3)))
+
+	is := func(a uint64) bdd.Ref { return expr.EqConst(action, a) }
+
+	vSeqS, vSeqR := m.VarRef(seqS), m.VarRef(seqR)
+	vFFull, vFSeq := m.VarRef(fFull), m.VarRef(fSeq)
+	vRFull, vRSeq := m.VarRef(rFull), m.VarRef(rSeq)
+
+	send := m.And(is(actSend), vFFull.Not())
+	dropF := m.And(is(actDropF), vFFull)
+	recv := m.AndN(is(actRecv), vFFull, vRFull.Not())
+	dropR := m.And(is(actDropR), vRFull)
+	ackOK := m.AndN(is(actAck), vRFull, m.Xnor(vRSeq, vSeqS))
+	ackStale := m.AndN(is(actAck), vRFull, m.Xor(vRSeq, vSeqS))
+
+	// A received frame is new when its sequence bit matches the
+	// receiver's expectation (the buggy receiver skips the check).
+	frameNew := m.Xnor(vFSeq, vSeqR)
+	if cfg.Bug {
+		frameNew = bdd.One
+	}
+	deliver := m.And(recv, frameNew)
+
+	// Forward channel.
+	ma.SetNext(fFull, m.ITE(send, bdd.One, m.ITE(m.Or(dropF, recv), bdd.Zero, vFFull)))
+	ma.SetNext(fSeq, m.ITE(send, vSeqS, vFSeq))
+	for b := 0; b < w; b++ {
+		ma.SetNext(fData[b], m.ITE(send, m.VarRef(payload[b]), m.VarRef(fData[b])))
+	}
+
+	// Receiver: deliver new frames, always ack with the frame's seq.
+	ma.SetNext(seqR, m.ITE(deliver, vSeqR.Not(), vSeqR))
+	for b := 0; b < w; b++ {
+		ma.SetNext(delivered[b], m.ITE(deliver, m.VarRef(fData[b]), m.VarRef(delivered[b])))
+	}
+	ma.SetNext(justDelivered, deliver)
+
+	// Reverse channel.
+	ma.SetNext(rFull, m.ITE(recv, bdd.One, m.ITE(m.OrN(dropR, ackOK, ackStale), bdd.Zero, vRFull)))
+	ma.SetNext(rSeq, m.ITE(recv, vFSeq, vRSeq))
+
+	// Sender: on a matching ack, flip the sequence bit and latch a new
+	// nondeterministic payload.
+	ma.SetNext(seqS, m.ITE(ackOK, vSeqS.Not(), vSeqS))
+	for b := 0; b < w; b++ {
+		ma.SetNext(payload[b], m.ITE(ackOK, m.VarRef(freshData[b]), m.VarRef(payload[b])))
+	}
+
+	initSet := bdd.One
+	for _, v := range ma.CurVars() {
+		initSet = m.And(initSet, m.NVarRef(v))
+	}
+	ma.SetInit(initSet)
+	ma.MustSeal()
+
+	// Property conjuncts.
+	//
+	// Data integrity: a just-delivered payload is the sender's payload,
+	// provided the sender has not already advanced past it (after ackOK
+	// the sender holds the NEXT word; then seqR == seqS again).
+	// Concretely: justDelivered ∧ (seqR ≠ seqS) ⇒ delivered == payload —
+	// per-bit conjuncts.
+	senderStillOn := m.Xor(vSeqR, vSeqS) // receiver advanced, sender not yet acked past
+	var goodList []bdd.Ref
+	for b := 0; b < w; b++ {
+		eq := m.Xnor(m.VarRef(delivered[b]), m.VarRef(payload[b]))
+		goodList = append(goodList, m.Imp(m.And(m.VarRef(justDelivered), senderStillOn), eq))
+	}
+	// Control invariant: an in-flight frame carries the sender's current
+	// sequence bit or the receiver already advanced past it; an ack in
+	// flight never acknowledges a frame the sender has not sent.
+	frameCoherent := m.Imp(vFFull, m.Or(m.Xnor(vFSeq, vSeqS), m.Xor(vSeqR, vFSeq)))
+	goodList = append(goodList, frameCoherent)
+
+	return verify.Problem{
+		Machine:  ma,
+		GoodList: goodList,
+		Name:     fmt.Sprintf("abp-w%d", w),
+	}
+}

@@ -1,0 +1,201 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/bdd"
+	"repro/internal/expr"
+	"repro/internal/fsm"
+	"repro/internal/verify"
+)
+
+// FilterConfig parameterizes the moving-average filter of Section IV
+// (Figure 2): a pipelined tree of adders (the implementation) against a
+// combinational average delayed in a FIFO (the specification), both fed
+// by the same sample stream. Depth must be a power of two; the paper
+// verifies depths 4, 8 and 16 with 8-bit samples.
+type FilterConfig struct {
+	Depth       int // window size N (power of two)
+	SampleWidth int // bits per sample (paper: 8)
+
+	// Assist supplies the user-written assisting invariants of Table 1:
+	// one conjunct per adder-tree layer equating the layer's average
+	// with the corresponding entry of the specification's delay FIFO.
+	// Without Assist the property is the single output equality, the
+	// Table 2 setting in which only XICI succeeds.
+	Assist bool
+
+	// Bug, if true, wires one first-layer adder to add the same sample
+	// twice, so implementation and specification diverge.
+	Bug bool
+}
+
+// DefaultFilter returns the paper's configuration at a given depth.
+func DefaultFilter(depth int, assist bool) FilterConfig {
+	return FilterConfig{Depth: depth, SampleWidth: 8, Assist: assist}
+}
+
+// NewFilter builds the moving-average filter problem on a fresh manager.
+func NewFilter(m *bdd.Manager, cfg FilterConfig) verify.Problem {
+	n, w := cfg.Depth, cfg.SampleWidth
+	if w <= 0 {
+		panic("models: filter needs positive sample width")
+	}
+	levels := 0
+	for 1<<uint(levels) < n {
+		levels++
+	}
+	if 1<<uint(levels) != n || n < 2 {
+		panic("models: filter depth must be a power of two >= 2")
+	}
+
+	ma := fsm.New(m)
+
+	// Declare all words bit-slice interleaved: for each bit position,
+	// the sample input, then the window, the pipeline layers, and the
+	// spec FIFO. Widths differ per word; narrower words simply stop
+	// contributing slices.
+	sample := make([]bdd.Var, w)          // input
+	window := makeWordVars(n, w)          // shared sample shift register
+	layers := make([][][]bdd.Var, levels) // layers[k-1][j] = P_k[j], width w+k
+	for k := 1; k <= levels; k++ {
+		layers[k-1] = makeWordVars(n>>uint(k), w+k)
+	}
+	fifo := makeWordVars(levels, w) // fifo[j-1] = F_j, width w
+
+	maxW := w + levels
+	for b := 0; b < maxW; b++ {
+		if b < w {
+			sample[b] = ma.NewInputBit(fmt.Sprintf("smp%d", b))
+			for i := 0; i < n; i++ {
+				window[i][b] = ma.NewStateBit(fmt.Sprintf("w%d.%d", i, b))
+			}
+		}
+		for k := 1; k <= levels; k++ {
+			if b < w+k {
+				for j := range layers[k-1] {
+					layers[k-1][j][b] = ma.NewStateBit(fmt.Sprintf("p%d_%d.%d", k, j, b))
+				}
+			}
+		}
+		if b < w {
+			for j := 0; j < levels; j++ {
+				fifo[j][b] = ma.NewStateBit(fmt.Sprintf("f%d.%d", j+1, b))
+			}
+		}
+	}
+
+	words := func(vv [][]bdd.Var) []expr.Word {
+		out := make([]expr.Word, len(vv))
+		for i, v := range vv {
+			out[i] = expr.FromVars(m, v)
+		}
+		return out
+	}
+
+	winW := words(window)
+	layerW := make([][]expr.Word, levels)
+	for k := range layers {
+		layerW[k] = words(layers[k])
+	}
+	fifoW := words(fifo)
+
+	// Window shift register.
+	setWord(ma, window[0], expr.FromVars(m, sample))
+	for i := 1; i < n; i++ {
+		setWord(ma, window[i], winW[i-1])
+	}
+
+	// Pipelined adder tree: layer k registers latch sums of the previous
+	// layer's (or the window's) current contents.
+	for j := range layers[0] {
+		a, b := winW[2*j], winW[2*j+1]
+		if cfg.Bug && j == 0 {
+			b = a // seeded bug: adds the same sample twice
+		}
+		setWord(ma, layers[0][j], expr.AddExpand(a, b))
+	}
+	for k := 2; k <= levels; k++ {
+		for j := range layers[k-1] {
+			setWord(ma, layers[k-1][j], expr.AddExpand(layerW[k-2][2*j], layerW[k-2][2*j+1]))
+		}
+	}
+
+	// Specification: combinational average of the window, delayed in the
+	// FIFO to match the pipeline depth.
+	specAvg := average(sumTree(winW), levels, w)
+	setWord(ma, fifo[0], specAvg)
+	for j := 1; j < levels; j++ {
+		setWord(ma, fifo[j], fifoW[j-1])
+	}
+
+	initSet := bdd.One
+	for _, v := range ma.CurVars() {
+		initSet = m.And(initSet, m.NVarRef(v))
+	}
+	ma.SetInit(initSet)
+	ma.MustSeal()
+
+	// Output equality: the pipelined tree's (discarded-bits) average
+	// equals the fully delayed spec average.
+	implAvg := average(layerW[levels-1][0], levels, w)
+	output := expr.Eq(implAvg, fifoW[levels-1])
+
+	p := verify.Problem{
+		Machine: ma,
+		Good:    output,
+		Name:    fmt.Sprintf("mafilter-d%d-w%d", n, w),
+	}
+	if cfg.Assist {
+		// One invariant per layer: the average of layer k equals FIFO
+		// entry k (the last one is the output property itself).
+		goodList := make([]bdd.Ref, levels)
+		for k := 1; k <= levels; k++ {
+			layerSum := sumTree(layerW[k-1])
+			goodList[k-1] = expr.Eq(average(layerSum, levels, w), fifoW[k-1])
+		}
+		p.GoodList = goodList
+		p.Name += "-assist"
+	}
+	return p
+}
+
+// makeWordVars allocates the slot structure for count words of the given
+// width (variables are declared later, slice-interleaved).
+func makeWordVars(count, width int) [][]bdd.Var {
+	out := make([][]bdd.Var, count)
+	for i := range out {
+		out[i] = make([]bdd.Var, width)
+	}
+	return out
+}
+
+// setWord assigns a word-valued next-state function bit by bit.
+func setWord(ma *fsm.Machine, vars []bdd.Var, next expr.Word) {
+	if len(vars) != next.Width() {
+		panic(fmt.Sprintf("models: setWord width mismatch: %d vars, %d bits", len(vars), next.Width()))
+	}
+	for b, v := range vars {
+		ma.SetNext(v, next.Bit(b))
+	}
+}
+
+// sumTree adds a power-of-two list of equal-width words as a balanced
+// tree, growing one bit per level (full precision).
+func sumTree(ws []expr.Word) expr.Word {
+	if len(ws) == 1 {
+		return ws[0]
+	}
+	next := make([]expr.Word, len(ws)/2)
+	for i := range next {
+		next[i] = expr.AddExpand(ws[2*i], ws[2*i+1])
+	}
+	return sumTree(next)
+}
+
+// average discards the low `levels` bits of a full-precision sum (the
+// "3-bit discard" of Figure 2 for depth 8) and truncates to the sample
+// width.
+func average(sum expr.Word, levels, width int) expr.Word {
+	return expr.Shr(sum, levels).Truncate(width)
+}

@@ -1,0 +1,183 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/bdd"
+	"repro/internal/expr"
+	"repro/internal/fsm"
+	"repro/internal/verify"
+)
+
+// NetworkConfig parameterizes the processors-and-network abstraction of
+// Section IV.A: Procs processors nondeterministically issue requests into
+// a non-message-order-preserving network (modelled, as in the paper, as a
+// Procs-element array of messages, each carrying a valid bit, a req/ack
+// flag, and a 4-bit return address), a server nondeterministically
+// converts requests to acknowledgments, and each processor counts its
+// outstanding messages.
+type NetworkConfig struct {
+	Procs int // number of processors; the paper assumes Procs < 16
+
+	// Bug, if true, lets a processor consume any acknowledgment
+	// regardless of its return address, corrupting the counters.
+	Bug bool
+}
+
+// The paper fixes return addresses at 4 bits (n < 16).
+const netAddrBits = 4
+
+// netActions: the environment nondeterministically selects one of four
+// actions per cycle; disabled actions stutter.
+const (
+	actIdle    = 0
+	actIssue   = 1
+	actServe   = 2
+	actReceive = 3
+)
+
+// NewNetwork builds the network problem on a fresh manager.
+//
+// The property — each processor's counter equals the number of its
+// messages in flight — is the per-processor implicit conjunction the
+// paper's tables annotate as "(n × k nodes)". It is also exposed as the
+// functional-dependency declaration the FD baseline needs: each counter
+// is a function of the network contents.
+func NewNetwork(m *bdd.Manager, cfg NetworkConfig) verify.Problem {
+	n := cfg.Procs
+	if n < 1 || n >= 16 {
+		panic("models: network needs 1 <= Procs < 16")
+	}
+	slots := n // the paper models the network as an n-element array
+	cw := 1
+	for (1<<uint(cw))-1 < slots {
+		cw++ // counter must hold up to `slots` outstanding messages
+	}
+
+	ma := fsm.New(m)
+
+	// Inputs: action selector, processor selector, slot selector.
+	actV := ma.NewInputBits("act", 2)
+	procV := ma.NewInputBits("psel", netAddrBits)
+	slotV := ma.NewInputBits("ssel", netAddrBits)
+
+	// State, network first (the counters' defining functions read it):
+	// per slot a valid bit, an ack flag, and the return address.
+	valid := make([]bdd.Var, slots)
+	ack := make([]bdd.Var, slots)
+	addr := make([][]bdd.Var, slots)
+	for s := 0; s < slots; s++ {
+		valid[s] = ma.NewStateBit(fmt.Sprintf("net%d.v", s))
+		ack[s] = ma.NewStateBit(fmt.Sprintf("net%d.a", s))
+		addr[s] = ma.NewStateBits(fmt.Sprintf("net%d.id", s), netAddrBits)
+	}
+	counters := make([][]bdd.Var, n)
+	for p := 0; p < n; p++ {
+		counters[p] = ma.NewStateBits(fmt.Sprintf("cnt%d.", p), cw)
+	}
+
+	action := expr.FromVars(m, actV)
+	procSel := expr.FromVars(m, procV)
+	slotSel := expr.FromVars(m, slotV)
+
+	// Selectors must address real processors and slots.
+	ma.AddInputConstraint(expr.Lt(procSel, expr.Const(m, uint64(n), netAddrBits)))
+	ma.AddInputConstraint(expr.Lt(slotSel, expr.Const(m, uint64(slots), netAddrBits)))
+
+	isIssue := expr.EqConst(action, actIssue)
+	isServe := expr.EqConst(action, actServe)
+	isRecv := expr.EqConst(action, actReceive)
+
+	// Per-slot enables.
+	issueOK := bdd.Zero // chosen slot is free
+	recvOK := bdd.Zero  // chosen slot holds an ack for procSel (or, with
+	// the seeded bug, any ack at all)
+	for s := 0; s < slots; s++ {
+		selS := expr.EqConst(slotSel, uint64(s))
+		slotAddr := expr.FromVars(m, addr[s])
+		issueOK = m.Or(issueOK, m.And(selS, m.NVarRef(valid[s])))
+		match := expr.Eq(slotAddr, procSel)
+		if cfg.Bug {
+			match = bdd.One // consume anyone's acknowledgment
+		}
+		recvOK = m.Or(recvOK, m.AndN(selS, m.VarRef(valid[s]), m.VarRef(ack[s]), match))
+	}
+	doIssue := m.And(isIssue, issueOK)
+	doRecv := m.And(isRecv, recvOK)
+
+	for s := 0; s < slots; s++ {
+		selS := expr.EqConst(slotSel, uint64(s))
+		v, a := m.VarRef(valid[s]), m.VarRef(ack[s])
+		slotAddr := expr.FromVars(m, addr[s])
+		match := expr.Eq(slotAddr, procSel)
+		if cfg.Bug {
+			match = bdd.One
+		}
+
+		issueHere := m.AndN(doIssue, selS, v.Not())
+		serveHere := m.AndN(isServe, selS, v, a.Not())
+		recvHere := m.AndN(doRecv, selS, v, a, match)
+
+		ma.SetNext(valid[s], m.ITE(issueHere, bdd.One, m.ITE(recvHere, bdd.Zero, v)))
+		ma.SetNext(ack[s], m.ITE(issueHere, bdd.Zero, m.ITE(serveHere, bdd.One, a)))
+		for b := 0; b < netAddrBits; b++ {
+			ma.SetNext(addr[s][b], m.ITE(issueHere, procSel.Bit(b), m.VarRef(addr[s][b])))
+		}
+	}
+
+	for p := 0; p < n; p++ {
+		cnt := expr.FromVars(m, counters[p])
+		selP := expr.EqConst(procSel, uint64(p))
+		up := m.And(doIssue, selP)
+		down := m.And(doRecv, selP)
+		next := expr.Mux(up, expr.Inc(cnt), expr.Mux(down, expr.Dec(cnt), cnt))
+		for b := 0; b < cw; b++ {
+			ma.SetNext(counters[p][b], next.Bit(b))
+		}
+	}
+
+	initSet := bdd.One
+	for s := 0; s < slots; s++ {
+		initSet = m.AndN(initSet, m.NVarRef(valid[s]), m.NVarRef(ack[s]))
+		for b := 0; b < netAddrBits; b++ {
+			initSet = m.And(initSet, m.NVarRef(addr[s][b]))
+		}
+	}
+	for p := 0; p < n; p++ {
+		for b := 0; b < cw; b++ {
+			initSet = m.And(initSet, m.NVarRef(counters[p][b]))
+		}
+	}
+	ma.SetInit(initSet)
+	ma.MustSeal()
+
+	// Property: counter_p == |{s : valid_s ∧ addr_s == p}| for each p —
+	// one conjunct per processor, and simultaneously the functional
+	// dependency defining the counter bits from the network state.
+	goodList := make([]bdd.Ref, n)
+	var deps []verify.Dependency
+	for p := 0; p < n; p++ {
+		flags := make([]bdd.Ref, slots)
+		for s := 0; s < slots; s++ {
+			flags[s] = m.And(m.VarRef(valid[s]), expr.EqConst(expr.FromVars(m, addr[s]), uint64(p)))
+		}
+		outstanding := expr.PopCount(m, flags)
+		if outstanding.Width() < cw {
+			outstanding = outstanding.Extend(cw)
+		} else if outstanding.Width() > cw {
+			outstanding = outstanding.Truncate(cw) // cw chosen to fit; no loss
+		}
+		cnt := expr.FromVars(m, counters[p])
+		goodList[p] = expr.Eq(cnt, outstanding)
+		for b := 0; b < cw; b++ {
+			deps = append(deps, verify.Dependency{Var: counters[p][b], Def: outstanding.Bit(b)})
+		}
+	}
+
+	return verify.Problem{
+		Machine:  ma,
+		GoodList: goodList,
+		Deps:     deps,
+		Name:     fmt.Sprintf("network-n%d", n),
+	}
+}

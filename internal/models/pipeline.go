@@ -1,0 +1,240 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/bdd"
+	"repro/internal/expr"
+	"repro/internal/fsm"
+	"repro/internal/verify"
+)
+
+// PipelineConfig parameterizes the pipelined-processor equivalence
+// problem of Section IV.B (Figure 3): a 3-stage pipeline (fetch,
+// decode/execute, writeback) with a register bypass path and a branch
+// stall, verified against a non-pipelined specification executing the
+// same nondeterministic instruction stream, delayed two cycles to stay
+// in sync. The property is that the two register files always agree.
+type PipelineConfig struct {
+	Regs  int // number of registers R (power of two; paper: 2 and 4)
+	Width int // datapath width B in bits (paper: 1, 2, 3)
+
+	// Assist supplies the property as a per-register partition (a user
+	// assist in the ICI sense; the paper's hand-crafted assisting
+	// invariants were stronger still — see EXPERIMENTS.md).
+	Assist bool
+
+	// Bug, if true, removes the register bypass on the source operand,
+	// so back-to-back dependent instructions read stale values.
+	Bug bool
+
+	// SeparateRegFiles declares the two register files as separate
+	// blocks (all implementation registers, then all specification
+	// registers) instead of interleaving them bit by bit. This is the
+	// structurally naive ordering a frontend would produce from two
+	// independently-declared processors, and it makes the register-file
+	// equality — and every iterate correlating the two files — far more
+	// expensive, reproducing the regime of the paper's Table 3. The
+	// interleaved default is the hand-optimized ordering.
+	SeparateRegFiles bool
+}
+
+// The eight opcodes of the paper's instruction set.
+const (
+	opNOP = 0 // no operation
+	opBR  = 1 // branch: no register effect, but stalls the pipeline
+	opLD  = 2 // rd <- immediate
+	opST  = 3 // store: no-op (memory is abstracted away)
+	opADD = 4 // rd <- rd + rs
+	opSUB = 5 // rd <- rd - rs
+	opMOV = 6 // rd <- rs
+	opSR  = 7 // rd <- rd >> 1
+)
+
+// DefaultPipeline returns the paper's configuration.
+func DefaultPipeline(regs, width int) PipelineConfig {
+	return PipelineConfig{Regs: regs, Width: width}
+}
+
+// NewPipeline builds the processor-equivalence problem on a fresh
+// manager.
+//
+// Instruction encoding (LSB first): 3-bit opcode, source register,
+// destination register, B-bit immediate.
+func NewPipeline(m *bdd.Manager, cfg PipelineConfig) verify.Problem {
+	r, bw := cfg.Regs, cfg.Width
+	rb := 0
+	for 1<<uint(rb) < r {
+		rb++
+	}
+	if 1<<uint(rb) != r || r < 2 {
+		panic("models: pipeline needs a power-of-two register count >= 2")
+	}
+	if bw < 1 {
+		panic("models: pipeline needs a positive datapath width")
+	}
+	ilen := 3 + 2*rb + bw
+
+	ma := fsm.New(m)
+
+	// Instruction stream input, then the instruction-holding registers
+	// interleaved: the fetched instruction (pipeline) and the first delay
+	// register (spec) always carry equal values, so adjacent ordering
+	// keeps their relation small.
+	instrV := make([]bdd.Var, ilen)
+	frV := make([]bdd.Var, ilen) // pipeline: decode/execute stage instr
+	d1V := make([]bdd.Var, ilen) // spec: first delay register
+	d2V := make([]bdd.Var, ilen) // spec: second delay register
+	for b := 0; b < ilen; b++ {
+		instrV[b] = ma.NewInputBit(fmt.Sprintf("ins%d", b))
+		frV[b] = ma.NewStateBit(fmt.Sprintf("fr%d", b))
+		d1V[b] = ma.NewStateBit(fmt.Sprintf("d1_%d", b))
+	}
+	for b := 0; b < ilen; b++ {
+		d2V[b] = ma.NewStateBit(fmt.Sprintf("d2_%d", b))
+	}
+
+	// Execute/writeback latch: result, destination, write enable, and
+	// the branch-in-writeback marker driving the stall.
+	exResV := ma.NewStateBits("exr.", bw)
+	exDstV := ma.NewStateBits("exd.", rb)
+	exWE := ma.NewStateBit("exw")
+	brWB := ma.NewStateBit("brw")
+
+	// Register files: interleaved implementation/specification per bit
+	// (default) or as two separate blocks (SeparateRegFiles).
+	implRF := makeWordVars(r, bw)
+	specRF := makeWordVars(r, bw)
+	if cfg.SeparateRegFiles {
+		for i := 0; i < r; i++ {
+			for b := 0; b < bw; b++ {
+				implRF[i][b] = ma.NewStateBit(fmt.Sprintf("ri%d.%d", i, b))
+			}
+		}
+		for i := 0; i < r; i++ {
+			for b := 0; b < bw; b++ {
+				specRF[i][b] = ma.NewStateBit(fmt.Sprintf("rs%d.%d", i, b))
+			}
+		}
+	} else {
+		for i := 0; i < r; i++ {
+			for b := 0; b < bw; b++ {
+				implRF[i][b] = ma.NewStateBit(fmt.Sprintf("ri%d.%d", i, b))
+				specRF[i][b] = ma.NewStateBit(fmt.Sprintf("rs%d.%d", i, b))
+			}
+		}
+	}
+
+	type decoded struct {
+		op       expr.Word
+		src, dst expr.Word
+		imm      expr.Word
+	}
+	decode := func(vars []bdd.Var) decoded {
+		w := expr.FromVars(m, vars)
+		return decoded{
+			op:  w.Truncate(3),
+			src: expr.Word{M: m, Bits: w.Bits[3 : 3+rb]},
+			dst: expr.Word{M: m, Bits: w.Bits[3+rb : 3+2*rb]},
+			imm: expr.Word{M: m, Bits: w.Bits[3+2*rb:]},
+		}
+	}
+	isOp := func(d decoded, code uint64) bdd.Ref { return expr.EqConst(d.op, code) }
+
+	fr := decode(frV)
+	d2 := decode(d2V)
+
+	// Branch stall: while a BR sits in decode/execute or writeback, the
+	// fetch unit receives NOPs (and the spec's intake sees the same
+	// NOPs, stalling it identically).
+	stall := m.Or(isOp(fr, opBR), m.VarRef(brWB))
+	fetched := expr.Mux(stall, expr.Const(m, opNOP, ilen), expr.FromVars(m, instrV))
+	setWord(ma, frV, fetched)
+	setWord(ma, d1V, fetched)
+	setWord(ma, d2V, expr.FromVars(m, d1V))
+
+	// Execute stage (pipeline): operand fetch with bypass from the
+	// writeback latch, then compute.
+	exRes := expr.FromVars(m, exResV)
+	exDst := expr.FromVars(m, exDstV)
+	weNow := m.VarRef(exWE)
+
+	readImpl := func(sel expr.Word, bypass bool) expr.Word {
+		val := expr.Const(m, 0, bw)
+		for i := r - 1; i >= 0; i-- {
+			val = expr.Mux(expr.EqConst(sel, uint64(i)), expr.FromVars(m, implRF[i]), val)
+		}
+		if bypass {
+			hit := m.And(weNow, expr.Eq(exDst, sel))
+			val = expr.Mux(hit, exRes, val)
+		}
+		return val
+	}
+	rs := readImpl(fr.src, !cfg.Bug) // seeded bug: no bypass on rs
+	rd := readImpl(fr.dst, true)
+
+	execute := func(d decoded, rsV, rdV expr.Word) (expr.Word, bdd.Ref) {
+		res := expr.Const(m, 0, bw)
+		res = expr.Mux(isOp(d, opLD), d.imm, res)
+		res = expr.Mux(isOp(d, opADD), expr.Add(rdV, rsV), res)
+		res = expr.Mux(isOp(d, opSUB), expr.Sub(rdV, rsV), res)
+		res = expr.Mux(isOp(d, opMOV), rsV, res)
+		res = expr.Mux(isOp(d, opSR), expr.Shr(rdV, 1), res)
+		we := m.OrN(isOp(d, opLD), isOp(d, opADD), isOp(d, opSUB), isOp(d, opMOV), isOp(d, opSR))
+		return res, we
+	}
+
+	resNow, weNext := execute(fr, rs, rd)
+	setWord(ma, exResV, resNow)
+	setWord(ma, exDstV, fr.dst)
+	ma.SetNext(exWE, weNext)
+	ma.SetNext(brWB, isOp(fr, opBR))
+
+	// Writeback stage: the latch contents retire into the register file.
+	for i := 0; i < r; i++ {
+		hit := m.AndN(weNow, expr.EqConst(exDst, uint64(i)))
+		setWord(ma, implRF[i], expr.Mux(hit, exRes, expr.FromVars(m, implRF[i])))
+	}
+
+	// Specification: fetch-execute-writeback in one cycle on D2.
+	specRd := expr.Const(m, 0, bw)
+	specRs := expr.Const(m, 0, bw)
+	for i := r - 1; i >= 0; i-- {
+		w := expr.FromVars(m, specRF[i])
+		specRs = expr.Mux(expr.EqConst(d2.src, uint64(i)), w, specRs)
+		specRd = expr.Mux(expr.EqConst(d2.dst, uint64(i)), w, specRd)
+	}
+	specRes, specWE := execute(d2, specRs, specRd)
+	for i := 0; i < r; i++ {
+		hit := m.AndN(specWE, expr.EqConst(d2.dst, uint64(i)))
+		setWord(ma, specRF[i], expr.Mux(hit, specRes, expr.FromVars(m, specRF[i])))
+	}
+
+	// Everything starts zeroed: NOPs in flight, empty latch, equal
+	// register files.
+	initSet := bdd.One
+	for _, v := range ma.CurVars() {
+		initSet = m.And(initSet, m.NVarRef(v))
+	}
+	ma.SetInit(initSet)
+	ma.MustSeal()
+
+	// Property: the register files always agree.
+	perReg := make([]bdd.Ref, r)
+	good := bdd.One
+	for i := 0; i < r; i++ {
+		perReg[i] = expr.Eq(expr.FromVars(m, implRF[i]), expr.FromVars(m, specRF[i]))
+		good = m.And(good, perReg[i])
+	}
+
+	p := verify.Problem{
+		Machine: ma,
+		Good:    good,
+		Name:    fmt.Sprintf("pipeline-r%d-b%d", r, bw),
+	}
+	if cfg.Assist {
+		p.GoodList = perReg
+		p.Name += "-assist"
+	}
+	return p
+}

@@ -1,0 +1,63 @@
+package verify
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// runBackward is the conventional backward traversal of Section II.B:
+// G_0 = G, G_{i+1} = G_0 ∧ BackImage(τ, G_i); a violation is S ⊄ G_i,
+// and convergence of the G_i sequence means the property holds. The
+// whole point of the implicit methods is that this engine must build the
+// monolithic BDD for G and each G_i.
+func runBackward(p Problem, opt Options) Result {
+	ma := p.Machine
+	m := ma.M
+	ctx := newRunCtx(p, opt)
+	defer ctx.release()
+
+	good := ctx.protect(p.good())
+	init := ma.Init()
+	start := time.Now()
+	expired := deadline(opt, start)
+
+	g := good
+	layers := []core.List{core.NewList(m, g)}
+	peak := m.Size(g)
+
+	for i := 0; ; i++ {
+		if !m.Implies(init, g) {
+			res := Result{
+				Outcome:        Violated,
+				Iterations:     i,
+				ViolationDepth: i,
+				PeakStateNodes: peak,
+			}
+			if opt.WantTrace {
+				res.Trace = traceFromLayers(ma, layers, init)
+			}
+			return res
+		}
+		if i >= opt.maxIter() {
+			return Result{Outcome: Exhausted, Iterations: i, PeakStateNodes: peak,
+				Why: fmt.Sprintf("iteration bound %d reached", opt.maxIter())}
+		}
+		if expired() {
+			return Result{Outcome: Exhausted, Iterations: i, PeakStateNodes: peak,
+				Why: fmt.Sprintf("timeout %v exceeded", opt.Timeout)}
+		}
+
+		gn := ctx.protect(m.And(good, ma.BackImage(g)))
+		if s := m.Size(gn); s > peak {
+			peak = s
+		}
+		if gn == g {
+			return Result{Outcome: Verified, Iterations: i + 1, PeakStateNodes: peak}
+		}
+		g = gn
+		layers = append(layers, core.NewList(m, g))
+		ctx.maybeGC(i)
+	}
+}

@@ -1,0 +1,61 @@
+package verify
+
+import (
+	"repro/internal/bdd"
+)
+
+// runCtx carries the GC bookkeeping shared by all engines: every value
+// that must survive a collection is registered as a root, and
+// collections happen only at iteration boundaries (the bdd package's GC
+// contract).
+type runCtx struct {
+	m     *bdd.Manager
+	opt   Options
+	roots []bdd.Ref
+}
+
+func newRunCtx(p Problem, opt Options) *runCtx {
+	ma := p.Machine
+	c := &runCtx{m: ma.M, opt: opt}
+	if opt.GCEvery > 0 {
+		// The machine's functions and the problem's property/dependency
+		// BDDs must survive every collection — including collections in
+		// LATER runs on the same manager, since the caller still holds
+		// these Refs. They become permanent roots (counts only grow and
+		// are never released) once GC is in play.
+		ma.Protect()
+		c.m.Protect(p.Good)
+		for _, g := range p.GoodList {
+			c.m.Protect(g)
+		}
+		for _, d := range p.Deps {
+			c.m.Protect(d.Def)
+		}
+	}
+	return c
+}
+
+// protect registers a root (no-op when GC is disabled) and returns it.
+func (c *runCtx) protect(r bdd.Ref) bdd.Ref {
+	if c.opt.GCEvery > 0 {
+		c.m.Protect(r)
+		c.roots = append(c.roots, r)
+	}
+	return r
+}
+
+// release drops all roots registered so far (called when the iterates
+// they protect are superseded or the run ends).
+func (c *runCtx) release() {
+	for _, r := range c.roots {
+		c.m.Unprotect(r)
+	}
+	c.roots = c.roots[:0]
+}
+
+// maybeGC runs a collection at the configured cadence.
+func (c *runCtx) maybeGC(iteration int) {
+	if c.opt.GCEvery > 0 && iteration > 0 && iteration%c.opt.GCEvery == 0 {
+		c.m.GC()
+	}
+}

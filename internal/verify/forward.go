@@ -1,0 +1,94 @@
+package verify
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bdd"
+)
+
+// runForward is the conventional forward traversal of Section II.B:
+// R_0 = S, R_{i+1} = R_0 ∨ Image(τ, R_i); a violation is R_i ⊄ G, and
+// convergence of the R_i sequence means the property holds.
+func runForward(p Problem, opt Options) Result {
+	ma := p.Machine
+	m := ma.M
+	ctx := newRunCtx(p, opt)
+	defer ctx.release()
+
+	good := ctx.protect(p.good())
+	start := time.Now()
+	expired := deadline(opt, start)
+
+	r := ctx.protect(ma.Init())
+	rings := []bdd.Ref{r}
+	peak := m.Size(r)
+
+	for i := 0; ; i++ {
+		if !m.Implies(r, good) {
+			res := Result{
+				Outcome:        Violated,
+				Iterations:     i,
+				ViolationDepth: i,
+				PeakStateNodes: peak,
+			}
+			if opt.WantTrace {
+				res.Trace = traceFromRings(ma, rings, good.Not())
+			}
+			return res
+		}
+		if i >= opt.maxIter() {
+			return Result{Outcome: Exhausted, Iterations: i, PeakStateNodes: peak,
+				Why: fmt.Sprintf("iteration bound %d reached", opt.maxIter())}
+		}
+		if expired() {
+			return Result{Outcome: Exhausted, Iterations: i, PeakStateNodes: peak,
+				Why: fmt.Sprintf("timeout %v exceeded", opt.Timeout)}
+		}
+
+		rn := ctx.protect(m.Or(r, ma.Image(r)))
+		if s := m.Size(rn); s > peak {
+			peak = s
+		}
+		if rn == r {
+			return Result{Outcome: Verified, Iterations: i + 1, PeakStateNodes: peak}
+		}
+		r = rn
+		rings = append(rings, r)
+		ctx.maybeGC(i)
+	}
+}
+
+// ReachableStates computes the reachable-state set by forward traversal,
+// without checking any property — a utility for model debugging and for
+// cross-validating engines in tests.
+func ReachableStates(p Problem, opt Options) (bdd.Ref, int, error) {
+	ma := p.Machine
+	m := ma.M
+	prevLimit := m.NodeLimit()
+	if opt.NodeLimit > 0 {
+		m.SetNodeLimit(opt.NodeLimit)
+	}
+	defer m.SetNodeLimit(prevLimit)
+
+	var reach bdd.Ref
+	var iters int
+	err := bdd.Guard(func() {
+		r := ma.Init()
+		for i := 0; ; i++ {
+			if i >= opt.maxIter() {
+				panic(&bdd.LimitError{Limit: opt.maxIter(), Live: m.NumNodes()})
+			}
+			rn := m.Or(r, ma.Image(r))
+			if rn == r {
+				reach, iters = r, i
+				return
+			}
+			r = rn
+		}
+	})
+	if err != nil {
+		return bdd.Zero, 0, err
+	}
+	return reach, iters, nil
+}

@@ -1,0 +1,91 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/core"
+)
+
+func TestForwardIDVerifiesTypedFIFO(t *testing.T) {
+	p, _ := tinyFIFO(t, 3, 3, 5, false)
+	res := Run(p, ForwardID, Options{})
+	if res.Outcome != Verified {
+		t.Fatalf("outcome %v (%s)", res.Outcome, res.Why)
+	}
+	// Agreement with plain forward traversal.
+	fwd := Run(p, Forward, Options{})
+	if fwd.Outcome != Verified {
+		t.Fatal("baseline broken")
+	}
+	if res.Iterations != fwd.Iterations {
+		t.Fatalf("iteration counts differ: FwdID %d vs Fwd %d", res.Iterations, fwd.Iterations)
+	}
+}
+
+func TestForwardIDCatchesBugWithTrace(t *testing.T) {
+	p, ma := tinyFIFO(t, 3, 3, 5, true)
+	res := Run(p, ForwardID, Options{WantTrace: true})
+	if res.Outcome != Violated {
+		t.Fatalf("outcome %v", res.Outcome)
+	}
+	if res.Trace == nil {
+		t.Fatal("no trace")
+	}
+	if err := res.Trace.Validate(ma, p.goodList()); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	fwd := Run(p, Forward, Options{})
+	if res.ViolationDepth != fwd.ViolationDepth {
+		t.Fatalf("depth %d differs from Forward's %d", res.ViolationDepth, fwd.ViolationDepth)
+	}
+}
+
+// TestForwardIDAgreesOnRandomMachines is the dual-engine cross-check.
+func TestForwardIDAgreesOnRandomMachines(t *testing.T) {
+	rng := rand.New(rand.NewSource(779))
+	for iter := 0; iter < 40; iter++ {
+		p, ma := randMachine(t, rng, 2+rng.Intn(4), 1+rng.Intn(2))
+		want := Run(p, Forward, Options{})
+		got := Run(p, ForwardID, Options{WantTrace: true})
+		if got.Outcome != want.Outcome {
+			t.Fatalf("iter %d: FwdID %v, Fwd %v", iter, got.Outcome, want.Outcome)
+		}
+		if got.Outcome == Violated {
+			if got.ViolationDepth != want.ViolationDepth {
+				t.Fatalf("iter %d: depths %d vs %d", iter, got.ViolationDepth, want.ViolationDepth)
+			}
+			if err := got.Trace.Validate(ma, []bdd.Ref{p.Good}); err != nil {
+				t.Fatalf("iter %d: trace invalid: %v", iter, err)
+			}
+		}
+	}
+}
+
+// TestForwardIDTerminationModes: the dual convergence test in all modes.
+func TestForwardIDTerminationModes(t *testing.T) {
+	for _, mode := range []TerminationMode{TermExact, TermImplication, TermFast} {
+		p, _ := tinyFIFO(t, 2, 3, 2, false)
+		res := Run(p, ForwardID, Options{Termination: mode, MaxIterations: 200})
+		if res.Outcome == Violated {
+			t.Fatalf("mode %d: false violation", mode)
+		}
+		if res.Outcome == Exhausted && mode != TermFast {
+			t.Fatalf("mode %d: failed to converge (%s)", mode, res.Why)
+		}
+	}
+}
+
+// TestForwardIDKeepsDisjunctionImplicit: with merging disabled the ring
+// stays a genuine multi-disjunct list.
+func TestForwardIDKeepsDisjunctionImplicit(t *testing.T) {
+	p, _ := tinyFIFO(t, 3, 4, 5, false)
+	res := Run(p, ForwardID, Options{Core: core.Options{SkipEvaluate: true}})
+	if res.Outcome != Verified {
+		t.Fatalf("outcome %v (%s)", res.Outcome, res.Why)
+	}
+	if len(res.PeakProfile) < 2 {
+		t.Fatalf("disjunction collapsed: profile %v", res.PeakProfile)
+	}
+}

@@ -1,0 +1,70 @@
+package verify
+
+import (
+	"repro/internal/bdd"
+	"repro/internal/core"
+)
+
+// Induction is the 1-step induction engine: a property P is verified if
+// it holds initially and is closed under the transition relation
+// (P ⊆ BackImage(τ, P)). Induction is sound but incomplete — a true
+// property need not be inductive — so the engine has three outcomes:
+//
+//	Verified:  P is inductive (no traversal needed at all);
+//	Violated:  an initial state breaks P (depth-0 counterexample);
+//	Exhausted: P holds initially but is not inductive; a traversal
+//	           engine is needed to decide it. Why explains this.
+//
+// With a partitioned property the inductive-step check decomposes per
+// conjunct via Theorem 1 — the cheapest possible use of implicitly
+// conjoined invariants: assisting invariants that make P inductive let
+// this engine verify in a single image computation, the limiting case
+// of the paper's iteration counts of 1.
+const Induction Method = "Induction"
+
+func runInduction(p Problem, opt Options) Result {
+	ma := p.Machine
+	m := ma.M
+	ctx := newRunCtx(p, opt)
+	defer ctx.release()
+
+	goods := p.goodList()
+	for _, g := range goods {
+		ctx.protect(g)
+	}
+	init := ma.Init()
+
+	// Base case.
+	if vi := violatingConjunct(m, init, goods); vi >= 0 {
+		res := Result{Outcome: Violated, Iterations: 0, ViolationDepth: 0}
+		if opt.WantTrace {
+			layer := core.List{M: m, Conjuncts: goods}
+			res.Trace = traceFromLayers(ma, []core.List{layer}, init)
+		}
+		return res
+	}
+
+	// Inductive step, per conjunct: P ∧ ¬BackImage(P_j) must be empty
+	// for every conjunct P_j (P as an implicit conjunction never gets
+	// built). The cross-simplified conjuncts keep the BackImages small.
+	simplified := core.CrossSimplify(core.List{M: m, Conjuncts: append([]bdd.Ref(nil), goods...)},
+		opt.Core.Simplifier)
+	peak, profile := listStats(m, simplified.Conjuncts)
+
+	for _, pj := range simplified.Conjuncts {
+		back := ma.BackImage(pj)
+		// Check P ⇒ back without conjoining P: find a conjunct-wise
+		// witness via the implicit test.
+		term := core.Termination{M: m, Simplifier: opt.Core.Simplifier, VarChoice: opt.TermVarChoice}
+		if !term.ListImplies(simplified, core.NewList(m, back)) {
+			return Result{
+				Outcome:        Exhausted,
+				Iterations:     1,
+				PeakStateNodes: peak,
+				PeakProfile:    profile,
+				Why:            "property is not inductive; use a traversal engine (Fwd/Bkwd/XICI)",
+			}
+		}
+	}
+	return Result{Outcome: Verified, Iterations: 1, PeakStateNodes: peak, PeakProfile: profile}
+}

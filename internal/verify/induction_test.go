@@ -1,0 +1,92 @@
+package verify
+
+import (
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/fsm"
+)
+
+// The typed FIFO's per-slot property is inductive (each slot constraint's
+// backimage is the previous slot's constraint, implied by the list), so
+// Induction verifies it in one image computation.
+func TestInductionVerifiesFIFO(t *testing.T) {
+	p, _ := tinyFIFO(t, 3, 4, 5, false)
+	res := Run(p, Induction, Options{})
+	if res.Outcome != Verified {
+		t.Fatalf("outcome %v (%s)", res.Outcome, res.Why)
+	}
+	if res.Iterations != 1 {
+		t.Fatalf("induction took %d iterations", res.Iterations)
+	}
+}
+
+func TestInductionCatchesBadInit(t *testing.T) {
+	m := bdd.New()
+	ma := fsm.New(m)
+	s := ma.NewStateBit("s")
+	ma.SetNext(s, m.VarRef(s))
+	ma.SetInit(m.VarRef(s)) // starts at s=1
+	ma.MustSeal()
+	p := Problem{Machine: ma, Good: m.NVarRef(s), Name: "badinit"}
+	res := Run(p, Induction, Options{WantTrace: true})
+	if res.Outcome != Violated || res.ViolationDepth != 0 {
+		t.Fatalf("outcome %v depth %d", res.Outcome, res.ViolationDepth)
+	}
+	if res.Trace == nil || len(res.Trace.States) != 1 {
+		t.Fatal("depth-0 trace missing or malformed")
+	}
+	if err := res.Trace.Validate(ma, []bdd.Ref{p.Good}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInductionInconclusive: a true-but-not-inductive property. A 2-bit
+// counter that wraps at 2 (states 0,1) with property "counter != 3":
+// true on reachable states but not inductive, because state 2 (unreachable,
+// satisfies the property) steps to 3.
+func TestInductionInconclusive(t *testing.T) {
+	m := bdd.New()
+	ma := fsm.New(m)
+	b0 := ma.NewStateBit("b0")
+	b1 := ma.NewStateBit("b1")
+	// next = (cur == 1) ? 0 : cur+1   -- cycles 0,1,0,1; from 2 goes to 3.
+	v0, v1 := m.VarRef(b0), m.VarRef(b1)
+	isOne := m.And(v0, v1.Not())
+	inc0 := v0.Not()
+	inc1 := m.Xor(v1, v0)
+	ma.SetNext(b0, m.ITE(isOne, bdd.Zero, inc0))
+	ma.SetNext(b1, m.ITE(isOne, bdd.Zero, inc1))
+	ma.SetInit(m.And(v0.Not(), v1.Not()))
+	ma.MustSeal()
+
+	notThree := m.Nand(v0, v1)
+	p := Problem{Machine: ma, Good: notThree, Name: "counter-wrap"}
+
+	res := Run(p, Induction, Options{})
+	if res.Outcome != Exhausted {
+		t.Fatalf("outcome %v, want Exhausted (not inductive)", res.Outcome)
+	}
+	// The traversal engines decide it.
+	for _, method := range []Method{Forward, Backward, XICI} {
+		if r := Run(p, method, Options{}); r.Outcome != Verified {
+			t.Fatalf("%s: outcome %v", method, r.Outcome)
+		}
+	}
+}
+
+// TestInductionAgreesWithEnginesOnInductiveProperties: whenever Induction
+// says Verified, every engine must agree (soundness).
+func TestInductionSoundOnModels(t *testing.T) {
+	for _, bug := range []bool{false, true} {
+		p, _ := tinyFIFO(t, 3, 3, 5, bug)
+		res := Run(p, Induction, Options{})
+		full := Run(p, XICI, Options{})
+		if res.Outcome == Verified && full.Outcome != Verified {
+			t.Fatal("induction claimed an unverifiable property")
+		}
+		if res.Outcome == Violated && full.Outcome != Violated {
+			t.Fatal("induction claimed a false violation")
+		}
+	}
+}

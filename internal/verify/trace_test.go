@@ -1,0 +1,125 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+)
+
+// validTrace produces a genuine counterexample to mutate in the negative
+// tests below.
+func validTrace(t *testing.T) (*Trace, Problem) {
+	t.Helper()
+	p, _ := tinyFIFO(t, 3, 3, 5, true)
+	res := Run(p, Forward, Options{WantTrace: true})
+	if res.Outcome != Violated || res.Trace == nil {
+		t.Fatal("setup failed")
+	}
+	return res.Trace, p
+}
+
+func TestTraceValidateRejectsMalformed(t *testing.T) {
+	tr, p := validTrace(t)
+	ma := p.Machine
+
+	// Baseline is valid.
+	if err := tr.Validate(ma, p.goodList()); err != nil {
+		t.Fatalf("baseline invalid: %v", err)
+	}
+
+	// Empty trace.
+	if err := (&Trace{}).Validate(ma, p.goodList()); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+
+	// Mismatched input count.
+	bad := &Trace{States: tr.States, Inputs: tr.Inputs[:len(tr.Inputs)-1]}
+	if err := bad.Validate(ma, p.goodList()); err == nil {
+		t.Fatal("short input list accepted")
+	}
+
+	// Non-initial start.
+	states := make([][]bool, len(tr.States))
+	for i := range states {
+		states[i] = append([]bool(nil), tr.States[i]...)
+	}
+	states[0][ma.CurVars()[0]] = !states[0][ma.CurVars()[0]]
+	bad = &Trace{States: states, Inputs: tr.Inputs}
+	if err := bad.Validate(ma, p.goodList()); err == nil ||
+		!strings.Contains(err.Error(), "initial") {
+		t.Fatalf("non-initial start accepted: %v", err)
+	}
+
+	// Input vector disagreeing with its state.
+	inputs := make([][]bool, len(tr.Inputs))
+	for i := range inputs {
+		inputs[i] = append([]bool(nil), tr.Inputs[i]...)
+	}
+	inputs[0][ma.CurVars()[0]] = !inputs[0][ma.CurVars()[0]]
+	bad = &Trace{States: tr.States, Inputs: inputs}
+	if err := bad.Validate(ma, p.goodList()); err == nil {
+		t.Fatal("input/state disagreement accepted")
+	}
+
+	// Final state satisfying the property.
+	states2 := make([][]bool, len(tr.States))
+	copy(states2, tr.States)
+	good := make([]bool, len(tr.States[0])) // all-zero state is typed
+	states2[len(states2)-1] = good
+	bad = &Trace{States: states2, Inputs: tr.Inputs}
+	if err := bad.Validate(ma, p.goodList()); err == nil {
+		t.Fatal("non-violating final state accepted")
+	}
+}
+
+func TestTraceFormat(t *testing.T) {
+	tr, p := validTrace(t)
+	out := tr.Format(p.Machine.M, p.Machine.CurVars())
+	if !strings.Contains(out, "step 0:") {
+		t.Fatalf("missing step labels:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines != len(tr.States) {
+		t.Fatalf("%d lines for %d states", lines, len(tr.States))
+	}
+	if tr.Len() != len(tr.States)-1 {
+		t.Fatal("Len inconsistent")
+	}
+}
+
+func TestStateCubePinsExactlyTheState(t *testing.T) {
+	p, _ := tinyFIFO(t, 2, 2, 2, false)
+	ma := p.Machine
+	m := ma.M
+	s := m.SatAssignment(ma.Init())
+	cube := stateCube(ma, s)
+	if !m.Eval(cube, s) {
+		t.Fatal("cube excludes its own state")
+	}
+	// Exactly one state-variable assignment satisfies the cube.
+	if got := m.SatCountVars(m.Exists(cube, ma.InputCube()), m.NumVars()); got.Sign() == 0 {
+		t.Fatal("cube unsatisfiable")
+	}
+	flip := append([]bool(nil), s...)
+	flip[ma.CurVars()[1]] = !flip[ma.CurVars()[1]]
+	if m.Eval(cube, flip) {
+		t.Fatal("cube admits a different state")
+	}
+}
+
+func TestResultStringShapes(t *testing.T) {
+	r := Result{Method: XICI, Outcome: Verified, Iterations: 2, MemBytes: 4096, PeakStateNodes: 10}
+	if s := r.String(); !strings.Contains(s, "verified") || !strings.Contains(s, "iter=2") {
+		t.Fatalf("verified row: %q", s)
+	}
+	r = Result{Method: Forward, Outcome: Violated, ViolationDepth: 3}
+	if s := r.String(); !strings.Contains(s, "depth 3") {
+		t.Fatalf("violated row: %q", s)
+	}
+	r = Result{Method: Backward, Outcome: Exhausted, Why: "node limit"}
+	if s := r.String(); !strings.Contains(s, "node limit") {
+		t.Fatalf("exhausted row: %q", s)
+	}
+	if Verified.String() != "verified" || Violated.String() != "violated" || Exhausted.String() != "exhausted" {
+		t.Fatal("Outcome strings")
+	}
+}

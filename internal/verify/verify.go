@@ -1,0 +1,284 @@
+// Package verify implements the verification paradigm of the paper's
+// Section II — checking that every reachable state satisfies a property
+// (AG p model checking) — with five interchangeable engines:
+//
+//	Forward   conventional forward reachability ("Fwd" in the tables)
+//	Backward  conventional backward traversal ("Bkwd")
+//	ICI       the original implicitly conjoined invariants method of
+//	          Hu & Dill, CAV 1993 (reconstruction): fixed user-supplied
+//	          partition, positional conjoining, fast inexact termination
+//	FD        forward traversal exploiting user-declared functional
+//	          dependencies, Hu & Dill, DAC 1993 (reconstruction)
+//	XICI      ICI extended with this paper's techniques: the Section
+//	          III.A evaluation & simplification policy and the Section
+//	          III.B exact termination test
+//
+// All engines run under a node budget and report the statistics the
+// paper's tables use: iterations to convergence, peak nodes of any
+// iterate R_i/G_i (with the per-conjunct size breakdown for the implicit
+// methods), estimated memory, and wall time.
+package verify
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bdd"
+	"repro/internal/core"
+	"repro/internal/fsm"
+)
+
+// Method selects a verification engine.
+type Method string
+
+// The five engines.
+const (
+	Forward  Method = "Fwd"
+	Backward Method = "Bkwd"
+	ICI      Method = "ICI"
+	XICI     Method = "XICI"
+	FD       Method = "FD"
+)
+
+// Methods lists all engines in the paper's table order.
+var Methods = []Method{Forward, Backward, FD, ICI, XICI}
+
+// TerminationMode selects how the implicit-conjunction engines detect
+// convergence.
+type TerminationMode int
+
+const (
+	// TermExact uses the Section III.B exact test, both implications.
+	TermExact TerminationMode = iota
+	// TermImplication exploits monotonicity of the G_i sequence and
+	// checks the single implication G_i ⇒ G_{i+1} — the optimization the
+	// paper mentions but leaves unimplemented.
+	TermImplication
+	// TermFast uses the inexact positional test of the original ICI
+	// method (may fail to detect convergence, never falsely converges).
+	TermFast
+)
+
+// Dependency declares, for the FD engine, that a state bit is a function
+// of the other state bits on every reachable state. Def must mention only
+// state variables that are not themselves declared dependent.
+type Dependency struct {
+	Var bdd.Var
+	Def bdd.Ref
+}
+
+// Problem is one verification task: a machine and a safety property. The
+// property may be supplied monolithically (Good), as a user partition
+// (GoodList, the implicit conjunction the ICI method requires), or both.
+type Problem struct {
+	Machine *fsm.Machine
+
+	// Good is the monolithic good-state set. If left at its zero value
+	// (bdd.One, the trivially true property) while GoodList is set, the
+	// monolithic engines derive it by conjoining GoodList.
+	Good bdd.Ref
+
+	// GoodList is the user-supplied partition of Good. Engines that
+	// need a partition fall back to the singleton [Good] when absent —
+	// which, as the paper notes, reduces ICI to plain backward traversal.
+	GoodList []bdd.Ref
+
+	// Deps are the functional dependencies for the FD engine.
+	Deps []Dependency
+
+	// Name labels the problem in reports.
+	Name string
+}
+
+// good returns the monolithic property, deriving it from the partition
+// when necessary. This is the potentially huge BDD the implicit methods
+// refuse to build; only the monolithic engines call it.
+func (p Problem) good() bdd.Ref {
+	if p.Good == bdd.One && len(p.GoodList) > 0 {
+		return p.Machine.M.AndN(p.GoodList...)
+	}
+	return p.Good
+}
+
+// goodList returns the property as a partition, falling back to the
+// monolithic singleton.
+func (p Problem) goodList() []bdd.Ref {
+	if len(p.GoodList) > 0 {
+		return p.GoodList
+	}
+	return []bdd.Ref{p.Good}
+}
+
+// Options configures an engine run.
+type Options struct {
+	// NodeLimit bounds live BDD nodes for the run (0 = keep the
+	// manager's current limit). Exceeding it aborts the run, which is
+	// reported as Exhausted — the "Exceeded 60MB" rows.
+	NodeLimit int
+
+	// Timeout bounds wall time, checked between iterations (0 = none) —
+	// the "Exceeded 40 minutes" rows.
+	Timeout time.Duration
+
+	// MaxIterations bounds traversal depth (0 = 100000).
+	MaxIterations int
+
+	// Core configures the XICI evaluation & simplification policy.
+	Core core.Options
+
+	// Termination selects the convergence test for ICI-family engines.
+	Termination TerminationMode
+
+	// TermVarChoice selects the Shannon-expansion variable heuristic of
+	// the exact termination test (Section V tuning knob).
+	TermVarChoice core.VarChoice
+
+	// WantTrace requests a counterexample trace on violation.
+	WantTrace bool
+
+	// GCEvery triggers a garbage collection every n iterations
+	// (0 = never). Live iterates are protected automatically.
+	GCEvery int
+}
+
+func (o Options) maxIter() int {
+	if o.MaxIterations <= 0 {
+		return 100000
+	}
+	return o.MaxIterations
+}
+
+// Outcome classifies how a run ended.
+type Outcome int
+
+const (
+	// Verified: the property holds on all reachable states.
+	Verified Outcome = iota
+	// Violated: a reachable state breaks the property.
+	Violated
+	// Exhausted: the run hit the node budget, the timeout, or the
+	// iteration bound before reaching a verdict.
+	Exhausted
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Verified:
+		return "verified"
+	case Violated:
+		return "violated"
+	default:
+		return "exhausted"
+	}
+}
+
+// Result carries everything the paper's tables report, plus the
+// counterexample trace when one was requested and found.
+type Result struct {
+	Problem string
+	Method  Method
+	Outcome Outcome
+
+	// Iterations is the number of image computations performed before
+	// the verdict ("Iter" in the tables): on success this includes the
+	// final image whose fixpoint detection certified convergence; on
+	// violation it is the length of the shortest violating path.
+	Iterations int
+
+	// PeakStateNodes is the largest shared node count of any iterate
+	// R_i or G_i ("BDD Nodes").
+	PeakStateNodes int
+
+	// PeakProfile is the per-conjunct size breakdown at the peak
+	// iterate, for the implicit-conjunction engines (the parenthesized
+	// numbers in the tables).
+	PeakProfile []int
+
+	// MemBytes estimates the verifier's memory high-water mark ("Mem").
+	MemBytes int
+
+	// Elapsed is wall time for the run ("Time").
+	Elapsed time.Duration
+
+	// Why explains Exhausted outcomes (node limit, timeout, ...).
+	Why string
+
+	// ViolationDepth is the length of the shortest violating path found
+	// (meaningful when Outcome == Violated).
+	ViolationDepth int
+
+	// Trace is the counterexample (when requested and Outcome ==
+	// Violated). Forward and backward family engines both produce one.
+	Trace *Trace
+}
+
+// String renders a result as one table row.
+func (r Result) String() string {
+	switch r.Outcome {
+	case Exhausted:
+		return fmt.Sprintf("%-5s %-10s %s", r.Method, r.Outcome, r.Why)
+	case Violated:
+		return fmt.Sprintf("%-5s violated at depth %d in %v", r.Method, r.ViolationDepth, r.Elapsed)
+	default:
+		return fmt.Sprintf("%-5s %v iter=%d mem=%dK nodes=%d %v",
+			r.Method, r.Outcome, r.Iterations, r.MemBytes/1024, r.PeakStateNodes, r.Elapsed)
+	}
+}
+
+// Run executes one engine on one problem. The machine must be sealed.
+// Node-limit overruns inside BDD operations are converted into an
+// Exhausted result; the manager remains usable afterwards.
+func Run(p Problem, method Method, opt Options) Result {
+	m := p.Machine.M
+	prevLimit := m.NodeLimit()
+	if opt.NodeLimit > 0 {
+		m.SetNodeLimit(opt.NodeLimit)
+	}
+	defer m.SetNodeLimit(prevLimit)
+	if opt.Timeout > 0 {
+		// Engines check the clock between iterations; the manager-level
+		// deadline additionally bounds a single runaway image
+		// computation.
+		m.SetDeadline(time.Now().Add(opt.Timeout))
+		defer m.SetDeadline(time.Time{})
+	}
+
+	start := time.Now()
+	var res Result
+	err := bdd.Guard(func() {
+		switch method {
+		case Forward:
+			res = runForward(p, opt)
+		case ForwardID:
+			res = runForwardID(p, opt)
+		case Induction:
+			res = runInduction(p, opt)
+		case Backward:
+			res = runBackward(p, opt)
+		case ICI:
+			res = runICI(p, opt)
+		case XICI:
+			res = runXICI(p, opt)
+		case FD:
+			res = runFD(p, opt)
+		default:
+			panic(fmt.Sprintf("verify: unknown method %q", method))
+		}
+	})
+	if err != nil {
+		res = Result{Outcome: Exhausted, Why: err.Error()}
+	}
+	res.Problem = p.Name
+	res.Method = method
+	res.Elapsed = time.Since(start)
+	res.MemBytes = m.MemEstimate()
+	return res
+}
+
+// deadline returns a func reporting whether the timeout has expired.
+func deadline(opt Options, start time.Time) func() bool {
+	if opt.Timeout <= 0 {
+		return func() bool { return false }
+	}
+	return func() bool { return time.Since(start) > opt.Timeout }
+}

@@ -1,0 +1,111 @@
+package verify
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bdd"
+	"repro/internal/core"
+)
+
+// runXICI is the paper's method: backward traversal over implicitly
+// conjoined lists with
+//
+//   - the Section III.A evaluation & simplification policy applied to
+//     every iterate (cross-simplification + the Figure 1 greedy
+//     conjunction evaluation), which lets the engine start from a
+//     monolithic property and derive the partition — the "assisting
+//     invariants" — automatically; and
+//   - the Section III.B exact termination test (or, optionally, the
+//     single-implication variant exploiting monotonicity, or the old
+//     fast test, for ablation).
+//
+// Each iteration computes G_{i+1} = G_0 ∧ BackImage(τ, G_i), where the
+// BackImage of the list is the list of BackImages (Theorem 1) and G_0's
+// conjuncts are appended rather than conjoined positionally — the policy
+// decides what is worth evaluating.
+func runXICI(p Problem, opt Options) Result {
+	ma := p.Machine
+	m := ma.M
+	ctx := newRunCtx(p, opt)
+	defer ctx.release()
+
+	init := ma.Init()
+	start := time.Now()
+	expired := deadline(opt, start)
+
+	term := core.Termination{M: m, Simplifier: opt.Core.Simplifier, VarChoice: opt.TermVarChoice}
+
+	g0 := append([]bdd.Ref(nil), p.goodList()...)
+	for _, c := range g0 {
+		ctx.protect(c)
+	}
+
+	g := core.SimplifyAndEvaluate(core.NewList(m, g0...), opt.Core)
+	protectList(ctx, g)
+	layers := []core.List{g}
+	peak, profile := g.SharedSize(), g.Sizes()
+
+	for i := 0; ; i++ {
+		if vi := g.ViolatingConjunct(init); vi >= 0 {
+			res := Result{
+				Outcome:        Violated,
+				Iterations:     i,
+				ViolationDepth: i,
+				PeakStateNodes: peak,
+				PeakProfile:    profile,
+			}
+			if opt.WantTrace {
+				res.Trace = traceFromLayers(ma, layers, init)
+			}
+			return res
+		}
+		if i >= opt.maxIter() {
+			return Result{Outcome: Exhausted, Iterations: i, PeakStateNodes: peak, PeakProfile: profile,
+				Why: fmt.Sprintf("iteration bound %d reached", opt.maxIter())}
+		}
+		if expired() {
+			return Result{Outcome: Exhausted, Iterations: i, PeakStateNodes: peak, PeakProfile: profile,
+				Why: fmt.Sprintf("timeout %v exceeded", opt.Timeout)}
+		}
+
+		// G_{i+1} = G_0 ∧ BackImage(G_i), kept implicit: append the
+		// per-conjunct BackImages to G_0's conjuncts and let the policy
+		// shorten the result.
+		back := ma.BackImageList(g.Conjuncts)
+		gn := core.NewList(m, append(append([]bdd.Ref(nil), g0...), back...)...)
+		gn = core.SimplifyAndEvaluate(gn, opt.Core)
+		protectList(ctx, gn)
+
+		if s := gn.SharedSize(); s > peak {
+			peak, profile = s, gn.Sizes()
+		}
+
+		if converged(term, opt.Termination, g, gn) {
+			return Result{Outcome: Verified, Iterations: i + 1, PeakStateNodes: peak, PeakProfile: profile}
+		}
+		g = gn
+		layers = append(layers, g)
+		ctx.maybeGC(i)
+	}
+}
+
+// converged applies the selected termination test to successive iterates.
+func converged(term core.Termination, mode TerminationMode, g, gn core.List) bool {
+	switch mode {
+	case TermImplication:
+		// The G_i sequence is monotonically shrinking (G_{i+1} ⊆ G_i by
+		// construction), so G_i ⇒ G_{i+1} alone certifies equality.
+		return term.ListImplies(g, gn)
+	case TermFast:
+		return core.FastListsEqual(g, gn)
+	default:
+		return term.ListsEqual(g, gn)
+	}
+}
+
+func protectList(ctx *runCtx, l core.List) {
+	for _, c := range l.Conjuncts {
+		ctx.protect(c)
+	}
+}
