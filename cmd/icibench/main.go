@@ -6,11 +6,17 @@
 //	icibench -table 2       # one table
 //	icibench -quick         # shrunken sizes (seconds instead of minutes)
 //	icibench -table 3 -assisted  # include the user-partition comparison
+//	icibench -parallel 4    # run each table's cells on 4 workers
+//	icibench -json out.json # also write machine-readable results
 //
 // Each cell runs on a fresh BDD manager under a node/time budget playing
 // the role of the paper's "Exceeded 60MB" / "Exceeded 40 minutes" limits;
 // see EXPERIMENTS.md for the calibration and the paper-vs-measured
-// discussion.
+// discussion. With -parallel N the cells of a table run concurrently (a
+// cell is self-contained: own manager, own budget), which changes only
+// wall time, never the table contents — though on a loaded machine a
+// cell near its time budget can tip into "Exceeded time budget". The
+// -json schema ("icibench/v1") is documented in EXPERIMENTS.md.
 package main
 
 import (
@@ -27,13 +33,29 @@ func main() {
 		table    = flag.Int("table", 0, "table to run (1, 2 or 3; 0 = all)")
 		quick    = flag.Bool("quick", false, "shrunken sizes for a fast smoke run")
 		assisted = flag.Bool("assisted", false, "table 3: add the user-partition group")
+		parallel = flag.Int("parallel", 0, "cells per table to run concurrently (0 or 1 = sequential, < 0 = GOMAXPROCS)")
+		jsonPath = flag.String("json", "", "write machine-readable results to this path")
 	)
 	flag.Parse()
 
+	report := &bench.Report{
+		Schema:    bench.ReportSchema,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Quick:     *quick,
+		Workers:   *parallel,
+	}
+
 	run := func(t bench.Table, b bench.Budget) {
 		start := time.Now()
-		t.Run(os.Stdout, b)
-		fmt.Printf("(%s finished in %v)\n\n", t.Title, time.Since(start).Round(time.Millisecond))
+		var results []bench.CellResult
+		if *parallel != 0 && *parallel != 1 {
+			results = t.RunParallel(os.Stdout, b, *parallel)
+		} else {
+			results = t.Run(os.Stdout, b)
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("(%s finished in %v)\n\n", t.Title, elapsed.Round(time.Millisecond))
+		report.Add(t.Title, elapsed, results)
 	}
 
 	if *table == 0 || *table == 1 {
@@ -45,5 +67,13 @@ func main() {
 	if *table == 0 || *table == 3 {
 		t, b := bench.Table3(*quick, *assisted)
 		run(t, b)
+	}
+
+	if *jsonPath != "" {
+		if err := report.Write(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "icibench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(wrote %s)\n", *jsonPath)
 	}
 }

@@ -82,12 +82,19 @@ type node struct {
 }
 
 // Stats holds operation counters for a Manager.
+//
+// The computed cache is direct-mapped, so every hash collision evicts a
+// live entry: the shortfall of CacheHits/CacheLookups below the workload's
+// intrinsic re-reference rate is the collision rate. cacheHash mixes each
+// operand with its own odd multiplier specifically to keep that rate down
+// — an overlapping pre-mix of the operands produces systematic collisions
+// (distinct operand triples hashing identically) that no table size fixes.
 type Stats struct {
 	Nodes        int    // live (allocated minus freed) nodes, incl. terminal
 	PeakNodes    int    // high-water mark of live nodes
 	Vars         int    // declared variables
 	CacheLookups uint64 // computed-cache probes
-	CacheHits    uint64 // computed-cache hits
+	CacheHits    uint64 // computed-cache hits (see collision note above)
 	UniqueHits   uint64 // unique-table hits (node reuse)
 	GCs          int    // completed garbage collections
 	FreedNodes   int    // total nodes reclaimed by GC
@@ -327,6 +334,10 @@ func (m *Manager) SetDeadline(t time.Time) {
 	m.deadline = t
 	m.deadlineCheck = 0
 }
+
+// Deadline returns the current operation deadline (the zero time when
+// none is set). Used to plumb a run's deadline into per-worker Managers.
+func (m *Manager) Deadline() time.Time { return m.deadline }
 
 // DeadlineError is the panic value raised when an operation overruns the
 // Manager's deadline.

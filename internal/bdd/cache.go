@@ -50,10 +50,21 @@ func (c *computedCache) clear() {
 	}
 }
 
+// cacheHash mixes an operation tag and its operands into a cache index.
+// Each operand gets its own odd multiplier (as hash3 does for
+// unique-table triples) before the final avalanche. The earlier
+// f ^ g<<16 ^ h<<32 pre-mix overlapped operand bits — any two triples
+// whose differences cancelled in the overlap (e.g. flipping bit 16 of f
+// versus bit 0 of g) collided for every finalizer — which on ITE-heavy
+// workloads shows up directly as direct-mapped evictions.
 func cacheHash(op uint32, f, g, h Ref) uint32 {
-	x := uint64(op)<<48 ^ uint64(f) ^ uint64(g)<<16 ^ uint64(h)<<32
-	x *= 0x9e3779b97f4a7c15
-	x ^= x >> 32
+	x := uint64(op)*0xd6e8feb86659fd93 ^
+		uint64(f)*0x9e3779b97f4a7c15 ^
+		uint64(g)*0xff51afd7ed558ccd ^
+		uint64(h)*0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 29
 	return uint32(x)
 }
 

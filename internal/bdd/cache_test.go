@@ -1,0 +1,67 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCacheHashOperandIndependence pins the collision class the old
+// pre-mix (f ^ g<<16 ^ h<<32) suffered from: operand bits overlapped
+// before the multiply, so triples whose differences cancelled in the
+// overlap — bit 16 of f against bit 0 of g, bit 32 of g against bit 0 of
+// h — hashed identically no matter the finalizer. Per-operand odd
+// multipliers break the cancellation.
+func TestCacheHashOperandIndependence(t *testing.T) {
+	collidingPairs := [][2][3]Ref{
+		{{1 << 16, 0, 0}, {0, 1, 0}},       // f bit16 vs g bit0
+		{{0, 1 << 16, 0}, {0, 0, 1}},       // g bit16 vs h bit0
+		{{1 << 17, 2, 0}, {0, 0, 0}},       // f^(g<<16) self-cancels to zero
+		{{1<<16 | 5, 9, 3}, {5, 9 | 1, 3}}, // mixed overlap
+		{{3, 1 << 16, 7}, {3, 0, 7 | 1}},   // g/h overlap
+	}
+	for _, pair := range collidingPairs {
+		a, b := pair[0], pair[1]
+		if a == b {
+			continue
+		}
+		if cacheHash(opITE, a[0], a[1], a[2]) == cacheHash(opITE, b[0], b[1], b[2]) {
+			t.Fatalf("systematic collision survives: %v vs %v", a, b)
+		}
+	}
+}
+
+// TestCacheHashSpread: on random triples the low bits (the part that
+// indexes the direct-mapped table) should look uniform — a crude
+// bucket-occupancy check, not a statistical test.
+func TestCacheHashSpread(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const buckets = 256
+	counts := make([]int, buckets)
+	const n = 64 * buckets
+	for i := 0; i < n; i++ {
+		h := cacheHash(uint32(rng.Intn(6)), Ref(rng.Uint32()), Ref(rng.Uint32()), Ref(rng.Uint32()))
+		counts[h%buckets]++
+	}
+	for b, c := range counts {
+		// Expected 64 per bucket; flag anything wildly off.
+		if c < 16 || c > 256 {
+			t.Fatalf("bucket %d holds %d of %d hashes", b, c, n)
+		}
+	}
+}
+
+// TestCacheStillCorrect: the cache is an accelerator, never a source of
+// truth — but a store must be retrievable under the same key.
+func TestCacheRoundTrip(t *testing.T) {
+	m := New()
+	m.NewVars("x", 4)
+	f, g, h := m.VarRef(0), m.VarRef(1), m.VarRef(2)
+	m.cacheStore(opITE, f, g, h, m.VarRef(3))
+	got, ok := m.cacheLookup(opITE, f, g, h)
+	if !ok || got != m.VarRef(3) {
+		t.Fatalf("cache round trip failed: %v %v", got, ok)
+	}
+	if _, ok := m.cacheLookup(opExists, f, g, h); ok {
+		t.Fatal("op tag ignored in lookup")
+	}
+}

@@ -16,6 +16,27 @@ func Transfer(dst, src *Manager, f Ref, varMap []Var) Ref {
 	return t.copy(f)
 }
 
+// NewWorker returns a fresh, empty Manager declaring the same variables
+// (same names, same order) as m and inheriting its node limit and
+// deadline. Managers are not safe for concurrent use, so the parallel
+// evaluation layer (internal/par + core.Options.Workers) gives each
+// worker goroutine its own Manager created here and ships live functions
+// across with Transfer/TransferAll. Because the variable order is
+// identical and BDDs are canonical, sizes and shared sizes measured on a
+// worker agree exactly with the source Manager's.
+//
+// The inherited node limit bounds each worker independently; a parallel
+// run may therefore hold up to workers× the sequential node count before
+// aborting. The inherited deadline keeps a runaway operation on a worker
+// abortable exactly like one on the source Manager.
+func (m *Manager) NewWorker() *Manager {
+	w := NewWithSize(1024, DefaultCacheBits)
+	w.varNames = append([]string(nil), m.varNames...)
+	w.nodeLimit = m.nodeLimit
+	w.deadline = m.deadline
+	return w
+}
+
 // TransferAll copies several roots, sharing the rebuild memo so common
 // subgraphs transfer once.
 func TransferAll(dst, src *Manager, fs []Ref, varMap []Var) []Ref {

@@ -3,6 +3,7 @@ package bdd
 import (
 	"math/rand"
 	"testing"
+	"time"
 )
 
 func TestTransferIdentity(t *testing.T) {
@@ -143,4 +144,75 @@ func TestTransferUncoveredSupportPanics(t *testing.T) {
 		}
 	}()
 	Transfer(dst, src, f, []Var{0})
+}
+
+// TestNewWorker covers the per-worker Manager hand-off used by the
+// parallel evaluation layer: same variables, inherited limit/deadline,
+// canonical sizes on both sides, and a lossless round trip.
+func TestNewWorker(t *testing.T) {
+	m := newTestManager(t, 5)
+	m.SetNodeLimit(1 << 20)
+	dl := time.Now().Add(time.Hour)
+	m.SetDeadline(dl)
+	defer m.SetDeadline(time.Time{})
+
+	w := m.NewWorker()
+	if w.NumVars() != m.NumVars() {
+		t.Fatalf("worker declares %d vars, want %d", w.NumVars(), m.NumVars())
+	}
+	for v := 0; v < m.NumVars(); v++ {
+		if w.VarName(Var(v)) != m.VarName(Var(v)) {
+			t.Fatalf("var %d name mismatch", v)
+		}
+	}
+	if w.NodeLimit() != m.NodeLimit() {
+		t.Fatalf("worker limit %d, want %d", w.NodeLimit(), m.NodeLimit())
+	}
+	if !w.Deadline().Equal(dl) {
+		t.Fatalf("worker deadline %v, want %v", w.Deadline(), dl)
+	}
+
+	f := m.Or(m.And(m.VarRef(0), m.VarRef(3)), m.Xor(m.VarRef(1), m.VarRef(4)))
+	g := m.And(f, m.VarRef(2))
+	fs := TransferAll(w, m, []Ref{f, g}, nil)
+	if w.Size(fs[0]) != m.Size(f) || w.SharedSize(fs...) != m.SharedSize(f, g) {
+		t.Fatal("sizes not canonical across worker transfer")
+	}
+	// The conjunction computed on the worker transfers back to the exact
+	// Ref the source Manager would compute itself.
+	p := w.And(fs[0], fs[1])
+	if Transfer(m, w, p, nil) != m.And(f, g) {
+		t.Fatal("worker result did not transfer back to the canonical Ref")
+	}
+	checkInv(t, w)
+}
+
+// TestNewWorkerIndependence: worker allocations never touch the source.
+func TestNewWorkerIndependence(t *testing.T) {
+	m := newTestManager(t, 4)
+	f := m.VarRef(0)
+	before := m.NumNodes()
+	w := m.NewWorker()
+	ws := TransferAll(w, m, []Ref{f}, nil)
+	w.And(w.Xor(ws[0], w.VarRef(1)), w.VarRef(2))
+	if m.NumNodes() != before {
+		t.Fatalf("worker activity changed source node count: %d -> %d", before, m.NumNodes())
+	}
+}
+
+// TestDeadlineGetter: the zero value round-trips too.
+func TestDeadlineGetter(t *testing.T) {
+	m := newTestManager(t, 2)
+	if !m.Deadline().IsZero() {
+		t.Fatal("fresh manager has a deadline")
+	}
+	dl := time.Now().Add(time.Minute)
+	m.SetDeadline(dl)
+	if !m.Deadline().Equal(dl) {
+		t.Fatal("Deadline getter does not round-trip")
+	}
+	m.SetDeadline(time.Time{})
+	if !m.Deadline().IsZero() {
+		t.Fatal("deadline not cleared")
+	}
 }

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/bdd"
+	"repro/internal/par"
 	"repro/internal/verify"
 )
 
@@ -82,22 +83,66 @@ type Table struct {
 	Cells []Cell
 }
 
-// Run executes every cell and renders the paper-style rows to w.
+// rowWriter renders results in table order: title, a group header
+// whenever the group changes, then one row per cell. Both the streaming
+// sequential runner and the parallel runner emit through it, so the two
+// produce byte-identical tables.
+type rowWriter struct {
+	w     io.Writer
+	group string
+}
+
+func newRowWriter(w io.Writer, title string) *rowWriter {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	return &rowWriter{w: w}
+}
+
+func (rw *rowWriter) row(cr CellResult) {
+	if cr.Cell.Group != rw.group {
+		rw.group = cr.Cell.Group
+		fmt.Fprintf(rw.w, "\nExample: %s\n", rw.group)
+		fmt.Fprintf(rw.w, "%-5s %-9s %-5s %-10s %s\n", "Meth.", "Time", "Iter", "Mem", "BDD Nodes")
+	}
+	fmt.Fprintln(rw.w, formatRow(cr))
+}
+
+func (rw *rowWriter) done() { fmt.Fprintln(rw.w) }
+
+// Run executes every cell and renders the paper-style rows to w,
+// streaming each row as its cell finishes.
 func (t Table) Run(w io.Writer, budget Budget) []CellResult {
-	fmt.Fprintf(w, "%s\n%s\n", t.Title, strings.Repeat("=", len(t.Title)))
+	rw := newRowWriter(w, t.Title)
 	results := make([]CellResult, 0, len(t.Cells))
-	group := ""
 	for _, c := range t.Cells {
-		if c.Group != group {
-			group = c.Group
-			fmt.Fprintf(w, "\nExample: %s\n", group)
-			fmt.Fprintf(w, "%-5s %-9s %-5s %-10s %s\n", "Meth.", "Time", "Iter", "Mem", "BDD Nodes")
-		}
 		cr := RunCell(c, budget)
-		fmt.Fprintln(w, formatRow(cr))
+		rw.row(cr)
 		results = append(results, cr)
 	}
-	fmt.Fprintln(w)
+	rw.done()
+	return results
+}
+
+// RunParallel executes the cells concurrently on the given number of
+// workers (0 or negative = GOMAXPROCS) and renders the rows in table
+// order once all cells have finished. Every cell owns a fresh Manager,
+// so cells are independent; the rendered table and all deterministic
+// result fields (outcome, iterations, node counts, memory) are identical
+// to a sequential Run. Wall-clock fields can differ — concurrent cells
+// contend for cores, so a grid whose budgets sit near a cell's true cost
+// may tip a borderline cell into "Exceeded time budget".
+func (t Table) RunParallel(w io.Writer, budget Budget, workers int) []CellResult {
+	if workers == 1 || len(t.Cells) < 2 {
+		return t.Run(w, budget)
+	}
+	results := make([]CellResult, len(t.Cells))
+	par.NewPool(workers).ForEach(len(t.Cells), func(_, i int) {
+		results[i] = RunCell(t.Cells[i], budget)
+	})
+	rw := newRowWriter(w, t.Title)
+	for _, cr := range results {
+		rw.row(cr)
+	}
+	rw.done()
 	return results
 }
 

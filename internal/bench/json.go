@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+
+	"repro/internal/verify"
+)
+
+// Machine-readable bench output. cmd/icibench -json writes one Report
+// covering every table it ran; the schema is documented in
+// EXPERIMENTS.md under "Machine-readable output".
+
+// ReportSchema identifies the JSON layout; bump on breaking changes.
+const ReportSchema = "icibench/v1"
+
+// Report is the top-level -json document.
+type Report struct {
+	Schema    string        `json:"schema"`
+	Generated string        `json:"generated,omitempty"` // RFC 3339
+	Quick     bool          `json:"quick"`
+	Workers   int           `json:"workers"` // 0 = sequential grid
+	Tables    []TableReport `json:"tables"`
+}
+
+// TableReport is one table's cells plus its total wall time.
+type TableReport struct {
+	Title   string       `json:"title"`
+	Elapsed float64      `json:"elapsed_seconds"`
+	Cells   []CellReport `json:"cells"`
+}
+
+// CellReport flattens one CellResult. Wall-clock fields vary run to
+// run; everything else is deterministic for a fixed model and budget.
+type CellReport struct {
+	Group          string  `json:"group"`
+	Method         string  `json:"method"`
+	Label          string  `json:"label"`
+	Outcome        string  `json:"outcome"`
+	Why            string  `json:"why,omitempty"`
+	Iterations     int     `json:"iterations"`
+	PeakStateNodes int     `json:"peak_state_nodes"`
+	PeakProfile    []int   `json:"peak_profile,omitempty"`
+	PeakLiveNodes  int     `json:"peak_live_nodes"`
+	TotalVars      int     `json:"total_vars"`
+	MemBytes       int     `json:"mem_bytes"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	ViolationDepth int     `json:"violation_depth,omitempty"`
+}
+
+// NewCellReport converts a run result to its JSON form.
+func NewCellReport(cr CellResult) CellReport {
+	r := cr.Result
+	out := CellReport{
+		Group:          cr.Cell.Group,
+		Method:         string(cr.Cell.Method),
+		Label:          cr.Cell.RowLabel(),
+		Outcome:        r.Outcome.String(),
+		Why:            r.Why,
+		Iterations:     r.Iterations,
+		PeakStateNodes: r.PeakStateNodes,
+		PeakProfile:    r.PeakProfile,
+		PeakLiveNodes:  cr.PeakLive,
+		TotalVars:      cr.TotalVars,
+		MemBytes:       r.MemBytes,
+		WallSeconds:    r.Elapsed.Seconds(),
+	}
+	if r.Outcome == verify.Violated {
+		out.ViolationDepth = r.ViolationDepth
+	}
+	return out
+}
+
+// Add appends one finished table to the report.
+func (r *Report) Add(title string, elapsed time.Duration, results []CellResult) {
+	tr := TableReport{Title: title, Elapsed: elapsed.Seconds(), Cells: make([]CellReport, 0, len(results))}
+	for _, cr := range results {
+		tr.Cells = append(tr.Cells, NewCellReport(cr))
+	}
+	r.Tables = append(r.Tables, tr)
+}
+
+// Write marshals the report (indented, trailing newline) to path.
+func (r *Report) Write(path string) error {
+	if r.Schema == "" {
+		r.Schema = ReportSchema
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"math/bits"
 
 	"repro/internal/bdd"
 )
@@ -45,6 +46,18 @@ type Options struct {
 	// disables the bound (the paper's baseline behaviour: every
 	// pairwise conjunction is built in full).
 	PairBudgetFactor float64
+
+	// Workers selects parallel pair scoring for the greedy evaluation
+	// (0 = sequential, the default; negative = GOMAXPROCS). Because a
+	// bdd.Manager is not safe for concurrent use, each worker gets its
+	// own Manager: live conjuncts ship across with bdd.TransferAll, the
+	// candidate conjunctions P_ij are built and sized concurrently, and
+	// only the winning merge of each round transfers back. BDD
+	// canonicity makes worker-side sizes identical to main-manager
+	// sizes, so with PairBudgetFactor == 0 the parallel result is
+	// bit-identical (pointwise-equal Refs) to the sequential one; see
+	// the determinism note on EvaluateGreedy.
+	Workers int
 }
 
 func (o Options) threshold() float64 {
@@ -128,7 +141,41 @@ func CrossSimplifyPositional(m *bdd.Manager, cs []bdd.Ref, simp bdd.Simplifier) 
 // EvaluateGreedy is the greedy algorithm of Figure 1: repeatedly replace
 // the pair of conjuncts whose explicit conjunction gives the best
 // size ratio, until the best remaining ratio exceeds GrowThreshold.
+//
+// The implementation maintains the best pair incrementally: an indexed
+// pair table plus a min-heap keyed on (ratio, i, j), so each merge
+// invalidates and rescores only the one affected row instead of
+// rescanning the full O(n²) table. Candidate selection breaks ties on
+// the smallest (i, j), which makes the result deterministic and equal to
+// the historical full-rescan loop (kept as evaluateGreedyRescan for
+// crosschecks and benchmarks). With opt.Workers != 0 the pair scoring
+// runs on a worker pool of per-worker Managers; the output is
+// bit-identical to the sequential run except that a positive
+// PairBudgetFactor may classify borderline pairs differently (the
+// allocation-counting bound observes each worker's fresh Manager, not
+// the accumulated main one) — semantics are preserved either way.
 func EvaluateGreedy(l List, opt Options) List {
+	m := l.M
+	cs := append([]bdd.Ref(nil), l.Conjuncts...)
+	if len(cs) < 2 {
+		return NewList(m, cs...)
+	}
+	var sc pairScorer
+	if opt.Workers != 0 {
+		sc = newParScorer(m, cs, opt)
+	} else {
+		sc = newSeqScorer(m, cs, opt)
+	}
+	return greedyMerge(m, cs, opt.threshold(), sc)
+}
+
+// evaluateGreedyRescan is the original (seed) implementation of Figure 1:
+// a full O(n²) rescan of the pair table per merge, with an O(|table|)
+// map walk to invalidate stale rows. It is retained verbatim as the
+// reference implementation — tests assert that the incremental heap path
+// and the parallel path reproduce its output Ref-for-Ref, and
+// BenchmarkEvaluatePolicy measures both against it.
+func evaluateGreedyRescan(l List, opt Options) List {
 	m := l.M
 	cs := append([]bdd.Ref(nil), l.Conjuncts...)
 	if len(cs) < 2 {
@@ -292,11 +339,7 @@ func OptimalPairwiseCover(l List) (groups [][]int, cost int) {
 }
 
 func lowestBit(mask int) int {
-	for i := 0; ; i++ {
-		if mask&(1<<uint(i)) != 0 {
-			return i
-		}
-	}
+	return bits.TrailingZeros(uint(mask))
 }
 
 // ApplyCover evaluates the conjunctions prescribed by a cover, returning

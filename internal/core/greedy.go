@@ -1,0 +1,234 @@
+package core
+
+import (
+	"container/heap"
+
+	"repro/internal/bdd"
+)
+
+// Incremental best-pair maintenance for the Figure 1 greedy loop.
+//
+// The seed implementation rescanned the full O(n²) pair table after
+// every merge and invalidated stale entries by walking the whole cache
+// map. Here the table is indexed (flat n×n arrays) and the best pair is
+// kept in a min-heap keyed on (ratio, i, j): a merge of (i, j) bumps the
+// invalidation stamp of the O(n) pairs touching i or j and rescores only
+// the surviving row i. Stale heap entries are discarded lazily when
+// popped (their stamp no longer matches the table). The tie-break on
+// (ratio, then i, then j) reproduces exactly the winner the seed's
+// lexicographic scan with strict improvement selected, so the two
+// implementations are Ref-for-Ref identical.
+//
+// The pairScorer abstraction is the seam where the parallel layer plugs
+// in: the driver below is identical for the sequential scorer (builds
+// P_ij on the list's own Manager) and the parallel one (per-worker
+// Managers, see greedy_par.go).
+
+// pairScore is the scoring result for one candidate pair.
+type pairScore struct {
+	ratio float64 // BDDSize(P_ij) / BDDSize(X_i, X_j)
+	ok    bool    // false: conjunction overflowed the pair budget
+}
+
+// pairScorer builds and sizes candidate conjunctions P_ij. The driver
+// guarantees that merged/applyMerge are called only for a pair whose
+// score is current (scored after the last change to either endpoint).
+type pairScorer interface {
+	// scoreAll scores the given (i, j) pairs (i < j) against the current
+	// conjunct values, in order.
+	scoreAll(pairs [][2]int) []pairScore
+	// merged materializes the winning conjunction X_i ∧ X_j on the
+	// list's own Manager.
+	merged(i, j int) bdd.Ref
+	// applyMerge records that cs[i] now holds the merged conjunct and
+	// cs[j] was dropped.
+	applyMerge(i, j int)
+}
+
+// Test hooks: when non-nil, greedyMerge reports every scored pair and
+// every applied merge. Used by regression tests to prove that merged or
+// dropped indices are never rescored.
+var (
+	greedyScoreHook func(i, j int)
+	greedyMergeHook func(i, j int)
+)
+
+// pairCand is one heap entry. stamp must match the table's current stamp
+// for the entry to be valid; stale entries are skipped on pop.
+type pairCand struct {
+	ratio float64
+	i, j  int32
+	stamp int32
+}
+
+// candHeap is a min-heap on (ratio, i, j).
+type candHeap []pairCand
+
+func (h candHeap) Len() int { return len(h) }
+func (h candHeap) Less(a, b int) bool {
+	if h[a].ratio != h[b].ratio {
+		return h[a].ratio < h[b].ratio
+	}
+	if h[a].i != h[b].i {
+		return h[a].i < h[b].i
+	}
+	return h[a].j < h[b].j
+}
+func (h candHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *candHeap) Push(x any)   { *h = append(*h, x.(pairCand)) }
+func (h *candHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// greedyMerge runs the Figure 1 loop over cs (modified in place) using
+// the given scorer for pair construction.
+func greedyMerge(m *bdd.Manager, cs []bdd.Ref, threshold float64, sc pairScorer) List {
+	n := len(cs)
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	live := n
+
+	stamp := make([]int32, n*n) // stamp[i*n+j] (i < j) invalidates heap entries
+	cands := make(candHeap, 0, n*n/2)
+
+	score := func(pairs [][2]int) {
+		if greedyScoreHook != nil {
+			for _, p := range pairs {
+				greedyScoreHook(p[0], p[1])
+			}
+		}
+		scores := sc.scoreAll(pairs)
+		for t, p := range pairs {
+			if !scores[t].ok {
+				continue // unmergeable: conjunction overflowed the budget
+			}
+			heap.Push(&cands, pairCand{
+				ratio: scores[t].ratio,
+				i:     int32(p[0]),
+				j:     int32(p[1]),
+				stamp: stamp[p[0]*n+p[1]],
+			})
+		}
+	}
+
+	// Initial table: every pair, lexicographic order (matching the
+	// seed's first scan so bounded-And allocation behaviour lines up).
+	all := make([][2]int, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			all = append(all, [2]int{i, j})
+		}
+	}
+	score(all)
+
+	row := make([][2]int, 0, n)
+	for live >= 2 {
+		// Pop the best still-valid candidate.
+		bestI, bestJ := -1, -1
+		var bestRatio float64
+		for len(cands) > 0 {
+			c := heap.Pop(&cands).(pairCand)
+			i, j := int(c.i), int(c.j)
+			if !alive[i] || !alive[j] || c.stamp != stamp[i*n+j] {
+				continue // stale: an endpoint merged or dropped since scoring
+			}
+			bestI, bestJ, bestRatio = i, j, c.ratio
+			break
+		}
+		if bestI < 0 || bestRatio > threshold {
+			break
+		}
+		if greedyMergeHook != nil {
+			greedyMergeHook(bestI, bestJ)
+		}
+		merged := sc.merged(bestI, bestJ)
+		cs[bestI] = merged
+		alive[bestJ] = false
+		live--
+		if merged == bdd.Zero {
+			return NewList(m, bdd.Zero)
+		}
+		// Invalidate every pair touching bestI or bestJ — O(n) stamp
+		// bumps, not a table walk.
+		for k := 0; k < n; k++ {
+			if k != bestI {
+				a, b := k, bestI
+				if a > b {
+					a, b = b, a
+				}
+				stamp[a*n+b]++
+			}
+			if k != bestJ {
+				a, b := k, bestJ
+				if a > b {
+					a, b = b, a
+				}
+				stamp[a*n+b]++
+			}
+		}
+		sc.applyMerge(bestI, bestJ)
+		// Rescore the surviving row: only pairs involving the merged
+		// conjunct changed.
+		row = row[:0]
+		for k := 0; k < n; k++ {
+			if k == bestI || !alive[k] {
+				continue
+			}
+			a, b := k, bestI
+			if a > b {
+				a, b = b, a
+			}
+			row = append(row, [2]int{a, b})
+		}
+		score(row)
+	}
+
+	out := cs[:0:0]
+	for i, c := range cs {
+		if alive[i] {
+			out = append(out, c)
+		}
+	}
+	return NewList(m, out...)
+}
+
+// seqScorer builds the candidate conjunctions on the list's own Manager,
+// caching each surviving P_ij in the indexed table so the winning merge
+// is available without recomputation.
+type seqScorer struct {
+	m   *bdd.Manager
+	cs  []bdd.Ref // aliases greedyMerge's working slice
+	opt Options
+	ref []bdd.Ref // ref[i*n+j] (i < j): last scored P_ij
+}
+
+func newSeqScorer(m *bdd.Manager, cs []bdd.Ref, opt Options) *seqScorer {
+	return &seqScorer{m: m, cs: cs, opt: opt, ref: make([]bdd.Ref, len(cs)*len(cs))}
+}
+
+func (s *seqScorer) scoreAll(pairs [][2]int) []pairScore {
+	n := len(s.cs)
+	out := make([]pairScore, len(pairs))
+	for t, p := range pairs {
+		i, j := p[0], p[1]
+		den := s.m.SharedSize(s.cs[i], s.cs[j])
+		var pr bdd.Ref
+		ok := true
+		if s.opt.PairBudgetFactor > 0 {
+			budget := int(s.opt.PairBudgetFactor*float64(den)) + 64
+			pr, ok = s.m.AndBounded(s.cs[i], s.cs[j], budget)
+		} else {
+			pr = s.m.And(s.cs[i], s.cs[j])
+		}
+		if !ok {
+			continue
+		}
+		s.ref[i*n+j] = pr
+		out[t] = pairScore{ratio: float64(s.m.Size(pr)) / float64(den), ok: true}
+	}
+	return out
+}
+
+func (s *seqScorer) merged(i, j int) bdd.Ref { return s.ref[i*len(s.cs)+j] }
+
+func (s *seqScorer) applyMerge(int, int) {} // cs is shared; nothing else to update

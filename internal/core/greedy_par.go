@@ -1,0 +1,110 @@
+package core
+
+import (
+	"repro/internal/bdd"
+	"repro/internal/par"
+)
+
+// Parallel pair scoring for the Figure 1 greedy loop.
+//
+// bdd.Manager is not safe for concurrent use, so each worker owns a
+// private Manager (bdd.NewWorker: same variables, inherited node limit
+// and deadline) holding a mirror of the live conjuncts shipped across
+// with bdd.TransferAll. Scoring a pair builds P_ij entirely inside one
+// worker; canonicity under a fixed variable order makes the worker-side
+// Size and SharedSize equal to the main Manager's, so the ratios — and
+// hence the merge decisions — are identical to the sequential path. Per
+// round, only the winning conjunction crosses back to the main Manager
+// (bdd.Transfer lands on the exact Ref the main Manager's own And would
+// have produced), after which every worker folds the merge into its
+// mirror locally.
+//
+// Resource behaviour: a worker that exceeds its node limit or deadline
+// panics with the usual *bdd.LimitError / *bdd.DeadlineError, which
+// par.Pool re-raises on the calling goroutine so verify's bdd.Guard
+// boundary sees it exactly as in a sequential run. A positive
+// PairBudgetFactor counts fresh allocations against the worker's own
+// Manager, which starts empty each evaluation — a pair near the bound
+// can therefore classify differently than sequentially (where earlier
+// work may already hold parts of P_ij); semantics are unaffected.
+
+// parScorer distributes pair construction over a worker pool.
+type parScorer struct {
+	m     *bdd.Manager
+	opt   Options
+	pool  *par.Pool
+	ws    []*greedyWorker
+	n     int
+	owner []int32   // owner[i*n+j]: worker holding the last scored P_ij
+	wref  []bdd.Ref // wref[i*n+j]: that P_ij, as a Ref in its owner
+}
+
+// greedyWorker is one worker's Manager plus its mirror of the conjuncts.
+type greedyWorker struct {
+	m  *bdd.Manager
+	cs []bdd.Ref
+}
+
+func newParScorer(m *bdd.Manager, cs []bdd.Ref, opt Options) *parScorer {
+	s := &parScorer{
+		m:     m,
+		opt:   opt,
+		pool:  par.NewPool(opt.Workers),
+		n:     len(cs),
+		owner: make([]int32, len(cs)*len(cs)),
+		wref:  make([]bdd.Ref, len(cs)*len(cs)),
+	}
+	s.ws = make([]*greedyWorker, s.pool.Size())
+	// Build the worker Managers concurrently: Transfer only reads the
+	// source Manager, and each task owns a distinct destination.
+	s.pool.ForEach(len(s.ws), func(_, w int) {
+		wm := m.NewWorker()
+		s.ws[w] = &greedyWorker{m: wm, cs: bdd.TransferAll(wm, m, cs, nil)}
+	})
+	return s
+}
+
+func (s *parScorer) scoreAll(pairs [][2]int) []pairScore {
+	out := make([]pairScore, len(pairs))
+	// Tasks write to disjoint indices of out/owner/wref, and tasks on
+	// the same worker id never overlap (the par.Pool contract), so the
+	// worker's Manager needs no locking.
+	s.pool.ForEach(len(pairs), func(w, t int) {
+		gw := s.ws[w]
+		i, j := pairs[t][0], pairs[t][1]
+		f, g := gw.cs[i], gw.cs[j]
+		den := gw.m.SharedSize(f, g)
+		var pr bdd.Ref
+		ok := true
+		if s.opt.PairBudgetFactor > 0 {
+			budget := int(s.opt.PairBudgetFactor*float64(den)) + 64
+			pr, ok = gw.m.AndBounded(f, g, budget)
+		} else {
+			pr = gw.m.And(f, g)
+		}
+		if !ok {
+			return
+		}
+		s.owner[i*s.n+j] = int32(w)
+		s.wref[i*s.n+j] = pr
+		out[t] = pairScore{ratio: float64(gw.m.Size(pr)) / float64(den), ok: true}
+	})
+	return out
+}
+
+func (s *parScorer) merged(i, j int) bdd.Ref {
+	gw := s.ws[s.owner[i*s.n+j]]
+	return bdd.Transfer(s.m, gw.m, s.wref[i*s.n+j], nil)
+}
+
+func (s *parScorer) applyMerge(i, j int) {
+	// Fold the merge into every mirror. For the owning worker the
+	// conjunction is already in its unique table, so this recursion
+	// allocates nothing; for the others it is one And each, run
+	// concurrently (task t owns worker t here, so any goroutine may
+	// execute it).
+	s.pool.ForEach(len(s.ws), func(_, w int) {
+		gw := s.ws[w]
+		gw.cs[i] = gw.m.And(gw.cs[i], gw.cs[j])
+	})
+}

@@ -1,0 +1,108 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryTaskExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		const n = 257
+		var hits [n]atomic.Int32
+		NewPool(workers).ForEach(n, func(_, task int) {
+			hits[task].Add(1)
+		})
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+// TestForEachWorkerExclusivity is the contract the BDD layer depends on:
+// two tasks handed the same worker id must never overlap in time, since
+// the id selects a bdd.Manager that is not safe for concurrent use.
+func TestForEachWorkerExclusivity(t *testing.T) {
+	p := NewPool(4)
+	busy := make([]atomic.Bool, p.Size())
+	var violations atomic.Int32
+	p.ForEach(200, func(worker, _ int) {
+		if worker < 0 || worker >= p.Size() {
+			violations.Add(1)
+			return
+		}
+		if !busy[worker].CompareAndSwap(false, true) {
+			violations.Add(1)
+			return
+		}
+		runtime.Gosched()
+		busy[worker].Store(false)
+	})
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d worker-exclusivity violations", v)
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r != "boom-7" {
+					t.Fatalf("workers=%d: recovered %v, want boom-7", workers, r)
+				}
+			}()
+			NewPool(workers).ForEach(20, func(_, task int) {
+				if task == 7 {
+					panic("boom-7")
+				}
+			})
+			t.Fatalf("workers=%d: ForEach did not panic", workers)
+		}()
+	}
+}
+
+// With several panicking tasks, the surviving panic is the one from the
+// lowest task index that actually panicked — stable enough for tests and
+// error reporting even though the aborted tail is scheduling-dependent.
+func TestForEachPanicLowestIndexWins(t *testing.T) {
+	defer func() {
+		if r := recover(); r != 0 {
+			t.Fatalf("recovered %v, want 0", r)
+		}
+	}()
+	// Every task panics, so task 0 always panics and must win.
+	NewPool(8).ForEach(64, func(_, task int) {
+		panic(task)
+	})
+	t.Fatal("ForEach did not panic")
+}
+
+func TestForEachEdgeCases(t *testing.T) {
+	ran := false
+	NewPool(2).ForEach(0, func(_, _ int) { ran = true })
+	NewPool(2).ForEach(-3, func(_, _ int) { ran = true })
+	if ran {
+		t.Fatal("no-op ForEach ran a task")
+	}
+	if got := NewPool(0).Size(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("NewPool(0).Size() = %d, want GOMAXPROCS", got)
+	}
+	if got := NewPool(-1).Size(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("NewPool(-1).Size() = %d, want GOMAXPROCS", got)
+	}
+	if got := NewPool(3).Size(); got != 3 {
+		t.Fatalf("NewPool(3).Size() = %d", got)
+	}
+}
+
+// TestForEachSingleTaskInline: one task runs inline even on a wide pool.
+func TestForEachSingleTaskInline(t *testing.T) {
+	var worker int = -1
+	NewPool(16).ForEach(1, func(w, task int) { worker = w })
+	if worker != 0 {
+		t.Fatalf("single task ran on worker %d, want 0", worker)
+	}
+}

@@ -1,0 +1,96 @@
+// Parallel-evaluation crosschecks on the paper models. This file lives
+// in package verify_test because internal/models imports internal/verify
+// (its constructors return verify.Problem).
+package verify_test
+
+import (
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/verify"
+)
+
+// paperProblems builds small instances of the paper's models, fresh
+// managers each call so runs do not share computed-cache state.
+func paperProblems() []verify.Problem {
+	return []verify.Problem{
+		models.NewFIFO(bdd.New(), models.DefaultFIFO(3)),
+		models.NewNetwork(bdd.New(), models.NetworkConfig{Procs: 2}),
+		models.NewFilter(bdd.New(), models.FilterConfig{Depth: 4, SampleWidth: 4}),
+		models.NewPipeline(bdd.New(), models.PipelineConfig{Regs: 2, Width: 1, Assist: true}),
+	}
+}
+
+// TestXICIParallelMatchesSequential: the XICI engine with parallel pair
+// scoring must report the same verdict and the same table statistics as
+// the sequential engine on every paper model. With no pair budget in
+// play the traversal is bit-identical, so Iterations, PeakStateNodes,
+// and the per-conjunct peak profile all match exactly.
+func TestXICIParallelMatchesSequential(t *testing.T) {
+	for _, p := range paperProblems() {
+		seq := verify.Run(p, verify.XICI, verify.Options{})
+		parl := verify.Run(p, verify.XICI, verify.Options{Workers: 3})
+		if parl.Outcome != seq.Outcome || parl.Why != seq.Why {
+			t.Fatalf("%s: outcome %v (%s) != sequential %v (%s)",
+				p.Name, parl.Outcome, parl.Why, seq.Outcome, seq.Why)
+		}
+		if parl.Iterations != seq.Iterations {
+			t.Errorf("%s: iterations %d != %d", p.Name, parl.Iterations, seq.Iterations)
+		}
+		if parl.PeakStateNodes != seq.PeakStateNodes {
+			t.Errorf("%s: peak nodes %d != %d", p.Name, parl.PeakStateNodes, seq.PeakStateNodes)
+		}
+		if len(parl.PeakProfile) != len(seq.PeakProfile) {
+			t.Errorf("%s: peak profile arity %v != %v", p.Name, parl.PeakProfile, seq.PeakProfile)
+		} else {
+			for i := range seq.PeakProfile {
+				if parl.PeakProfile[i] != seq.PeakProfile[i] {
+					t.Errorf("%s: peak profile %v != %v", p.Name, parl.PeakProfile, seq.PeakProfile)
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestXICIWorkersViaCoreOptions: Workers set directly on Core behaves
+// the same as the top-level convenience field.
+func TestXICIWorkersViaCoreOptions(t *testing.T) {
+	p := models.NewFIFO(bdd.New(), models.DefaultFIFO(3))
+	a := verify.Run(p, verify.XICI, verify.Options{Workers: 2})
+	b := verify.Run(p, verify.XICI, verify.Options{Core: core.Options{Workers: 2}})
+	if a.Outcome != b.Outcome || a.Iterations != b.Iterations || a.PeakStateNodes != b.PeakStateNodes {
+		t.Fatalf("Workers plumbing mismatch: %+v vs %+v", a, b)
+	}
+}
+
+// TestEvaluateGreedyParallelOnPaperList reconstructs the first XICI
+// iterate of the filter traversal (the BenchmarkAblationGreedyVsOptimal
+// recipe) and checks that parallel evaluation of that paper-derived list
+// is pointwise Ref-equal to sequential evaluation on the same manager.
+func TestEvaluateGreedyParallelOnPaperList(t *testing.T) {
+	m := bdd.New()
+	p := models.NewFilter(m, models.FilterConfig{Depth: 4, SampleWidth: 4})
+	ma := p.Machine
+
+	g0 := []bdd.Ref{p.Good}
+	l := core.NewList(m, g0...)
+	back := ma.BackImageList(l.Conjuncts)
+	raw := core.NewList(m, append(g0, back...)...)
+	raw = core.CrossSimplify(raw, bdd.UseRestrict)
+
+	seq := core.EvaluateGreedy(raw, core.Options{})
+	for _, workers := range []int{1, 2, 4} {
+		parl := core.EvaluateGreedy(raw, core.Options{Workers: workers})
+		if len(parl.Conjuncts) != len(seq.Conjuncts) {
+			t.Fatalf("workers=%d: arity %d != %d", workers, len(parl.Conjuncts), len(seq.Conjuncts))
+		}
+		for i := range seq.Conjuncts {
+			if parl.Conjuncts[i] != seq.Conjuncts[i] {
+				t.Fatalf("workers=%d: conjunct %d differs", workers, i)
+			}
+		}
+	}
+}

@@ -126,6 +126,14 @@ type Options struct {
 	// Core configures the XICI evaluation & simplification policy.
 	Core core.Options
 
+	// Workers enables parallel pair scoring inside the evaluation
+	// policy of the implicit-conjunction engines: it is copied into
+	// Core.Workers when that is zero (see core.Options.Workers for the
+	// contract; 0 = sequential, < 0 = GOMAXPROCS). Results are
+	// identical to a sequential run whenever Core.PairBudgetFactor
+	// is zero.
+	Workers int
+
 	// Termination selects the convergence test for ICI-family engines.
 	Termination TerminationMode
 
@@ -230,6 +238,9 @@ func (r Result) String() string {
 // Exhausted result; the manager remains usable afterwards.
 func Run(p Problem, method Method, opt Options) Result {
 	m := p.Machine.M
+	if opt.Workers != 0 && opt.Core.Workers == 0 {
+		opt.Core.Workers = opt.Workers
+	}
 	prevLimit := m.NodeLimit()
 	if opt.NodeLimit > 0 {
 		m.SetNodeLimit(opt.NodeLimit)
