@@ -7,6 +7,7 @@
 //	icibench -quick         # shrunken sizes (seconds instead of minutes)
 //	icibench -table 3 -assisted  # include the user-partition comparison
 //	icibench -parallel 4    # run each table's cells on 4 workers
+//	icibench -engines Bkwd,XICI  # only these engines' rows
 //	icibench -json out.json # also write machine-readable results
 //
 // Each cell runs on a fresh BDD manager under a node/time budget playing
@@ -15,17 +16,23 @@
 // discussion. With -parallel N the cells of a table run concurrently (a
 // cell is self-contained: own manager, own budget), which changes only
 // wall time, never the table contents — though on a loaded machine a
-// cell near its time budget can tip into "Exceeded time budget". The
-// -json schema ("icibench/v1") is documented in EXPERIMENTS.md.
+// cell near its time budget can tip into "Exceeded time budget". Ctrl-C
+// cancels the grid cleanly: in-flight cells abort promptly and report
+// as canceled. The -json schema ("icibench/v2", with the per-table
+// budget and per-row termination cause) is documented in EXPERIMENTS.md.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/verify"
 )
 
 func main() {
@@ -34,9 +41,31 @@ func main() {
 		quick    = flag.Bool("quick", false, "shrunken sizes for a fast smoke run")
 		assisted = flag.Bool("assisted", false, "table 3: add the user-partition group")
 		parallel = flag.Int("parallel", 0, "cells per table to run concurrently (0 or 1 = sequential, < 0 = GOMAXPROCS)")
+		engines  = flag.String("engines", "", "comma-separated engines: keep only these rows; \"list\" prints the registered engines and exits")
 		jsonPath = flag.String("json", "", "write machine-readable results to this path")
 	)
 	flag.Parse()
+
+	if *engines == "list" {
+		for _, name := range verify.Registered() {
+			fmt.Println(name)
+		}
+		return
+	}
+	var methods []verify.Method
+	if *engines != "" {
+		for _, name := range strings.Split(*engines, ",") {
+			meth := verify.Method(strings.TrimSpace(name))
+			if _, ok := verify.Lookup(meth); !ok {
+				fmt.Fprintf(os.Stderr, "icibench: unknown engine %q (try -engines list)\n", meth)
+				os.Exit(2)
+			}
+			methods = append(methods, meth)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	report := &bench.Report{
 		Schema:    bench.ReportSchema,
@@ -46,16 +75,20 @@ func main() {
 	}
 
 	run := func(t bench.Table, b bench.Budget) {
+		t = t.Filter(methods)
+		if len(t.Cells) == 0 {
+			return
+		}
 		start := time.Now()
 		var results []bench.CellResult
 		if *parallel != 0 && *parallel != 1 {
-			results = t.RunParallel(os.Stdout, b, *parallel)
+			results = t.RunParallel(ctx, os.Stdout, b, *parallel)
 		} else {
-			results = t.Run(os.Stdout, b)
+			results = t.Run(ctx, os.Stdout, b)
 		}
 		elapsed := time.Since(start)
 		fmt.Printf("(%s finished in %v)\n\n", t.Title, elapsed.Round(time.Millisecond))
-		report.Add(t.Title, elapsed, results)
+		report.Add(t.Title, elapsed, b, results)
 	}
 
 	if *table == 0 || *table == 1 {

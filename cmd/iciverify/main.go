@@ -9,15 +9,21 @@
 //	iciverify -model pipeline -regs 2 -bits 3 -method Bkwd -nodelimit 2000000
 //	iciverify -model network -size 4 -method FD
 //	iciverify -model fifo -size 3 -bug -method Fwd -trace
+//	iciverify -model fifo -size 4 -engines Fwd,Bkwd,XICI
+//	iciverify -engines list
 //
 // Models: fifo (size = depth), network (size = processors), filter
 // (size = window depth, power of two), pipeline (-regs/-bits).
+// Ctrl-C cancels a running traversal cleanly (reported as exhausted).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
 	"time"
 
 	"repro/internal/bdd"
@@ -25,6 +31,7 @@ import (
 	"repro/internal/fsm"
 	"repro/internal/lang"
 	"repro/internal/models"
+	"repro/internal/resource"
 	"repro/internal/verify"
 )
 
@@ -35,11 +42,13 @@ func main() {
 		regs      = flag.Int("regs", 2, "pipeline: number of registers")
 		bits      = flag.Int("bits", 1, "pipeline: datapath width")
 		method    = flag.String("method", "XICI", "method: Fwd, FwdID, Bkwd, FD, ICI, XICI, Induction")
+		engines   = flag.String("engines", "", "comma-separated engines to run in sequence (overrides -method); \"list\" prints the registered engines and exits")
 		assist    = flag.Bool("assist", false, "supply user assisting invariants / partition")
 		bug       = flag.Bool("bug", false, "seed the model's bug")
 		trace     = flag.Bool("trace", false, "print a counterexample trace on violation")
 		nodeLimit = flag.Int("nodelimit", 0, "abort when live BDD nodes exceed this (0 = unlimited)")
 		timeout   = flag.Duration("timeout", 0, "abort after this wall time (0 = unlimited)")
+		maxIter   = flag.Int("maxiter", 0, "abort after this many traversal iterations (0 = engine default)")
 		threshold = flag.Float64("threshold", core.DefaultGrowThreshold, "XICI GrowThreshold")
 		compose   = flag.Bool("compose", false, "use functional-composition back images instead of the relational product")
 		termMode  = flag.String("term", "exact", "XICI termination test: exact, implication, fast")
@@ -47,6 +56,18 @@ func main() {
 		file      = flag.String("file", "", "verify a textual model file instead of a built-in model (see internal/lang)")
 	)
 	flag.Parse()
+
+	if *engines == "list" {
+		for _, name := range verify.Registered() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	// Ctrl-C cancels the run cleanly: BDD operations abort on the next
+	// budget check and the engine reports Exhausted/canceled.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	m := bdd.NewWithSize(1<<16, 20)
 	var p verify.Problem
@@ -107,8 +128,11 @@ func main() {
 	}
 
 	opt := verify.Options{
-		NodeLimit:   *nodeLimit,
-		Timeout:     *timeout,
+		Budget: resource.Budget{
+			NodeLimit:     *nodeLimit,
+			Timeout:       *timeout,
+			MaxIterations: *maxIter,
+		},
 		WantTrace:   *trace,
 		Termination: tm,
 		Core:        core.Options{GrowThreshold: *threshold},
@@ -135,40 +159,53 @@ func main() {
 		fmt.Printf("wrote property BDDs to %s\n", *dotOut)
 	}
 
-	known := map[string]bool{}
-	for _, meth := range verify.Methods {
-		known[string(meth)] = true
+	// The run list: -engines selects several, -method one; both resolve
+	// through the engine registry.
+	var methods []verify.Method
+	if *engines != "" {
+		for _, name := range strings.Split(*engines, ",") {
+			methods = append(methods, verify.Method(strings.TrimSpace(name)))
+		}
+	} else {
+		methods = []verify.Method{verify.Method(*method)}
 	}
-	known[string(verify.ForwardID)] = true
-	known[string(verify.Induction)] = true
-	if !known[*method] {
-		fmt.Fprintf(os.Stderr, "iciverify: unknown method %q\n", *method)
-		os.Exit(2)
+	for _, meth := range methods {
+		if _, ok := verify.Lookup(meth); !ok {
+			fmt.Fprintf(os.Stderr, "iciverify: unknown method %q (try -engines list)\n", meth)
+			os.Exit(2)
+		}
 	}
 
 	fmt.Printf("model %s  (%d state bits, %d input bits)\n",
 		p.Name, p.Machine.StateBits(), p.Machine.InputBits())
-	start := time.Now()
-	res := verify.Run(p, verify.Method(*method), opt)
-	fmt.Println(res)
-	fmt.Printf("wall %v, peak live nodes %d\n", time.Since(start).Round(time.Millisecond), m.PeakNodes())
 
-	if res.Trace != nil {
-		goods := p.GoodList
-		if goods == nil {
-			goods = []bdd.Ref{p.Good}
+	exit := 0
+	for _, meth := range methods {
+		start := time.Now()
+		res := verify.RunContext(ctx, p, meth, opt)
+		fmt.Println(res)
+		fmt.Printf("wall %v, peak live nodes %d\n", time.Since(start).Round(time.Millisecond), m.PeakNodes())
+
+		if res.Trace != nil {
+			goods := p.GoodList
+			if goods == nil {
+				goods = []bdd.Ref{p.Good}
+			}
+			if err := res.Trace.Validate(p.Machine, goods); err != nil {
+				fmt.Fprintf(os.Stderr, "trace validation FAILED: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println("counterexample (validated by replay):")
+			fmt.Print(res.Trace.Format(m, p.Machine.CurVars()))
 		}
-		if err := res.Trace.Validate(p.Machine, goods); err != nil {
-			fmt.Fprintf(os.Stderr, "trace validation FAILED: %v\n", err)
-			os.Exit(1)
+		switch res.Outcome {
+		case verify.Violated:
+			exit = 1
+		case verify.Exhausted:
+			if exit == 0 {
+				exit = 3
+			}
 		}
-		fmt.Println("counterexample (validated by replay):")
-		fmt.Print(res.Trace.Format(m, p.Machine.CurVars()))
 	}
-	if res.Outcome == verify.Violated {
-		os.Exit(1)
-	}
-	if res.Outcome == verify.Exhausted {
-		os.Exit(3)
-	}
+	os.Exit(exit)
 }

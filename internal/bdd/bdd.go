@@ -24,9 +24,12 @@
 package bdd
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
+
+	"repro/internal/resource"
 )
 
 // Ref is a reference to a BDD function: a node index with a complement
@@ -116,8 +119,9 @@ type Manager struct {
 
 	nodeLimit int // 0 means unlimited
 
-	deadline      time.Time // zero means no deadline
-	deadlineCheck int       // allocations until the next clock read
+	deadline      time.Time       // zero means no deadline
+	ctx           context.Context // nil means no cancellation source
+	deadlineCheck int             // allocations until the next clock/ctx read
 
 	stats Stats
 
@@ -340,29 +344,62 @@ func (m *Manager) SetDeadline(t time.Time) {
 func (m *Manager) Deadline() time.Time { return m.deadline }
 
 // DeadlineError is the panic value raised when an operation overruns the
-// Manager's deadline.
-type DeadlineError struct {
-	Deadline time.Time
+// Manager's deadline. It is resource.DeadlineError; errors.Is(err,
+// resource.ErrDeadline) matches it.
+type DeadlineError = resource.DeadlineError
+
+// ApplyBudget installs a run's resource.Budget on the Manager: the node
+// limit (only when the budget sets one — 0 keeps the current limit), the
+// resolved wall deadline, and the cancellation context. It returns a
+// restore function that reinstates the previous limit, deadline, and
+// context; the run harness defers it so a budget never outlives its run.
+//
+// ApplyBudget is the single entry point through which limits, deadlines,
+// and cancellation reach the BDD layer; SetNodeLimit and SetDeadline
+// remain as low-level primitives beneath it.
+func (m *Manager) ApplyBudget(b resource.Budget) (restore func()) {
+	prevLimit, prevDeadline, prevCtx := m.nodeLimit, m.deadline, m.ctx
+	if b.NodeLimit > 0 {
+		m.nodeLimit = b.NodeLimit
+	}
+	m.deadline = b.Deadline
+	m.ctx = b.Ctx
+	m.deadlineCheck = 0
+	return func() {
+		m.nodeLimit, m.deadline, m.ctx = prevLimit, prevDeadline, prevCtx
+		m.deadlineCheck = 0
+	}
 }
 
-func (e *DeadlineError) Error() string {
-	return "bdd: operation deadline exceeded"
+// CheckBudget panics with *resource.CancelError if the installed context
+// is canceled, or *resource.DeadlineError past the installed deadline.
+// The allocator calls it on a stride; long loops that may run without
+// allocating (cross-simplification sweeps, the greedy merge, the exact
+// termination test) call it directly as a cheap checkpoint.
+func (m *Manager) CheckBudget() {
+	if m.ctx != nil {
+		if err := m.ctx.Err(); err != nil {
+			panic(&resource.CancelError{Cause: err})
+		}
+	}
+	if !m.deadline.IsZero() && time.Now().After(m.deadline) {
+		panic(&resource.DeadlineError{Deadline: m.deadline})
+	}
 }
 
 // alloc returns a fresh node index, preferring the free list. It panics
-// with *LimitError when the node limit would be exceeded, or with
-// *DeadlineError past the deadline.
+// with *LimitError when the node limit would be exceeded, and on a
+// stride with *DeadlineError past the deadline or *resource.CancelError
+// when the installed context is canceled.
 func (m *Manager) alloc() int32 {
 	if m.nodeLimit > 0 && m.stats.Nodes >= m.nodeLimit {
 		panic(&LimitError{Limit: m.nodeLimit, Live: m.stats.Nodes})
 	}
-	if !m.deadline.IsZero() {
+	if !m.deadline.IsZero() || m.ctx != nil {
 		m.deadlineCheck--
 		if m.deadlineCheck <= 0 {
 			m.deadlineCheck = deadlineStride
-			if time.Now().After(m.deadline) {
-				panic(&DeadlineError{Deadline: m.deadline})
-			}
+			m.CheckBudget()
 		}
 	}
 	m.stats.Nodes++
@@ -409,32 +446,14 @@ func (m *Manager) growBuckets() {
 
 // LimitError is the panic value raised when an operation would push the
 // Manager past its node limit. It reproduces the resource-exhaustion
-// behaviour behind the "Exceeded 60MB" rows in the paper's tables.
-type LimitError struct {
-	Limit int // configured node limit
-	Live  int // live nodes at the moment of the abort
-}
+// behaviour behind the "Exceeded 60MB" rows in the paper's tables. It is
+// resource.LimitError; errors.Is(err, resource.ErrNodeLimit) matches it.
+type LimitError = resource.LimitError
 
-func (e *LimitError) Error() string {
-	return fmt.Sprintf("bdd: node limit exceeded (%d live nodes, limit %d)", e.Live, e.Limit)
-}
-
-// Guard runs f, converting a *LimitError or *DeadlineError panic into an
+// Guard runs f, converting a resource-overrun panic (*LimitError,
+// *DeadlineError, *resource.CancelError, *resource.IterError) into an
 // error return. Any other panic is re-raised. It is the intended API
 // boundary for resource-bounded verification runs.
 func Guard(f func()) (err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			switch e := r.(type) {
-			case *LimitError:
-				err = e
-			case *DeadlineError:
-				err = e
-			default:
-				panic(r)
-			}
-		}
-	}()
-	f()
-	return nil
+	return resource.Guard(f)
 }

@@ -34,6 +34,7 @@ func (m *Manager) NewWorker() *Manager {
 	w.varNames = append([]string(nil), m.varNames...)
 	w.nodeLimit = m.nodeLimit
 	w.deadline = m.deadline
+	w.ctx = m.ctx
 	return w
 }
 

@@ -11,6 +11,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -18,18 +19,16 @@ import (
 
 	"repro/internal/bdd"
 	"repro/internal/par"
+	"repro/internal/resource"
 	"repro/internal/verify"
 )
 
-// Budget is the per-cell resource bound.
-type Budget struct {
-	// NodeLimit bounds live BDD nodes. At ~20 bytes per node, 3M nodes
-	// is the analog of the paper's 60MB ceiling.
-	NodeLimit int
-	// Timeout is the per-cell wall-clock bound (the paper's 40 minutes,
-	// scaled to modern hardware).
-	Timeout time.Duration
-}
+// Budget is the per-cell resource bound — the unified resource.Budget.
+// The grids set NodeLimit (at ~20 bytes per node, 3M nodes is the analog
+// of the paper's 60MB ceiling) and Timeout (the paper's 40 minutes,
+// scaled to modern hardware); the runners thread the caller's context
+// through it so every cell is individually cancelable.
+type Budget = resource.Budget
 
 // DefaultBudget is the budget used by cmd/icibench.
 var DefaultBudget = Budget{NodeLimit: 3_000_000, Timeout: 60 * time.Second}
@@ -63,17 +62,20 @@ type CellResult struct {
 }
 
 // RunCell executes one cell on a fresh manager under the budget.
-func RunCell(c Cell, budget Budget) CellResult {
+// Canceling ctx aborts the cell's BDD operations promptly (the
+// manager's strided budget checks), yielding an Exhausted result whose
+// Err matches context.Canceled.
+func RunCell(ctx context.Context, c Cell, budget Budget) CellResult {
 	m := bdd.NewWithSize(1<<16, 20)
 	p := c.Build(m)
 	opt := c.Opt
-	if opt.NodeLimit == 0 {
-		opt.NodeLimit = budget.NodeLimit
+	if opt.Budget.NodeLimit == 0 {
+		opt.Budget.NodeLimit = budget.NodeLimit
 	}
-	if opt.Timeout == 0 {
-		opt.Timeout = budget.Timeout
+	if opt.Budget.Timeout == 0 {
+		opt.Budget.Timeout = budget.Timeout
 	}
-	res := verify.Run(p, c.Method, opt)
+	res := verify.RunContext(ctx, p, c.Method, opt)
 	return CellResult{Cell: c, Result: res, PeakLive: m.PeakNodes(), TotalVars: m.NumVars()}
 }
 
@@ -108,13 +110,34 @@ func (rw *rowWriter) row(cr CellResult) {
 
 func (rw *rowWriter) done() { fmt.Fprintln(rw.w) }
 
+// Filter returns the table restricted to cells whose method is in
+// methods (nil or empty keeps every cell). The icibench -engines flag
+// resolves to this.
+func (t Table) Filter(methods []verify.Method) Table {
+	if len(methods) == 0 {
+		return t
+	}
+	keep := make(map[verify.Method]bool, len(methods))
+	for _, m := range methods {
+		keep[m] = true
+	}
+	out := Table{Title: t.Title}
+	for _, c := range t.Cells {
+		if keep[c.Method] {
+			out.Cells = append(out.Cells, c)
+		}
+	}
+	return out
+}
+
 // Run executes every cell and renders the paper-style rows to w,
-// streaming each row as its cell finishes.
-func (t Table) Run(w io.Writer, budget Budget) []CellResult {
+// streaming each row as its cell finishes. Canceling ctx makes the
+// remaining cells finish promptly as Exhausted/canceled.
+func (t Table) Run(ctx context.Context, w io.Writer, budget Budget) []CellResult {
 	rw := newRowWriter(w, t.Title)
 	results := make([]CellResult, 0, len(t.Cells))
 	for _, c := range t.Cells {
-		cr := RunCell(c, budget)
+		cr := RunCell(ctx, c, budget)
 		rw.row(cr)
 		results = append(results, cr)
 	}
@@ -130,13 +153,17 @@ func (t Table) Run(w io.Writer, budget Budget) []CellResult {
 // to a sequential Run. Wall-clock fields can differ — concurrent cells
 // contend for cores, so a grid whose budgets sit near a cell's true cost
 // may tip a borderline cell into "Exceeded time budget".
-func (t Table) RunParallel(w io.Writer, budget Budget, workers int) []CellResult {
+//
+// Each cell observes ctx through its own budget, so cancellation aborts
+// in-flight cells individually and the pool drains without leaking
+// goroutines.
+func (t Table) RunParallel(ctx context.Context, w io.Writer, budget Budget, workers int) []CellResult {
 	if workers == 1 || len(t.Cells) < 2 {
-		return t.Run(w, budget)
+		return t.Run(ctx, w, budget)
 	}
 	results := make([]CellResult, len(t.Cells))
 	par.NewPool(workers).ForEach(len(t.Cells), func(_, i int) {
-		results[i] = RunCell(t.Cells[i], budget)
+		results[i] = RunCell(ctx, t.Cells[i], budget)
 	})
 	rw := newRowWriter(w, t.Title)
 	for _, cr := range results {
@@ -152,13 +179,28 @@ func formatRow(cr CellResult) string {
 	label := cr.Cell.RowLabel()
 	switch r.Outcome {
 	case verify.Exhausted:
-		return fmt.Sprintf("%-5s %s", label, exhaustedLabel(r.Why))
+		return fmt.Sprintf("%-5s %s", label, exhaustedText(r))
 	case verify.Violated:
 		return fmt.Sprintf("%-5s VIOLATED at depth %d (%s)", label, r.ViolationDepth, fmtDur(r.Elapsed))
 	}
 	return fmt.Sprintf("%-5s %-9s %-5d %-10s %d%s",
 		label, fmtDur(r.Elapsed), r.Iterations, fmtMem(r.MemBytes), r.PeakStateNodes,
 		fmtProfile(r.PeakProfile))
+}
+
+// exhaustedText prefers the result's typed termination cause and falls
+// back to classifying the Why string for results built elsewhere.
+func exhaustedText(r verify.Result) string {
+	switch r.Cause() {
+	case "node-limit":
+		return "Exceeded node budget."
+	case "deadline":
+		return "Exceeded time budget."
+	case "canceled":
+		return "Canceled."
+	default:
+		return exhaustedLabel(r.Why)
+	}
 }
 
 // exhaustedLabel mirrors the paper's "Exceeded 60MB." / "Exceeded 40

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -66,7 +67,7 @@ func TestRunCellBudgets(t *testing.T) {
 			return models.NewFIFO(m, models.DefaultFIFO(3))
 		},
 	}
-	cr := RunCell(cell, Budget{NodeLimit: 500_000, Timeout: 30 * time.Second})
+	cr := RunCell(context.Background(), cell, Budget{NodeLimit: 500_000, Timeout: 30 * time.Second})
 	if cr.Result.Outcome != verify.Verified {
 		t.Fatalf("outcome %v (%s)", cr.Result.Outcome, cr.Result.Why)
 	}
@@ -74,7 +75,7 @@ func TestRunCellBudgets(t *testing.T) {
 		t.Fatal("missing manager stats")
 	}
 	// A hopeless budget must yield an Exceeded row, not an error.
-	cr2 := RunCell(cell, Budget{NodeLimit: 50, Timeout: time.Second})
+	cr2 := RunCell(context.Background(), cell, Budget{NodeLimit: 50, Timeout: time.Second})
 	if cr2.Result.Outcome != verify.Exhausted {
 		t.Fatalf("tiny budget outcome %v", cr2.Result.Outcome)
 	}
@@ -105,7 +106,7 @@ func TestQuickTablesRunGreen(t *testing.T) {
 		func() (Table, Budget) { return Table3(true, true) },
 	} {
 		tab, budget := tb()
-		results := tab.Run(&sb, budget)
+		results := tab.Run(context.Background(), &sb, budget)
 		if len(results) == 0 {
 			t.Fatalf("%s produced no rows", tab.Title)
 		}

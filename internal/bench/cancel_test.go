@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCanceledContextAbortsParallelGrid: a canceled context must make
+// the parallel grid return promptly with every cell Exhausted on the
+// typed cancellation error, draining the worker pool without leaking
+// goroutines (run under -race in CI).
+func TestCanceledContextAbortsParallelGrid(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	tab := smallTable()
+	var out strings.Builder
+	start := time.Now()
+	results := tab.RunParallel(ctx, &out, Budget{NodeLimit: 5_000_000, Timeout: time.Minute}, 4)
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("grid did not abort promptly: %v", elapsed)
+	}
+
+	if len(results) != len(tab.Cells) {
+		t.Fatalf("got %d results, want %d", len(results), len(tab.Cells))
+	}
+	for _, cr := range results {
+		if cr.Result.Outcome.String() != "exhausted" {
+			t.Fatalf("%s/%s: outcome %v, want exhausted",
+				cr.Cell.Group, cr.Cell.Method, cr.Result.Outcome)
+		}
+		if !errors.Is(cr.Result.Err, context.Canceled) {
+			t.Fatalf("%s/%s: Err = %v, want context.Canceled",
+				cr.Cell.Group, cr.Cell.Method, cr.Result.Err)
+		}
+		if cr.Result.Cause() != "canceled" {
+			t.Fatalf("cause %q, want canceled", cr.Result.Cause())
+		}
+	}
+	if !strings.Contains(out.String(), "Canceled.") {
+		t.Fatalf("rendered table does not mark canceled rows:\n%s", out.String())
+	}
+
+	// The pool's goroutines must have drained.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutine leak: %d running, %d before the grid", n, before)
+	}
+}
+
+// TestMidGridCancellation: cancellation landing while cells are in
+// flight still drains the grid; canceled cells carry the typed error,
+// finished cells keep their verdicts.
+func TestMidGridCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	tab := smallTable()
+	var out strings.Builder
+	done := make(chan []CellResult, 1)
+	go func() {
+		done <- tab.RunParallel(ctx, &out, Budget{NodeLimit: 5_000_000, Timeout: time.Minute}, 2)
+	}()
+	cancel()
+	select {
+	case results := <-done:
+		for _, cr := range results {
+			if cr.Result.Outcome.String() == "exhausted" && !errors.Is(cr.Result.Err, context.Canceled) {
+				t.Fatalf("%s/%s exhausted without cancel error: %v",
+					cr.Cell.Group, cr.Cell.Method, cr.Result.Err)
+			}
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("grid did not drain after cancellation")
+	}
+}

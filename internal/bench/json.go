@@ -13,7 +13,9 @@ import (
 // EXPERIMENTS.md under "Machine-readable output".
 
 // ReportSchema identifies the JSON layout; bump on breaking changes.
-const ReportSchema = "icibench/v1"
+// v2 added the per-table budget and the per-cell typed termination
+// cause.
+const ReportSchema = "icibench/v2"
 
 // Report is the top-level -json document.
 type Report struct {
@@ -24,11 +26,14 @@ type Report struct {
 	Tables    []TableReport `json:"tables"`
 }
 
-// TableReport is one table's cells plus its total wall time.
+// TableReport is one table's cells plus its total wall time and the
+// per-cell resource budget the grid ran under.
 type TableReport struct {
-	Title   string       `json:"title"`
-	Elapsed float64      `json:"elapsed_seconds"`
-	Cells   []CellReport `json:"cells"`
+	Title          string       `json:"title"`
+	Elapsed        float64      `json:"elapsed_seconds"`
+	NodeLimit      int          `json:"node_limit"`
+	TimeoutSeconds float64      `json:"timeout_seconds"`
+	Cells          []CellReport `json:"cells"`
 }
 
 // CellReport flattens one CellResult. Wall-clock fields vary run to
@@ -38,6 +43,7 @@ type CellReport struct {
 	Method         string  `json:"method"`
 	Label          string  `json:"label"`
 	Outcome        string  `json:"outcome"`
+	Cause          string  `json:"cause,omitempty"` // typed termination cause for exhausted rows
 	Why            string  `json:"why,omitempty"`
 	Iterations     int     `json:"iterations"`
 	PeakStateNodes int     `json:"peak_state_nodes"`
@@ -57,6 +63,7 @@ func NewCellReport(cr CellResult) CellReport {
 		Method:         string(cr.Cell.Method),
 		Label:          cr.Cell.RowLabel(),
 		Outcome:        r.Outcome.String(),
+		Cause:          r.Cause(),
 		Why:            r.Why,
 		Iterations:     r.Iterations,
 		PeakStateNodes: r.PeakStateNodes,
@@ -73,8 +80,14 @@ func NewCellReport(cr CellResult) CellReport {
 }
 
 // Add appends one finished table to the report.
-func (r *Report) Add(title string, elapsed time.Duration, results []CellResult) {
-	tr := TableReport{Title: title, Elapsed: elapsed.Seconds(), Cells: make([]CellReport, 0, len(results))}
+func (r *Report) Add(title string, elapsed time.Duration, budget Budget, results []CellResult) {
+	tr := TableReport{
+		Title:          title,
+		Elapsed:        elapsed.Seconds(),
+		NodeLimit:      budget.NodeLimit,
+		TimeoutSeconds: budget.Timeout.Seconds(),
+		Cells:          make([]CellReport, 0, len(results)),
+	}
 	for _, cr := range results {
 		tr.Cells = append(tr.Cells, NewCellReport(cr))
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -43,8 +44,8 @@ func TestRunParallelMatchesRun(t *testing.T) {
 	tab := smallTable()
 
 	var seqOut, parOut strings.Builder
-	seq := tab.Run(&seqOut, budget)
-	parl := tab.RunParallel(&parOut, budget, 4)
+	seq := tab.Run(context.Background(), &seqOut, budget)
+	parl := tab.RunParallel(context.Background(), &parOut, budget, 4)
 
 	if len(parl) != len(seq) {
 		t.Fatalf("row count %d != %d", len(parl), len(seq))
@@ -106,7 +107,7 @@ func TestRunParallelDegenerate(t *testing.T) {
 	tab := smallTable()
 	tab.Cells = tab.Cells[:1]
 	var out strings.Builder
-	rs := tab.RunParallel(&out, budget, 8)
+	rs := tab.RunParallel(context.Background(), &out, budget, 8)
 	if len(rs) != 1 || rs[0].Result.Outcome != verify.Verified {
 		t.Fatalf("single-cell parallel run: %+v", rs)
 	}
@@ -121,10 +122,10 @@ func TestReportRoundTrip(t *testing.T) {
 	budget := Budget{NodeLimit: 500_000, Timeout: 30 * time.Second}
 	tab := smallTable()
 	var sink strings.Builder
-	results := tab.Run(&sink, budget)
+	results := tab.Run(context.Background(), &sink, budget)
 
 	rep := &Report{Quick: true, Workers: 2}
-	rep.Add(tab.Title, 1500*time.Millisecond, results)
+	rep.Add(tab.Title, 1500*time.Millisecond, budget, results)
 	path := filepath.Join(t.TempDir(), "bench.json")
 	if err := rep.Write(path); err != nil {
 		t.Fatalf("Write: %v", err)
@@ -176,7 +177,7 @@ func TestNewCellReportViolation(t *testing.T) {
 			return models.NewFIFO(m, cfg)
 		},
 	}
-	cr := RunCell(cell, Budget{NodeLimit: 500_000, Timeout: 30 * time.Second})
+	cr := RunCell(context.Background(), cell, Budget{NodeLimit: 500_000, Timeout: 30 * time.Second})
 	if cr.Result.Outcome != verify.Violated {
 		t.Fatalf("bug model outcome %v (%s)", cr.Result.Outcome, cr.Result.Why)
 	}

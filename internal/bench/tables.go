@@ -181,8 +181,8 @@ func Table1(quick bool) (Table, Budget) {
 	for _, depth := range []int{4, 8, 16} {
 		cells := filterCells(depth, true, 8)
 		for i := range cells {
-			cells[i].Opt.NodeLimit = filterBudget.NodeLimit
-			cells[i].Opt.Timeout = filterBudget.Timeout
+			cells[i].Opt.Budget.NodeLimit = filterBudget.NodeLimit
+			cells[i].Opt.Budget.Timeout = filterBudget.Timeout
 		}
 		t.Cells = append(t.Cells, cells...)
 	}

@@ -101,6 +101,7 @@ func CrossSimplify(l List, simp bdd.Simplifier) List {
 		sizes[i] = m.Size(c)
 	}
 	for i := range cs {
+		m.CheckBudget() // simplification may shrink nodes and never alloc
 		f := cs[i]
 		for j := range cs {
 			if i == j || sizes[j] >= sizes[i] {
@@ -124,6 +125,7 @@ func CrossSimplify(l List, simp bdd.Simplifier) List {
 // semantics exact; see the soundness note in the termination test.
 func CrossSimplifyPositional(m *bdd.Manager, cs []bdd.Ref, simp bdd.Simplifier) {
 	for i := range cs {
+		m.CheckBudget()
 		f := cs[i]
 		for j := range cs {
 			if i == j || f.IsConst() {

@@ -123,6 +123,7 @@ func greedyMerge(m *bdd.Manager, cs []bdd.Ref, threshold float64, sc pairScorer)
 
 	row := make([][2]int, 0, n)
 	for live >= 2 {
+		m.CheckBudget() // merge rounds can spin on cached conjunctions
 		// Pop the best still-valid candidate.
 		bestI, bestJ := -1, -1
 		var bestRatio float64

@@ -112,6 +112,7 @@ func (tt Termination) DisjunctionTautology(ds []bdd.Ref) bool {
 
 func (tt Termination) disjTaut(ds []bdd.Ref, depth int) bool {
 	m := tt.M
+	m.CheckBudget() // cofactor recursion mostly hits cached nodes
 	if tt.Stats != nil {
 		tt.Stats.TautCalls++
 		if depth > tt.Stats.MaxSplitDepth {

@@ -1,0 +1,202 @@
+// Package resource defines the single resource-bound value — the Budget
+// — threaded through every verification run, from the cmd binaries
+// through verify and core down to the bdd substrate, together with the
+// typed errors a run reports when it overruns a bound.
+//
+// Before this package existed, resource control was smeared across three
+// mechanisms: the manager's panic-based node limit, the manager deadline
+// with its allocation-countdown clock checks, and per-engine timeout
+// closures. A Budget unifies them: one value carrying the live-node
+// limit, the wall bound (relative or absolute), the traversal iteration
+// cap, and a context.Context for cancellation. Layers keep their cheap
+// internal checks but source them from the installed Budget, and every
+// overrun surfaces as a typed, errors.Is-matchable error:
+//
+//	ErrNodeLimit      the run allocated past Budget.NodeLimit
+//	ErrDeadline       the wall clock passed the resolved deadline
+//	ErrIterLimit      the traversal hit Budget.MaxIterations
+//	context.Canceled  the Budget's context was canceled
+//
+// The panic values raised deep inside BDD operations (*LimitError,
+// *DeadlineError, *CancelError, *IterError) match those sentinels via
+// errors.Is; Guard converts them into error returns at an API boundary.
+package resource
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Sentinel errors for errors.Is matching. The concrete error values a
+// run returns are the structured types below, which carry the numbers
+// behind the overrun; these sentinels classify them.
+var (
+	// ErrNodeLimit marks a live-node budget overrun — the analog of the
+	// paper's "Exceeded 60MB" rows.
+	ErrNodeLimit = errors.New("resource: node limit exceeded")
+
+	// ErrDeadline marks a wall-clock overrun — the "Exceeded 40
+	// minutes" rows.
+	ErrDeadline = errors.New("resource: deadline exceeded")
+
+	// ErrIterLimit marks a traversal that hit its iteration cap before
+	// converging.
+	ErrIterLimit = errors.New("resource: iteration cap exceeded")
+)
+
+// Budget is one run's complete resource bound. The zero value means
+// "unbounded": no node limit, no wall bound, the engine's default
+// iteration cap, and no cancellation.
+//
+// A Budget is a plain value; copying it is cheap and the harness mutates
+// only its own copy (Start resolving Timeout into Deadline).
+type Budget struct {
+	// Ctx carries the run's cancellation signal. Nil means
+	// context.Background(); a canceled context aborts BDD operations
+	// with *CancelError, which errors.Is-matches context.Canceled.
+	Ctx context.Context
+
+	// NodeLimit bounds live BDD nodes for the run (0 = keep the
+	// manager's current limit). Exceeding it aborts the current
+	// operation with *LimitError.
+	NodeLimit int
+
+	// Timeout bounds wall time relative to the run's start (0 = none).
+	// Start resolves it into Deadline.
+	Timeout time.Duration
+
+	// Deadline is the absolute wall bound (zero = none). Usually left
+	// zero and derived from Timeout by Start; set it directly to share
+	// one absolute deadline across several runs.
+	Deadline time.Time
+
+	// MaxIterations caps traversal depth (0 = the engine's default).
+	MaxIterations int
+}
+
+// Start resolves the relative Timeout against now, returning a budget
+// whose Deadline reflects the earlier of the existing Deadline and
+// now+Timeout. The run harness calls it once at run start.
+func (b Budget) Start(now time.Time) Budget {
+	if b.Timeout > 0 {
+		d := now.Add(b.Timeout)
+		if b.Deadline.IsZero() || d.Before(b.Deadline) {
+			b.Deadline = d
+		}
+	}
+	return b
+}
+
+// Context returns the budget's context, defaulting to Background.
+func (b Budget) Context() context.Context {
+	if b.Ctx == nil {
+		return context.Background()
+	}
+	return b.Ctx
+}
+
+// MaxIter returns the iteration cap, defaulting to def when unset.
+func (b Budget) MaxIter(def int) int {
+	if b.MaxIterations <= 0 {
+		return def
+	}
+	return b.MaxIterations
+}
+
+// Err reports whether the budget is already violated on the wall clock
+// or canceled: nil while the run may continue. Node and iteration
+// bounds are enforced where the counters live (the manager's allocator,
+// the engine's loop), not here.
+func (b Budget) Err() error {
+	if b.Ctx != nil {
+		if err := b.Ctx.Err(); err != nil {
+			return &CancelError{Cause: err}
+		}
+	}
+	if !b.Deadline.IsZero() && time.Now().After(b.Deadline) {
+		return &DeadlineError{Deadline: b.Deadline}
+	}
+	return nil
+}
+
+// LimitError is the panic value raised when an operation would push a
+// manager past its node limit. errors.Is(err, ErrNodeLimit) matches it.
+type LimitError struct {
+	Limit int // configured node limit
+	Live  int // live nodes at the moment of the abort
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("resource: node limit exceeded (%d live nodes, limit %d)", e.Live, e.Limit)
+}
+
+// Is matches the ErrNodeLimit sentinel.
+func (e *LimitError) Is(target error) bool { return target == ErrNodeLimit }
+
+// DeadlineError is the panic value raised when an operation overruns
+// the wall deadline. errors.Is(err, ErrDeadline) matches it.
+type DeadlineError struct {
+	Deadline time.Time
+}
+
+func (e *DeadlineError) Error() string {
+	return "resource: operation deadline exceeded"
+}
+
+// Is matches the ErrDeadline sentinel.
+func (e *DeadlineError) Is(target error) bool { return target == ErrDeadline }
+
+// IterError is the error reported when a traversal hits its iteration
+// cap. errors.Is(err, ErrIterLimit) matches it.
+type IterError struct {
+	Limit int
+}
+
+func (e *IterError) Error() string {
+	return fmt.Sprintf("resource: iteration bound %d reached", e.Limit)
+}
+
+// Is matches the ErrIterLimit sentinel.
+func (e *IterError) Is(target error) bool { return target == ErrIterLimit }
+
+// CancelError is the panic value raised when the installed context is
+// observed canceled mid-operation. It unwraps to the context's own
+// error, so errors.Is(err, context.Canceled) (or DeadlineExceeded, for
+// a context with its own deadline) matches.
+type CancelError struct {
+	Cause error // the context's Err()
+}
+
+func (e *CancelError) Error() string {
+	return "resource: run canceled: " + e.Cause.Error()
+}
+
+// Unwrap exposes the context error for errors.Is.
+func (e *CancelError) Unwrap() error { return e.Cause }
+
+// Guard runs f, converting a resource-overrun panic (*LimitError,
+// *DeadlineError, *CancelError, *IterError) into an error return. Any
+// other panic is re-raised. It is the intended API boundary for
+// resource-bounded verification runs.
+func Guard(f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			switch e := r.(type) {
+			case *LimitError:
+				err = e
+			case *DeadlineError:
+				err = e
+			case *CancelError:
+				err = e
+			case *IterError:
+				err = e
+			default:
+				panic(r)
+			}
+		}
+	}()
+	f()
+	return nil
+}

@@ -1,0 +1,111 @@
+package resource
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestStartResolvesTimeout(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := Budget{Timeout: time.Minute}.Start(now)
+	if !b.Deadline.Equal(now.Add(time.Minute)) {
+		t.Fatalf("deadline %v", b.Deadline)
+	}
+	// An earlier absolute deadline wins over the relative timeout.
+	early := now.Add(time.Second)
+	b = Budget{Timeout: time.Minute, Deadline: early}.Start(now)
+	if !b.Deadline.Equal(early) {
+		t.Fatalf("deadline %v, want the earlier %v", b.Deadline, early)
+	}
+	// And vice versa.
+	late := now.Add(time.Hour)
+	b = Budget{Timeout: time.Minute, Deadline: late}.Start(now)
+	if !b.Deadline.Equal(now.Add(time.Minute)) {
+		t.Fatalf("deadline %v, want now+1m", b.Deadline)
+	}
+	// No timeout: deadline untouched.
+	if b := (Budget{}).Start(now); !b.Deadline.IsZero() {
+		t.Fatalf("zero budget grew a deadline: %v", b.Deadline)
+	}
+}
+
+func TestMaxIterDefault(t *testing.T) {
+	if got := (Budget{}).MaxIter(42); got != 42 {
+		t.Fatalf("default MaxIter = %d", got)
+	}
+	if got := (Budget{MaxIterations: 7}).MaxIter(42); got != 7 {
+		t.Fatalf("explicit MaxIter = %d", got)
+	}
+}
+
+func TestErrClassifiesViolations(t *testing.T) {
+	if err := (Budget{}).Err(); err != nil {
+		t.Fatalf("zero budget violated: %v", err)
+	}
+	past := Budget{Deadline: time.Now().Add(-time.Second)}
+	if err := past.Err(); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("past deadline: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b := Budget{Ctx: ctx}
+	err := b.Err()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled ctx: %v", err)
+	}
+	// Cancellation is reported ahead of the deadline.
+	b.Deadline = time.Now().Add(-time.Second)
+	if err := b.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled+expired: %v", err)
+	}
+}
+
+func TestTypedErrorsMatchSentinels(t *testing.T) {
+	cases := []struct {
+		err  error
+		want error
+	}{
+		{&LimitError{Limit: 10, Live: 11}, ErrNodeLimit},
+		{&DeadlineError{Deadline: time.Now()}, ErrDeadline},
+		{&IterError{Limit: 5}, ErrIterLimit},
+		{&CancelError{Cause: context.Canceled}, context.Canceled},
+	}
+	for _, c := range cases {
+		if !errors.Is(c.err, c.want) {
+			t.Fatalf("%T does not match %v", c.err, c.want)
+		}
+		if c.err.Error() == "" {
+			t.Fatalf("%T has empty message", c.err)
+		}
+	}
+	if errors.Is(&LimitError{}, ErrDeadline) || errors.Is(&DeadlineError{}, ErrNodeLimit) {
+		t.Fatal("sentinels cross-match")
+	}
+}
+
+func TestGuardConvertsResourcePanics(t *testing.T) {
+	for _, p := range []error{
+		&LimitError{Limit: 1, Live: 2},
+		&DeadlineError{Deadline: time.Now()},
+		&CancelError{Cause: context.Canceled},
+		&IterError{Limit: 3},
+	} {
+		p := p
+		err := Guard(func() { panic(p) })
+		if !errors.Is(err, p) {
+			t.Fatalf("Guard returned %v, want %v", err, p)
+		}
+	}
+	if err := Guard(func() {}); err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	// Foreign panics propagate.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign panic swallowed")
+		}
+	}()
+	_ = Guard(func() { panic("boom") })
+}

@@ -1,34 +1,30 @@
 package verify
 
 import (
-	"fmt"
-	"time"
-
 	"repro/internal/core"
 )
+
+func init() { RegisterFunc(Backward, runBackward) }
 
 // runBackward is the conventional backward traversal of Section II.B:
 // G_0 = G, G_{i+1} = G_0 ∧ BackImage(τ, G_i); a violation is S ⊄ G_i,
 // and convergence of the G_i sequence means the property holds. The
 // whole point of the implicit methods is that this engine must build the
 // monolithic BDD for G and each G_i.
-func runBackward(p Problem, opt Options) Result {
+func runBackward(c *Ctx, p Problem, opt Options) Result {
 	ma := p.Machine
 	m := ma.M
-	ctx := newRunCtx(p, opt)
-	defer ctx.release()
 
-	good := ctx.protect(p.good())
+	good := c.Protect(p.good())
 	init := ma.Init()
-	start := time.Now()
-	expired := deadline(opt, start)
 
 	g := good
 	layers := []core.List{core.NewList(m, g)}
-	peak := m.Size(g)
+	c.Observe(m.Size(g), nil)
 
 	for i := 0; ; i++ {
 		if !m.Implies(init, g) {
+			peak, _ := c.Peak()
 			res := Result{
 				Outcome:        Violated,
 				Iterations:     i,
@@ -40,24 +36,18 @@ func runBackward(p Problem, opt Options) Result {
 			}
 			return res
 		}
-		if i >= opt.maxIter() {
-			return Result{Outcome: Exhausted, Iterations: i, PeakStateNodes: peak,
-				Why: fmt.Sprintf("iteration bound %d reached", opt.maxIter())}
-		}
-		if expired() {
-			return Result{Outcome: Exhausted, Iterations: i, PeakStateNodes: peak,
-				Why: fmt.Sprintf("timeout %v exceeded", opt.Timeout)}
+		if res, stop := c.Tick(i); stop {
+			return res
 		}
 
-		gn := ctx.protect(m.And(good, ma.BackImage(g)))
-		if s := m.Size(gn); s > peak {
-			peak = s
-		}
+		gn := c.Protect(m.And(good, ma.BackImage(g)))
+		c.Observe(m.Size(gn), nil)
 		if gn == g {
+			peak, _ := c.Peak()
 			return Result{Outcome: Verified, Iterations: i + 1, PeakStateNodes: peak}
 		}
 		g = gn
 		layers = append(layers, core.NewList(m, g))
-		ctx.maybeGC(i)
+		c.MaybeGC(i)
 	}
 }

@@ -1,0 +1,140 @@
+package verify
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/resource"
+)
+
+// TestEveryEngineNodeLimitOverrun: every registered built-in engine, on
+// a node-limit overrun, returns Exhausted with the typed error and
+// partial statistics, and leaves the manager usable for an unbounded
+// rerun.
+func TestEveryEngineNodeLimitOverrun(t *testing.T) {
+	for _, method := range Methods {
+		method := method
+		t.Run(string(method), func(t *testing.T) {
+			p, _ := tinyFIFO(t, 3, 3, 5, false)
+			res := Run(p, method, Options{Budget: resource.Budget{NodeLimit: 1}})
+			if res.Outcome != Exhausted {
+				t.Fatalf("outcome %v (%s), want exhausted", res.Outcome, res.Why)
+			}
+			if !errors.Is(res.Err, resource.ErrNodeLimit) {
+				t.Fatalf("Err = %v, want ErrNodeLimit", res.Err)
+			}
+			if res.Cause() != "node-limit" {
+				t.Fatalf("Cause = %q", res.Cause())
+			}
+			if res.Method != method || res.Problem != "tinyFIFO" {
+				t.Fatalf("result not finalized: %+v", res)
+			}
+			// The budget must not outlive the run: the manager is usable
+			// and unbounded again.
+			if res2 := Run(p, method, Options{}); res2.Outcome != Verified {
+				t.Fatalf("manager unusable after overrun: %v (%s)", res2.Outcome, res2.Why)
+			}
+		})
+	}
+}
+
+// TestEveryEngineDeadlineOverrun: a budget whose deadline has already
+// passed exhausts every engine with the typed deadline error.
+func TestEveryEngineDeadlineOverrun(t *testing.T) {
+	for _, method := range Methods {
+		method := method
+		t.Run(string(method), func(t *testing.T) {
+			p, _ := tinyFIFO(t, 3, 3, 5, false)
+			res := Run(p, method, Options{Budget: resource.Budget{Timeout: time.Nanosecond}})
+			if res.Outcome != Exhausted {
+				t.Fatalf("outcome %v (%s), want exhausted", res.Outcome, res.Why)
+			}
+			if !errors.Is(res.Err, resource.ErrDeadline) {
+				t.Fatalf("Err = %v, want ErrDeadline", res.Err)
+			}
+			if res.Cause() != "deadline" {
+				t.Fatalf("Cause = %q", res.Cause())
+			}
+			if res2 := Run(p, method, Options{}); res2.Outcome != Verified {
+				t.Fatalf("manager unusable after overrun: %v (%s)", res2.Outcome, res2.Why)
+			}
+		})
+	}
+}
+
+// TestEveryEngineCanceledContext: a canceled context exhausts every
+// engine with an error matching context.Canceled.
+func TestEveryEngineCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, method := range Methods {
+		p, _ := tinyFIFO(t, 3, 3, 5, false)
+		res := RunContext(ctx, p, method, Options{})
+		if res.Outcome != Exhausted {
+			t.Fatalf("%s: outcome %v (%s), want exhausted", method, res.Outcome, res.Why)
+		}
+		if !errors.Is(res.Err, context.Canceled) {
+			t.Fatalf("%s: Err = %v, want context.Canceled", method, res.Err)
+		}
+		if res.Cause() != "canceled" {
+			t.Fatalf("%s: Cause = %q", method, res.Cause())
+		}
+	}
+}
+
+// TestContextDeadlineClassifiesAsDeadline: a context whose own deadline
+// expired (DeadlineExceeded, not Canceled) still folds to the stable
+// "deadline" cause label.
+func TestContextDeadlineClassifiesAsDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	p, _ := tinyFIFO(t, 3, 3, 5, false)
+	res := RunContext(ctx, p, Forward, Options{})
+	if res.Outcome != Exhausted {
+		t.Fatalf("outcome %v, want exhausted", res.Outcome)
+	}
+	if !errors.Is(res.Err, context.DeadlineExceeded) {
+		t.Fatalf("Err = %v, want context.DeadlineExceeded", res.Err)
+	}
+	if res.Cause() != "deadline" {
+		t.Fatalf("Cause = %q, want deadline", res.Cause())
+	}
+}
+
+// TestBudgetOnOptionsTakesPrecedence: an explicit Budget.Ctx wins over
+// the RunContext argument.
+func TestBudgetOnOptionsTakesPrecedence(t *testing.T) {
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	p, _ := tinyFIFO(t, 2, 2, 2, false)
+	res := RunContext(canceled, p, Forward,
+		Options{Budget: resource.Budget{Ctx: context.Background()}})
+	if res.Outcome != Verified {
+		t.Fatalf("explicit Budget.Ctx overridden: %v (%s)", res.Outcome, res.Why)
+	}
+}
+
+// TestMidRunCancellation: canceling while a traversal is in flight
+// aborts between iterations (the Tick checkpoint) or inside an image
+// computation (the manager's strided check) with the typed error.
+func TestMidRunCancellation(t *testing.T) {
+	p, _ := tinyFIFO(t, 3, 4, 5, false)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan Result, 1)
+	go func() {
+		done <- RunContext(ctx, p, XICI, Options{})
+	}()
+	cancel()
+	res := <-done
+	// The run may have finished before the cancel landed; both verdicts
+	// are legal, but a canceled run must carry the typed error.
+	if res.Outcome == Exhausted && !errors.Is(res.Err, context.Canceled) {
+		t.Fatalf("exhausted without typed cancel error: %v", res.Err)
+	}
+	if res.Outcome != Exhausted && res.Outcome != Verified {
+		t.Fatalf("unexpected outcome %v (%s)", res.Outcome, res.Why)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/bdd"
 	"repro/internal/core"
 	"repro/internal/fsm"
+	"repro/internal/resource"
 )
 
 // Cross-validation on random machines: four algorithmically independent
@@ -93,7 +94,7 @@ func TestEnginesAgreeOnRandomMachines(t *testing.T) {
 
 		results := make(map[Method]Result)
 		for _, method := range []Method{Forward, Backward, ICI, XICI} {
-			results[method] = Run(p, method, Options{WantTrace: true, MaxIterations: 500})
+			results[method] = Run(p, method, Options{WantTrace: true, Budget: resource.Budget{MaxIterations: 500}})
 		}
 
 		base := results[Forward]
@@ -169,7 +170,7 @@ func TestXICIVariantsAgreeOnRandomMachines(t *testing.T) {
 		p, _ := randMachine(t, rng, 2+rng.Intn(3), 1+rng.Intn(2))
 		want := Run(p, Forward, Options{}).Outcome
 		for oi, opt := range opts {
-			opt.MaxIterations = 500 // TermFast may legitimately not converge
+			opt.Budget.MaxIterations = 500 // TermFast may legitimately not converge
 			res := Run(p, XICI, opt)
 			if res.Outcome == Exhausted && opt.Termination == TermFast {
 				continue // documented weakness of the fast test

@@ -2,21 +2,35 @@ package verify
 
 import (
 	"repro/internal/bdd"
+	"repro/internal/resource"
 )
 
-// runCtx carries the GC bookkeeping shared by all engines: every value
-// that must survive a collection is registered as a root, and
-// collections happen only at iteration boundaries (the bdd package's GC
-// contract).
-type runCtx struct {
-	m     *bdd.Manager
-	opt   Options
-	roots []bdd.Ref
+// Ctx is the harness state shared with a running engine: GC root
+// bookkeeping, the resolved resource budget, and the progress sink —
+// iterations completed and the peak iterate statistics — that the
+// harness reads back when the run aborts mid-operation, so Exhausted
+// results report how far the run got (the partial numbers behind the
+// paper's "Exceeded 60MB" rows).
+//
+// Engines report progress through Tick and Observe and register
+// GC-surviving values through Protect; the harness owns creation,
+// release, and Result finalization.
+type Ctx struct {
+	m       *bdd.Manager
+	opt     Options
+	budget  resource.Budget
+	maxIter int
+	roots   []bdd.Ref
+
+	// Progress sink. Engines write via Tick/Observe; exhausted() reads.
+	iterations int
+	peak       int
+	profile    []int
 }
 
-func newRunCtx(p Problem, opt Options) *runCtx {
+func newCtx(p Problem, opt Options, b resource.Budget) *Ctx {
 	ma := p.Machine
-	c := &runCtx{m: ma.M, opt: opt}
+	c := &Ctx{m: ma.M, opt: opt, budget: b, maxIter: b.MaxIter(defaultMaxIter)}
 	if opt.GCEvery > 0 {
 		// The machine's functions and the problem's property/dependency
 		// BDDs must survive every collection — including collections in
@@ -35,8 +49,8 @@ func newRunCtx(p Problem, opt Options) *runCtx {
 	return c
 }
 
-// protect registers a root (no-op when GC is disabled) and returns it.
-func (c *runCtx) protect(r bdd.Ref) bdd.Ref {
+// Protect registers a root (no-op when GC is disabled) and returns it.
+func (c *Ctx) Protect(r bdd.Ref) bdd.Ref {
 	if c.opt.GCEvery > 0 {
 		c.m.Protect(r)
 		c.roots = append(c.roots, r)
@@ -44,18 +58,62 @@ func (c *runCtx) protect(r bdd.Ref) bdd.Ref {
 	return r
 }
 
-// release drops all roots registered so far (called when the iterates
-// they protect are superseded or the run ends).
-func (c *runCtx) release() {
+// release drops all roots registered so far (called by the harness when
+// the run ends).
+func (c *Ctx) release() {
 	for _, r := range c.roots {
 		c.m.Unprotect(r)
 	}
 	c.roots = c.roots[:0]
 }
 
-// maybeGC runs a collection at the configured cadence.
-func (c *runCtx) maybeGC(iteration int) {
+// MaybeGC runs a collection at the configured cadence.
+func (c *Ctx) MaybeGC(iteration int) {
 	if c.opt.GCEvery > 0 && iteration > 0 && iteration%c.opt.GCEvery == 0 {
 		c.m.GC()
+	}
+}
+
+// Observe records an iterate's shared node count and (for the implicit
+// engines) per-conjunct profile, keeping the maximum seen. Engines call
+// it for every iterate; results read the peak back via Peak.
+func (c *Ctx) Observe(shared int, profile []int) {
+	if shared > c.peak {
+		c.peak = shared
+		if profile != nil {
+			c.profile = append(c.profile[:0], profile...)
+		}
+	}
+}
+
+// Peak returns the largest iterate statistics observed so far.
+func (c *Ctx) Peak() (shared int, profile []int) { return c.peak, c.profile }
+
+// Tick marks the start of iteration i and enforces the iteration cap
+// and the wall/cancellation budget between image computations (the
+// manager's own strided checks additionally bound a single runaway
+// operation). When a bound is hit it returns the finished Exhausted
+// result and true; engines return it as-is.
+func (c *Ctx) Tick(i int) (Result, bool) {
+	c.iterations = i
+	if i >= c.maxIter {
+		return c.exhausted(&resource.IterError{Limit: c.maxIter}), true
+	}
+	if err := c.budget.Err(); err != nil {
+		return c.exhausted(err), true
+	}
+	return Result{}, false
+}
+
+// exhausted builds an Exhausted result carrying the typed overrun error
+// and the progress accumulated before it.
+func (c *Ctx) exhausted(err error) Result {
+	return Result{
+		Outcome:        Exhausted,
+		Err:            err,
+		Why:            err.Error(),
+		Iterations:     c.iterations,
+		PeakStateNodes: c.peak,
+		PeakProfile:    c.profile,
 	}
 }

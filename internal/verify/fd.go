@@ -2,11 +2,12 @@ package verify
 
 import (
 	"fmt"
-	"time"
 
 	"repro/internal/bdd"
 	"repro/internal/fsm"
 )
+
+func init() { RegisterFunc(FD, runFD) }
 
 // runFD reconstructs the functional-dependency method of Hu & Dill
 // ("Reducing BDD Size by Exploiting Functional Dependencies", DAC 1993 —
@@ -28,17 +29,12 @@ import (
 // is the property being verified, so this is precisely a property
 // violation. With no declared dependencies the method is plain forward
 // traversal.
-func runFD(p Problem, opt Options) Result {
+func runFD(c *Ctx, p Problem, opt Options) Result {
 	if len(p.Deps) == 0 {
-		return runForward(p, opt)
+		return runForward(c, p, opt)
 	}
 	ma := p.Machine
 	m := ma.M
-	ctx := newRunCtx(p, opt)
-	defer ctx.release()
-
-	start := time.Now()
-	expired := deadline(opt, start)
 
 	depVars := make(map[bdd.Var]bool, len(p.Deps))
 	for _, d := range p.Deps {
@@ -77,13 +73,13 @@ func runFD(p Problem, opt Options) Result {
 	}
 
 	red := buildReducedImage(ma, sigma, indep)
-	ctx.protect(red.constraint)
+	c.Protect(red.constraint)
 	for _, part := range red.parts {
-		ctx.protect(part.rel)
-		ctx.protect(part.quant)
+		c.Protect(part.rel)
+		c.Protect(part.quant)
 	}
 
-	goodRed := ctx.protect(sigma.Compose(p.good()))
+	goodRed := c.Protect(sigma.Compose(p.good()))
 
 	// The inductive-step check: some dependent bit's next value diverges
 	// from its definition applied to the next independent values.
@@ -97,13 +93,14 @@ func runFD(p Problem, opt Options) Result {
 		rhs := nextIndep.Compose(d.Def)
 		badDep = m.Or(badDep, m.Xor(lhs, rhs))
 	}
-	ctx.protect(badDep)
+	c.Protect(badDep)
 
 	// Step 3/4: forward traversal of the reduced machine.
-	r := ctx.protect(m.Exists(ma.Init(), m.MkCube(depVarsList(p.Deps))))
-	peak := m.Size(r)
+	r := c.Protect(m.Exists(ma.Init(), m.MkCube(depVarsList(p.Deps))))
+	c.Observe(m.Size(r), nil)
 
 	for i := 0; ; i++ {
+		peak, _ := c.Peak()
 		if m.AndN(r, red.constraint, badDep) != bdd.Zero {
 			return Result{Outcome: Violated, Iterations: i, ViolationDepth: i + 1,
 				PeakStateNodes: peak,
@@ -112,24 +109,18 @@ func runFD(p Problem, opt Options) Result {
 		if !m.Implies(r, goodRed) {
 			return Result{Outcome: Violated, Iterations: i, ViolationDepth: i, PeakStateNodes: peak}
 		}
-		if i >= opt.maxIter() {
-			return Result{Outcome: Exhausted, Iterations: i, PeakStateNodes: peak,
-				Why: fmt.Sprintf("iteration bound %d reached", opt.maxIter())}
-		}
-		if expired() {
-			return Result{Outcome: Exhausted, Iterations: i, PeakStateNodes: peak,
-				Why: fmt.Sprintf("timeout %v exceeded", opt.Timeout)}
+		if res, stop := c.Tick(i); stop {
+			return res
 		}
 
-		rn := ctx.protect(m.Or(r, red.image(r)))
-		if s := m.Size(rn); s > peak {
-			peak = s
-		}
+		rn := c.Protect(m.Or(r, red.image(r)))
+		c.Observe(m.Size(rn), nil)
 		if rn == r {
+			peak, _ := c.Peak()
 			return Result{Outcome: Verified, Iterations: i + 1, PeakStateNodes: peak}
 		}
 		r = rn
-		ctx.maybeGC(i)
+		c.MaybeGC(i)
 	}
 }
 

@@ -1,31 +1,30 @@
 package verify
 
 import (
-	"fmt"
 	"time"
 
 	"repro/internal/bdd"
+	"repro/internal/resource"
 )
+
+func init() { RegisterFunc(Forward, runForward) }
 
 // runForward is the conventional forward traversal of Section II.B:
 // R_0 = S, R_{i+1} = R_0 ∨ Image(τ, R_i); a violation is R_i ⊄ G, and
 // convergence of the R_i sequence means the property holds.
-func runForward(p Problem, opt Options) Result {
+func runForward(c *Ctx, p Problem, opt Options) Result {
 	ma := p.Machine
 	m := ma.M
-	ctx := newRunCtx(p, opt)
-	defer ctx.release()
 
-	good := ctx.protect(p.good())
-	start := time.Now()
-	expired := deadline(opt, start)
+	good := c.Protect(p.good())
 
-	r := ctx.protect(ma.Init())
+	r := c.Protect(ma.Init())
 	rings := []bdd.Ref{r}
-	peak := m.Size(r)
+	c.Observe(m.Size(r), nil)
 
 	for i := 0; ; i++ {
 		if !m.Implies(r, good) {
+			peak, _ := c.Peak()
 			res := Result{
 				Outcome:        Violated,
 				Iterations:     i,
@@ -37,47 +36,44 @@ func runForward(p Problem, opt Options) Result {
 			}
 			return res
 		}
-		if i >= opt.maxIter() {
-			return Result{Outcome: Exhausted, Iterations: i, PeakStateNodes: peak,
-				Why: fmt.Sprintf("iteration bound %d reached", opt.maxIter())}
-		}
-		if expired() {
-			return Result{Outcome: Exhausted, Iterations: i, PeakStateNodes: peak,
-				Why: fmt.Sprintf("timeout %v exceeded", opt.Timeout)}
+		if res, stop := c.Tick(i); stop {
+			return res
 		}
 
-		rn := ctx.protect(m.Or(r, ma.Image(r)))
-		if s := m.Size(rn); s > peak {
-			peak = s
-		}
+		rn := c.Protect(m.Or(r, ma.Image(r)))
+		c.Observe(m.Size(rn), nil)
 		if rn == r {
+			peak, _ := c.Peak()
 			return Result{Outcome: Verified, Iterations: i + 1, PeakStateNodes: peak}
 		}
 		r = rn
 		rings = append(rings, r)
-		ctx.maybeGC(i)
+		c.MaybeGC(i)
 	}
 }
 
 // ReachableStates computes the reachable-state set by forward traversal,
 // without checking any property — a utility for model debugging and for
-// cross-validating engines in tests.
+// cross-validating engines in tests. It honors the budget's node limit,
+// deadline, cancellation, and iteration cap.
 func ReachableStates(p Problem, opt Options) (bdd.Ref, int, error) {
 	ma := p.Machine
 	m := ma.M
-	prevLimit := m.NodeLimit()
-	if opt.NodeLimit > 0 {
-		m.SetNodeLimit(opt.NodeLimit)
-	}
-	defer m.SetNodeLimit(prevLimit)
+	b := opt.Budget.Start(time.Now())
+	restore := m.ApplyBudget(b)
+	defer restore()
+	maxIter := b.MaxIter(defaultMaxIter)
 
 	var reach bdd.Ref
 	var iters int
 	err := bdd.Guard(func() {
 		r := ma.Init()
 		for i := 0; ; i++ {
-			if i >= opt.maxIter() {
-				panic(&bdd.LimitError{Limit: opt.maxIter(), Live: m.NumNodes()})
+			if i >= maxIter {
+				panic(&resource.IterError{Limit: maxIter})
+			}
+			if err := b.Err(); err != nil {
+				panic(err)
 			}
 			rn := m.Or(r, ma.Image(r))
 			if rn == r {

@@ -1,13 +1,12 @@
 package verify
 
 import (
-	"fmt"
-	"time"
-
 	"repro/internal/bdd"
 	"repro/internal/core"
 	"repro/internal/fsm"
 )
+
+func init() { RegisterFunc(ForwardID, runForwardID) }
 
 // ForwardID is the dual of the paper's method, from the Section II.A
 // remark: "Dually, we can compute the Image and PreImage of implicit
@@ -21,26 +20,23 @@ import (
 const ForwardID Method = "FwdID"
 
 // runForwardID is the implicitly-disjoined forward traversal.
-func runForwardID(p Problem, opt Options) Result {
+func runForwardID(c *Ctx, p Problem, opt Options) Result {
 	ma := p.Machine
 	m := ma.M
-	ctx := newRunCtx(p, opt)
-	defer ctx.release()
 
 	goods := p.goodList()
 	for _, g := range goods {
-		ctx.protect(g)
+		c.Protect(g)
 	}
-	start := time.Now()
-	expired := deadline(opt, start)
 	term := core.Termination{M: m, Simplifier: opt.Core.Simplifier, VarChoice: opt.TermVarChoice}
 
-	r := []bdd.Ref{ctx.protect(ma.Init())}
+	r := []bdd.Ref{c.Protect(ma.Init())}
 	rings := [][]bdd.Ref{r}
-	peak, profile := listStats(m, r)
+	c.Observe(listStats(m, r))
 
 	for i := 0; ; i++ {
 		if d, g := disjViolation(m, r, goods); d >= 0 {
+			peak, profile := c.Peak()
 			res := Result{
 				Outcome:        Violated,
 				Iterations:     i,
@@ -53,13 +49,8 @@ func runForwardID(p Problem, opt Options) Result {
 			}
 			return res
 		}
-		if i >= opt.maxIter() {
-			return Result{Outcome: Exhausted, Iterations: i, PeakStateNodes: peak, PeakProfile: profile,
-				Why: fmt.Sprintf("iteration bound %d reached", opt.maxIter())}
-		}
-		if expired() {
-			return Result{Outcome: Exhausted, Iterations: i, PeakStateNodes: peak, PeakProfile: profile,
-				Why: fmt.Sprintf("timeout %v exceeded", opt.Timeout)}
+		if res, stop := c.Tick(i); stop {
+			return res
 		}
 
 		// R_{i+1} = R_i ∨ Image(R_i), with Image distributed over the
@@ -70,18 +61,17 @@ func runForwardID(p Problem, opt Options) Result {
 		}
 		rn := dualSimplifyAndEvaluate(m, next, opt.Core)
 		for _, d := range rn {
-			ctx.protect(d)
+			c.Protect(d)
 		}
-		if s, pr := listStats(m, rn); s > peak {
-			peak, profile = s, pr
-		}
+		c.Observe(listStats(m, rn))
 
 		if disjConverged(term, opt.Termination, r, rn) {
+			peak, profile := c.Peak()
 			return Result{Outcome: Verified, Iterations: i + 1, PeakStateNodes: peak, PeakProfile: profile}
 		}
 		r = rn
 		rings = append(rings, r)
-		ctx.maybeGC(i)
+		c.MaybeGC(i)
 	}
 }
 

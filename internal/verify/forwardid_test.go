@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bdd"
 	"repro/internal/core"
+	"repro/internal/resource"
 )
 
 func TestForwardIDVerifiesTypedFIFO(t *testing.T) {
@@ -67,7 +68,7 @@ func TestForwardIDAgreesOnRandomMachines(t *testing.T) {
 func TestForwardIDTerminationModes(t *testing.T) {
 	for _, mode := range []TerminationMode{TermExact, TermImplication, TermFast} {
 		p, _ := tinyFIFO(t, 2, 3, 2, false)
-		res := Run(p, ForwardID, Options{Termination: mode, MaxIterations: 200})
+		res := Run(p, ForwardID, Options{Termination: mode, Budget: resource.Budget{MaxIterations: 200}})
 		if res.Outcome == Violated {
 			t.Fatalf("mode %d: false violation", mode)
 		}

@@ -1,12 +1,14 @@
 package verify
 
 import (
-	"fmt"
-	"time"
+	"errors"
 
 	"repro/internal/bdd"
 	"repro/internal/core"
+	"repro/internal/resource"
 )
+
+func init() { RegisterFunc(ICI, runICI) }
 
 // runICI reconstructs the original implicitly conjoined invariants method
 // of Hu & Dill (CAV 1993), the baseline this paper improves on:
@@ -18,27 +20,24 @@ import (
 //     the BackImage of conjunct j into position j together with G_0[j];
 //   - conjuncts are cross-simplified in place;
 //   - termination is the fast, inexact positional test.
-func runICI(p Problem, opt Options) Result {
+func runICI(c *Ctx, p Problem, opt Options) Result {
 	ma := p.Machine
 	m := ma.M
-	ctx := newRunCtx(p, opt)
-	defer ctx.release()
 
 	init := ma.Init()
-	start := time.Now()
-	expired := deadline(opt, start)
 
 	g0 := append([]bdd.Ref(nil), p.goodList()...)
-	for _, c := range g0 {
-		ctx.protect(c)
+	for _, cj := range g0 {
+		c.Protect(cj)
 	}
 	g := append([]bdd.Ref(nil), g0...)
 
 	layers := []core.List{{M: m, Conjuncts: append([]bdd.Ref(nil), g...)}}
-	peak, profile := listStats(m, g)
+	c.Observe(listStats(m, g))
 
 	for i := 0; ; i++ {
 		if vi := violatingConjunct(m, init, g); vi >= 0 {
+			peak, profile := c.Peak()
 			res := Result{
 				Outcome:        Violated,
 				Iterations:     i,
@@ -51,13 +50,11 @@ func runICI(p Problem, opt Options) Result {
 			}
 			return res
 		}
-		if i >= opt.maxIter() {
-			return Result{Outcome: Exhausted, Iterations: i, PeakStateNodes: peak, PeakProfile: profile,
-				Why: fmt.Sprintf("iteration bound %d reached (fast termination test may have missed convergence)", opt.maxIter())}
-		}
-		if expired() {
-			return Result{Outcome: Exhausted, Iterations: i, PeakStateNodes: peak, PeakProfile: profile,
-				Why: fmt.Sprintf("timeout %v exceeded", opt.Timeout)}
+		if res, stop := c.Tick(i); stop {
+			if errors.Is(res.Err, resource.ErrIterLimit) {
+				res.Why += " (fast termination test may have missed convergence)"
+			}
+			return res
 		}
 
 		// Positional step: G_{i+1}[j] = G_0[j] ∧ BackImage(τ, G_i[j]).
@@ -69,13 +66,11 @@ func runICI(p Problem, opt Options) Result {
 			gn[j] = m.And(g0[j], back[j])
 		}
 		core.CrossSimplifyPositional(m, gn, opt.Core.Simplifier)
-		for _, c := range gn {
-			ctx.protect(c)
+		for _, cj := range gn {
+			c.Protect(cj)
 		}
 
-		if s, pr := listStats(m, gn); s > peak {
-			peak, profile = s, pr
-		}
+		c.Observe(listStats(m, gn))
 
 		// Fast (inexact) termination test: positional Ref equality.
 		same := true
@@ -86,11 +81,12 @@ func runICI(p Problem, opt Options) Result {
 			}
 		}
 		if same {
+			peak, profile := c.Peak()
 			return Result{Outcome: Verified, Iterations: i + 1, PeakStateNodes: peak, PeakProfile: profile}
 		}
 		g = gn
 		layers = append(layers, core.List{M: m, Conjuncts: append([]bdd.Ref(nil), g...)})
-		ctx.maybeGC(i)
+		c.MaybeGC(i)
 	}
 }
 

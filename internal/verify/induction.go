@@ -22,15 +22,15 @@ import (
 // of the paper's iteration counts of 1.
 const Induction Method = "Induction"
 
-func runInduction(p Problem, opt Options) Result {
+func init() { RegisterFunc(Induction, runInduction) }
+
+func runInduction(c *Ctx, p Problem, opt Options) Result {
 	ma := p.Machine
 	m := ma.M
-	ctx := newRunCtx(p, opt)
-	defer ctx.release()
 
 	goods := p.goodList()
 	for _, g := range goods {
-		ctx.protect(g)
+		c.Protect(g)
 	}
 	init := ma.Init()
 
@@ -49,7 +49,8 @@ func runInduction(p Problem, opt Options) Result {
 	// built). The cross-simplified conjuncts keep the BackImages small.
 	simplified := core.CrossSimplify(core.List{M: m, Conjuncts: append([]bdd.Ref(nil), goods...)},
 		opt.Core.Simplifier)
-	peak, profile := listStats(m, simplified.Conjuncts)
+	c.Observe(listStats(m, simplified.Conjuncts))
+	peak, profile := c.Peak()
 
 	for _, pj := range simplified.Conjuncts {
 		back := ma.BackImage(pj)

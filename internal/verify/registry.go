@@ -1,0 +1,69 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Engine is one verification algorithm. Engines self-register in their
+// file's init() via Register or RegisterFunc; Run resolves methods
+// through the registry only, so adding an engine is a one-file change —
+// no switch to edit, and an Engine registered from outside this package
+// (a test file, an experiment) runs through the public API unchanged.
+//
+// Run receives the harness context c — budget checkpoints, GC root
+// bookkeeping, and the partial-statistics sink consulted when the run
+// aborts on a resource overrun — and must confine itself to the
+// algorithm's core loop: the harness owns budget installation, Guard
+// recovery, and Result finalization.
+type Engine interface {
+	Name() Method
+	Run(c *Ctx, p Problem, opt Options) Result
+}
+
+// engineFunc adapts a plain function to the Engine interface.
+type engineFunc struct {
+	name Method
+	fn   func(c *Ctx, p Problem, opt Options) Result
+}
+
+func (e engineFunc) Name() Method                              { return e.name }
+func (e engineFunc) Run(c *Ctx, p Problem, opt Options) Result { return e.fn(c, p, opt) }
+
+// registry maps method names to engines. It is written during init()
+// (and, in tests, from other init functions) and read-only afterwards;
+// like the rest of the package it is not synchronized.
+var registry = map[Method]Engine{}
+
+// Register adds an engine to the registry. Registering a name twice is
+// a programming error and panics.
+func Register(e Engine) {
+	name := e.Name()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("verify: duplicate engine registration %q", name))
+	}
+	registry[name] = e
+}
+
+// RegisterFunc registers a plain function as an engine.
+func RegisterFunc(name Method, fn func(c *Ctx, p Problem, opt Options) Result) {
+	Register(engineFunc{name: name, fn: fn})
+}
+
+// Lookup returns the engine registered under name.
+func Lookup(name Method) (Engine, bool) {
+	e, ok := registry[name]
+	return e, ok
+}
+
+// Registered returns every registered method name, sorted. Unlike
+// Methods (the paper's table order, built-in engines only) this includes
+// engines registered from outside the package.
+func Registered() []Method {
+	out := make([]Method, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

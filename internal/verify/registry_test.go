@@ -1,0 +1,119 @@
+// Exercises the engine registry through the public API only: a toy
+// engine registered from this external test package must run under the
+// shared harness exactly like a built-in one.
+package verify_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/fsm"
+	"repro/internal/resource"
+	"repro/internal/verify"
+)
+
+const (
+	toyEngine   verify.Method = "TestToy"
+	abortEngine verify.Method = "TestAbort"
+)
+
+func init() {
+	verify.RegisterFunc(toyEngine, func(c *verify.Ctx, p verify.Problem, opt verify.Options) verify.Result {
+		return verify.Result{Outcome: verify.Verified, Iterations: 1, PeakStateNodes: 1}
+	})
+	// abortEngine reports progress, then dies mid-operation the way a
+	// BDD allocation overrun does — the harness must attach the partial
+	// statistics to the Exhausted result.
+	verify.RegisterFunc(abortEngine, func(c *verify.Ctx, p verify.Problem, opt verify.Options) verify.Result {
+		c.Observe(7, []int{4, 3})
+		if res, stop := c.Tick(3); stop {
+			return res
+		}
+		panic(&resource.LimitError{Limit: 10, Live: 11})
+	})
+}
+
+// toggle is the smallest sealable machine: one bit, toggling.
+func toggle(t *testing.T) verify.Problem {
+	t.Helper()
+	m := bdd.New()
+	ma := fsm.New(m)
+	x := ma.NewStateBit("x")
+	ma.SetNext(x, m.NVarRef(x))
+	ma.SetInit(m.NVarRef(x))
+	ma.MustSeal()
+	return verify.Problem{Machine: ma, Good: bdd.One, Name: "toggle"}
+}
+
+func TestToyEngineRunsThroughPublicAPI(t *testing.T) {
+	res := verify.Run(toggle(t), toyEngine, verify.Options{})
+	if res.Outcome != verify.Verified {
+		t.Fatalf("outcome %v (%s)", res.Outcome, res.Why)
+	}
+	if res.Method != toyEngine || res.Problem != "toggle" {
+		t.Fatalf("harness did not finalize the result: %+v", res)
+	}
+	if res.MemBytes <= 0 {
+		t.Fatalf("missing harness stats: %+v", res)
+	}
+}
+
+func TestExhaustedResultKeepsPartialStats(t *testing.T) {
+	res := verify.Run(toggle(t), abortEngine, verify.Options{})
+	if res.Outcome != verify.Exhausted {
+		t.Fatalf("outcome %v, want exhausted", res.Outcome)
+	}
+	if !errors.Is(res.Err, resource.ErrNodeLimit) {
+		t.Fatalf("Err = %v, want ErrNodeLimit", res.Err)
+	}
+	if res.Iterations != 3 {
+		t.Fatalf("partial iterations lost: %d", res.Iterations)
+	}
+	if res.PeakStateNodes != 7 {
+		t.Fatalf("partial peak lost: %d", res.PeakStateNodes)
+	}
+	if len(res.PeakProfile) != 2 || res.PeakProfile[0] != 4 || res.PeakProfile[1] != 3 {
+		t.Fatalf("partial profile lost: %v", res.PeakProfile)
+	}
+}
+
+func TestIterationCapViaBudget(t *testing.T) {
+	res := verify.Run(toggle(t), abortEngine,
+		verify.Options{Budget: resource.Budget{MaxIterations: 2}})
+	if res.Outcome != verify.Exhausted || !errors.Is(res.Err, resource.ErrIterLimit) {
+		t.Fatalf("outcome %v, Err %v, want exhausted/ErrIterLimit", res.Outcome, res.Err)
+	}
+	if res.Cause() != "iteration-cap" {
+		t.Fatalf("Cause = %q", res.Cause())
+	}
+}
+
+func TestBuiltinMethodsAllRegistered(t *testing.T) {
+	if len(verify.Methods) != 7 {
+		t.Fatalf("Methods = %v, want all seven engines", verify.Methods)
+	}
+	registered := make(map[verify.Method]bool)
+	for _, name := range verify.Registered() {
+		registered[name] = true
+	}
+	for _, meth := range verify.Methods {
+		if !registered[meth] {
+			t.Fatalf("%s in Methods but not registered", meth)
+		}
+		if _, ok := verify.Lookup(meth); !ok {
+			t.Fatalf("Lookup(%s) failed", meth)
+		}
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	verify.RegisterFunc(toyEngine, func(c *verify.Ctx, p verify.Problem, opt verify.Options) verify.Result {
+		return verify.Result{}
+	})
+}

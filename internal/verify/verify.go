@@ -20,18 +20,22 @@
 package verify
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/bdd"
 	"repro/internal/core"
 	"repro/internal/fsm"
+	"repro/internal/resource"
 )
 
 // Method selects a verification engine.
 type Method string
 
-// The five engines.
+// The paper's five engines. ForwardID and Induction are declared next
+// to their implementations.
 const (
 	Forward  Method = "Fwd"
 	Backward Method = "Bkwd"
@@ -40,8 +44,10 @@ const (
 	FD       Method = "FD"
 )
 
-// Methods lists all engines in the paper's table order.
-var Methods = []Method{Forward, Backward, FD, ICI, XICI}
+// Methods lists the built-in engines, the paper's five in table order
+// followed by the two extensions. Registered() additionally reports
+// engines registered from outside the package.
+var Methods = []Method{Forward, Backward, FD, ICI, XICI, ForwardID, Induction}
 
 // TerminationMode selects how the implicit-conjunction engines detect
 // convergence.
@@ -111,17 +117,13 @@ func (p Problem) goodList() []bdd.Ref {
 
 // Options configures an engine run.
 type Options struct {
-	// NodeLimit bounds live BDD nodes for the run (0 = keep the
-	// manager's current limit). Exceeding it aborts the run, which is
-	// reported as Exhausted — the "Exceeded 60MB" rows.
-	NodeLimit int
-
-	// Timeout bounds wall time, checked between iterations (0 = none) —
-	// the "Exceeded 40 minutes" rows.
-	Timeout time.Duration
-
-	// MaxIterations bounds traversal depth (0 = 100000).
-	MaxIterations int
+	// Budget is the run's complete resource bound: node limit ("Exceeded
+	// 60MB" rows), wall deadline ("Exceeded 40 minutes" rows), iteration
+	// cap (0 = 100000), and cancellation context. The zero value is
+	// unbounded. The harness installs it on the manager for the run's
+	// duration — it is the single path by which limits, deadlines, and
+	// cancellation reach the BDD layer.
+	Budget resource.Budget
 
 	// Core configures the XICI evaluation & simplification policy.
 	Core core.Options
@@ -149,12 +151,8 @@ type Options struct {
 	GCEvery int
 }
 
-func (o Options) maxIter() int {
-	if o.MaxIterations <= 0 {
-		return 100000
-	}
-	return o.MaxIterations
-}
+// defaultMaxIter is the traversal depth bound when the budget sets none.
+const defaultMaxIter = 100000
 
 // Outcome classifies how a run ended.
 type Outcome int
@@ -211,6 +209,13 @@ type Result struct {
 	// Why explains Exhausted outcomes (node limit, timeout, ...).
 	Why string
 
+	// Err is the typed resource error behind an Exhausted outcome, when
+	// one exists: errors.Is-matchable against resource.ErrNodeLimit,
+	// resource.ErrDeadline, resource.ErrIterLimit, or context.Canceled.
+	// Nil for Verified/Violated and for algorithmic exhaustion (a
+	// non-inductive property, an FD configuration error).
+	Err error
+
 	// ViolationDepth is the length of the shortest violating path found
 	// (meaningful when Outcome == Violated).
 	ViolationDepth int
@@ -233,63 +238,82 @@ func (r Result) String() string {
 	}
 }
 
+// Cause classifies an Exhausted result's termination cause for reports:
+// "node-limit", "deadline", "canceled", or "iteration-cap" when the run
+// hit the corresponding budget bound, "other" for algorithmic
+// exhaustion (a non-inductive property, an FD configuration error), and
+// "" when the run did not exhaust at all.
+func (r Result) Cause() string {
+	if r.Outcome != Exhausted {
+		return ""
+	}
+	switch {
+	case errors.Is(r.Err, resource.ErrNodeLimit):
+		return "node-limit"
+	case errors.Is(r.Err, resource.ErrDeadline),
+		errors.Is(r.Err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(r.Err, context.Canceled):
+		return "canceled"
+	case errors.Is(r.Err, resource.ErrIterLimit):
+		return "iteration-cap"
+	default:
+		return "other"
+	}
+}
+
 // Run executes one engine on one problem. The machine must be sealed.
-// Node-limit overruns inside BDD operations are converted into an
-// Exhausted result; the manager remains usable afterwards.
+// Resource overruns inside BDD operations are converted into an
+// Exhausted result carrying the typed error and the statistics
+// accumulated up to the abort; the manager remains usable afterwards.
+// An unregistered method panics.
 func Run(p Problem, method Method, opt Options) Result {
+	return RunContext(context.Background(), p, method, opt)
+}
+
+// RunContext is Run with an explicit cancellation context: canceling
+// ctx aborts the run (including a single long image computation, via
+// the manager's strided checks) with an Exhausted result whose Err
+// matches context.Canceled. A context set on opt.Budget.Ctx takes
+// precedence.
+//
+// RunContext is the single harness all engines run under. It resolves
+// the method through the registry, installs the budget on the manager,
+// converts overrun panics via Guard, and finalizes the Result; engine
+// code holds only the algorithm's core loop.
+func RunContext(ctx context.Context, p Problem, method Method, opt Options) Result {
+	eng, ok := Lookup(method)
+	if !ok {
+		panic(fmt.Sprintf("verify: unknown method %q", method))
+	}
 	m := p.Machine.M
 	if opt.Workers != 0 && opt.Core.Workers == 0 {
 		opt.Core.Workers = opt.Workers
 	}
-	prevLimit := m.NodeLimit()
-	if opt.NodeLimit > 0 {
-		m.SetNodeLimit(opt.NodeLimit)
-	}
-	defer m.SetNodeLimit(prevLimit)
-	if opt.Timeout > 0 {
-		// Engines check the clock between iterations; the manager-level
-		// deadline additionally bounds a single runaway image
-		// computation.
-		m.SetDeadline(time.Now().Add(opt.Timeout))
-		defer m.SetDeadline(time.Time{})
-	}
 
 	start := time.Now()
+	b := opt.Budget
+	if b.Ctx == nil && ctx != context.Background() {
+		b.Ctx = ctx
+	}
+	b = b.Start(start)
+	restore := m.ApplyBudget(b)
+	defer restore()
+
+	c := newCtx(p, opt, b)
+	defer c.release()
+
 	var res Result
-	err := bdd.Guard(func() {
-		switch method {
-		case Forward:
-			res = runForward(p, opt)
-		case ForwardID:
-			res = runForwardID(p, opt)
-		case Induction:
-			res = runInduction(p, opt)
-		case Backward:
-			res = runBackward(p, opt)
-		case ICI:
-			res = runICI(p, opt)
-		case XICI:
-			res = runXICI(p, opt)
-		case FD:
-			res = runFD(p, opt)
-		default:
-			panic(fmt.Sprintf("verify: unknown method %q", method))
-		}
-	})
-	if err != nil {
-		res = Result{Outcome: Exhausted, Why: err.Error()}
+	if err := b.Err(); err != nil {
+		// Already past the deadline or canceled: uniform Exhausted
+		// across all engines, without entering one.
+		res = c.exhausted(err)
+	} else if err := bdd.Guard(func() { res = eng.Run(c, p, opt) }); err != nil {
+		res = c.exhausted(err)
 	}
 	res.Problem = p.Name
 	res.Method = method
 	res.Elapsed = time.Since(start)
 	res.MemBytes = m.MemEstimate()
 	return res
-}
-
-// deadline returns a func reporting whether the timeout has expired.
-func deadline(opt Options, start time.Time) func() bool {
-	if opt.Timeout <= 0 {
-		return func() bool { return false }
-	}
-	return func() bool { return time.Since(start) > opt.Timeout }
 }

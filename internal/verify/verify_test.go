@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/expr"
 	"repro/internal/fsm"
+	"repro/internal/resource"
 )
 
 // tinyFIFO builds a small typed shift-register FIFO: `depth` slots of
@@ -165,7 +166,7 @@ func TestXICIFromMonolithicProperty(t *testing.T) {
 
 func TestNodeLimitExhaustion(t *testing.T) {
 	p, _ := tinyFIFO(t, 4, 4, 9, false)
-	res := Run(p, Forward, Options{NodeLimit: 50})
+	res := Run(p, Forward, Options{Budget: resource.Budget{NodeLimit: 50}})
 	if res.Outcome != Exhausted {
 		t.Fatalf("outcome %v, want exhausted", res.Outcome)
 	}
@@ -181,7 +182,7 @@ func TestNodeLimitExhaustion(t *testing.T) {
 
 func TestTimeoutExhaustion(t *testing.T) {
 	p, _ := tinyFIFO(t, 3, 4, 5, false)
-	res := Run(p, Backward, Options{Timeout: time.Nanosecond})
+	res := Run(p, Backward, Options{Budget: resource.Budget{Timeout: time.Nanosecond}})
 	if res.Outcome != Exhausted {
 		t.Fatalf("outcome %v, want exhausted on timeout", res.Outcome)
 	}
@@ -189,7 +190,7 @@ func TestTimeoutExhaustion(t *testing.T) {
 
 func TestIterationBoundExhaustion(t *testing.T) {
 	p, _ := tinyFIFO(t, 2, 4, 2, false)
-	res := Run(p, Forward, Options{MaxIterations: 1})
+	res := Run(p, Forward, Options{Budget: resource.Budget{MaxIterations: 1}})
 	if res.Outcome != Exhausted {
 		t.Fatalf("outcome %v, want exhausted on iteration bound", res.Outcome)
 	}
@@ -236,7 +237,7 @@ func TestReachableStates(t *testing.T) {
 		t.Fatal("reachable set violates the (true) property")
 	}
 	// Bounded ReachableStates errors out.
-	if _, _, err := ReachableStates(p, Options{MaxIterations: 1}); err == nil {
+	if _, _, err := ReachableStates(p, Options{Budget: resource.Budget{MaxIterations: 1}}); err == nil {
 		t.Fatal("iteration-bounded reachability did not error")
 	}
 }
@@ -264,7 +265,7 @@ func TestResultString(t *testing.T) {
 	if s := Run(p, XICI, Options{}).String(); s == "" {
 		t.Fatal("empty verified row")
 	}
-	if s := Run(p, Forward, Options{NodeLimit: 40}).String(); s == "" {
+	if s := Run(p, Forward, Options{Budget: resource.Budget{NodeLimit: 40}}).String(); s == "" {
 		t.Fatal("empty exhausted row")
 	}
 	pb, _ := tinyFIFO(t, 2, 2, 2, true)

@@ -1,12 +1,11 @@
 package verify
 
 import (
-	"fmt"
-	"time"
-
 	"repro/internal/bdd"
 	"repro/internal/core"
 )
+
+func init() { RegisterFunc(XICI, runXICI) }
 
 // runXICI is the paper's method: backward traversal over implicitly
 // conjoined lists with
@@ -24,30 +23,27 @@ import (
 // BackImage of the list is the list of BackImages (Theorem 1) and G_0's
 // conjuncts are appended rather than conjoined positionally — the policy
 // decides what is worth evaluating.
-func runXICI(p Problem, opt Options) Result {
+func runXICI(c *Ctx, p Problem, opt Options) Result {
 	ma := p.Machine
 	m := ma.M
-	ctx := newRunCtx(p, opt)
-	defer ctx.release()
 
 	init := ma.Init()
-	start := time.Now()
-	expired := deadline(opt, start)
 
 	term := core.Termination{M: m, Simplifier: opt.Core.Simplifier, VarChoice: opt.TermVarChoice}
 
 	g0 := append([]bdd.Ref(nil), p.goodList()...)
-	for _, c := range g0 {
-		ctx.protect(c)
+	for _, cj := range g0 {
+		c.Protect(cj)
 	}
 
 	g := core.SimplifyAndEvaluate(core.NewList(m, g0...), opt.Core)
-	protectList(ctx, g)
+	protectList(c, g)
 	layers := []core.List{g}
-	peak, profile := g.SharedSize(), g.Sizes()
+	c.Observe(g.SharedSize(), g.Sizes())
 
 	for i := 0; ; i++ {
 		if vi := g.ViolatingConjunct(init); vi >= 0 {
+			peak, profile := c.Peak()
 			res := Result{
 				Outcome:        Violated,
 				Iterations:     i,
@@ -60,13 +56,8 @@ func runXICI(p Problem, opt Options) Result {
 			}
 			return res
 		}
-		if i >= opt.maxIter() {
-			return Result{Outcome: Exhausted, Iterations: i, PeakStateNodes: peak, PeakProfile: profile,
-				Why: fmt.Sprintf("iteration bound %d reached", opt.maxIter())}
-		}
-		if expired() {
-			return Result{Outcome: Exhausted, Iterations: i, PeakStateNodes: peak, PeakProfile: profile,
-				Why: fmt.Sprintf("timeout %v exceeded", opt.Timeout)}
+		if res, stop := c.Tick(i); stop {
+			return res
 		}
 
 		// G_{i+1} = G_0 ∧ BackImage(G_i), kept implicit: append the
@@ -75,18 +66,17 @@ func runXICI(p Problem, opt Options) Result {
 		back := ma.BackImageList(g.Conjuncts)
 		gn := core.NewList(m, append(append([]bdd.Ref(nil), g0...), back...)...)
 		gn = core.SimplifyAndEvaluate(gn, opt.Core)
-		protectList(ctx, gn)
+		protectList(c, gn)
 
-		if s := gn.SharedSize(); s > peak {
-			peak, profile = s, gn.Sizes()
-		}
+		c.Observe(gn.SharedSize(), gn.Sizes())
 
 		if converged(term, opt.Termination, g, gn) {
+			peak, profile := c.Peak()
 			return Result{Outcome: Verified, Iterations: i + 1, PeakStateNodes: peak, PeakProfile: profile}
 		}
 		g = gn
 		layers = append(layers, g)
-		ctx.maybeGC(i)
+		c.MaybeGC(i)
 	}
 }
 
@@ -104,8 +94,8 @@ func converged(term core.Termination, mode TerminationMode, g, gn core.List) boo
 	}
 }
 
-func protectList(ctx *runCtx, l core.List) {
-	for _, c := range l.Conjuncts {
-		ctx.protect(c)
+func protectList(c *Ctx, l core.List) {
+	for _, cj := range l.Conjuncts {
+		c.Protect(cj)
 	}
 }
