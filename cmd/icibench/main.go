@@ -9,6 +9,8 @@
 //	icibench -parallel 4    # run each table's cells on 4 workers
 //	icibench -engines Bkwd,XICI  # only these engines' rows
 //	icibench -json out.json # also write machine-readable results
+//	icibench -effort        # append effort counters to each text row
+//	icibench -pprof localhost:6060  # serve net/http/pprof while running
 //
 // Each cell runs on a fresh BDD manager under a node/time budget playing
 // the role of the paper's "Exceeded 60MB" / "Exceeded 40 minutes" limits;
@@ -18,14 +20,17 @@
 // wall time, never the table contents — though on a loaded machine a
 // cell near its time budget can tip into "Exceeded time budget". Ctrl-C
 // cancels the grid cleanly: in-flight cells abort promptly and report
-// as canceled. The -json schema ("icibench/v2", with the per-table
-// budget and per-row termination cause) is documented in EXPERIMENTS.md.
+// as canceled. The -json schema ("icibench/v3", with the per-table
+// budget, per-row termination cause, and the per-cell effort stats
+// block) is documented in EXPERIMENTS.md.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -37,14 +42,25 @@ import (
 
 func main() {
 	var (
-		table    = flag.Int("table", 0, "table to run (1, 2 or 3; 0 = all)")
-		quick    = flag.Bool("quick", false, "shrunken sizes for a fast smoke run")
-		assisted = flag.Bool("assisted", false, "table 3: add the user-partition group")
-		parallel = flag.Int("parallel", 0, "cells per table to run concurrently (0 or 1 = sequential, < 0 = GOMAXPROCS)")
-		engines  = flag.String("engines", "", "comma-separated engines: keep only these rows; \"list\" prints the registered engines and exits")
-		jsonPath = flag.String("json", "", "write machine-readable results to this path")
+		table     = flag.Int("table", 0, "table to run (1, 2 or 3; 0 = all)")
+		quick     = flag.Bool("quick", false, "shrunken sizes for a fast smoke run")
+		assisted  = flag.Bool("assisted", false, "table 3: add the user-partition group")
+		parallel  = flag.Int("parallel", 0, "cells per table to run concurrently (0 or 1 = sequential, < 0 = GOMAXPROCS)")
+		engines   = flag.String("engines", "", "comma-separated engines: keep only these rows; \"list\" prints the registered engines and exits")
+		jsonPath  = flag.String("json", "", "write machine-readable results to this path")
+		effort    = flag.Bool("effort", false, "append effort counters and phase times to each text row")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the grid's duration")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "icibench: pprof server: %v\n", err)
+			}
+		}()
+		fmt.Printf("(pprof listening on http://%s/debug/pprof/)\n", *pprofAddr)
+	}
 
 	if *engines == "list" {
 		for _, name := range verify.Registered() {
@@ -76,6 +92,7 @@ func main() {
 
 	run := func(t bench.Table, b bench.Budget) {
 		t = t.Filter(methods)
+		t.ShowEffort = *effort
 		if len(t.Cells) == 0 {
 			return
 		}

@@ -54,6 +54,8 @@ func main() {
 		termMode  = flag.String("term", "exact", "XICI termination test: exact, implication, fast")
 		dotOut    = flag.String("dot", "", "write the property BDD(s) as Graphviz DOT to this file")
 		file      = flag.String("file", "", "verify a textual model file instead of a built-in model (see internal/lang)")
+		stats     = flag.Bool("stats", false, "print per-phase timings and effort counters after each run")
+		events    = flag.String("events", "", "append an NDJSON event log (iteration/merge/termination events) to this file")
 	)
 	flag.Parse()
 
@@ -138,6 +140,18 @@ func main() {
 		Core:        core.Options{GrowThreshold: *threshold},
 	}
 
+	var elog *eventLog
+	if *events != "" {
+		f, err := os.OpenFile(*events, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iciverify: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		elog = newEventLog(f)
+		opt.Observer = elog
+	}
+
 	if *dotOut != "" {
 		f, err := os.Create(*dotOut)
 		if err != nil {
@@ -181,10 +195,16 @@ func main() {
 
 	exit := 0
 	for _, meth := range methods {
+		if elog != nil {
+			elog.setMethod(string(meth))
+		}
 		start := time.Now()
 		res := verify.RunContext(ctx, p, meth, opt)
 		fmt.Println(res)
 		fmt.Printf("wall %v, peak live nodes %d\n", time.Since(start).Round(time.Millisecond), m.PeakNodes())
+		if *stats {
+			printStats(res)
+		}
 
 		if res.Trace != nil {
 			goods := p.GoodList

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/verify"
+)
+
+// printStats renders the -stats human summary: the per-phase wall-time
+// breakdown, the exact termination test's counters, the greedy
+// evaluation's counters, and the iterate size trajectory.
+func printStats(res verify.Result) {
+	fmt.Printf("phase times:   %s (attributed %.3fs of %.3fs)\n",
+		res.PhaseDurations, res.PhaseDurations.Total().Seconds(), res.Elapsed.Seconds())
+	ts := res.Term
+	fmt.Printf("termination:   %d taut calls (steps1-2 %d, step3 %d, single %d), %d shannon splits, max depth %d\n",
+		ts.TautCalls, ts.StepResolved[0], ts.StepResolved[1], ts.StepResolved[2],
+		ts.ShannonSplits, ts.MaxSplitDepth)
+	es := res.Eval
+	fmt.Printf("evaluation:    %d pairs scored, %d merges, %d budget overflows, %d rounds\n",
+		es.PairsScored, es.MergesApplied, es.BudgetOverflow, es.Rounds)
+	if len(res.SizeTrajectory) > 0 {
+		parts := make([]string, len(res.SizeTrajectory))
+		for i, s := range res.SizeTrajectory {
+			parts[i] = fmt.Sprint(s)
+		}
+		fmt.Printf("iterate sizes: %s\n", strings.Join(parts, " "))
+	}
+}
+
+// eventLog is the -events NDJSON sink: one JSON object per line, each
+// tagged with the event kind and the method that produced it.
+type eventLog struct {
+	enc    *json.Encoder
+	method string
+}
+
+func newEventLog(w io.Writer) *eventLog {
+	return &eventLog{enc: json.NewEncoder(w)}
+}
+
+func (l *eventLog) setMethod(m string) { l.method = m }
+
+func (l *eventLog) OnIteration(e verify.IterationEvent) {
+	l.enc.Encode(struct {
+		Event  string `json:"event"`
+		Method string `json:"method"`
+		verify.IterationEvent
+	}{"iteration", l.method, e})
+}
+
+func (l *eventLog) OnMerge(e verify.MergeEvent) {
+	l.enc.Encode(struct {
+		Event  string `json:"event"`
+		Method string `json:"method"`
+		verify.MergeEvent
+	}{"merge", l.method, e})
+}
+
+func (l *eventLog) OnTermResolved(e verify.TermEvent) {
+	l.enc.Encode(struct {
+		Event  string `json:"event"`
+		Method string `json:"method"`
+		verify.TermEvent
+	}{"term_resolved", l.method, e})
+}

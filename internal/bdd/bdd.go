@@ -128,6 +128,10 @@ type Manager struct {
 	// epoch is bumped by GC; long-lived memo tables (Substitution)
 	// check it to invalidate themselves after node indices are reused.
 	epoch uint64
+
+	// permRoots records the Refs already registered through
+	// ProtectPermanent, making that registration idempotent per manager.
+	permRoots map[Ref]struct{}
 }
 
 // DefaultCacheBits is the log2 of the default computed-cache size.

@@ -16,6 +16,38 @@ func (m *Manager) Protect(f Ref) Ref {
 	return f
 }
 
+// ProtectPermanent marks f as a permanent GC root: the first call per
+// (Manager, Ref) increments the external reference count, repeated calls
+// are no-ops. Use it for values that must survive every collection for
+// the manager's lifetime — machine next-state functions, property BDDs —
+// where the caller re-registers the same Refs on every run: repeated
+// runs then cannot inflate the refcount without bound. Permanent roots
+// are never released (there is no matching Unprotect).
+func (m *Manager) ProtectPermanent(f Ref) Ref {
+	if f.IsConst() {
+		return f
+	}
+	if m.permRoots == nil {
+		m.permRoots = make(map[Ref]struct{})
+	}
+	if _, done := m.permRoots[f]; done {
+		return f
+	}
+	m.permRoots[f] = struct{}{}
+	m.nodes[f.index()].refs++
+	return f
+}
+
+// ExternalRefs returns f's external reference count — its strength as a
+// GC root. Constants report 0 (they are unconditionally live). Intended
+// for tests asserting Protect/Unprotect balance across runs.
+func (m *Manager) ExternalRefs(f Ref) int {
+	if f.IsConst() {
+		return 0
+	}
+	return int(m.nodes[f.index()].refs)
+}
+
 // Unprotect decrements the external reference count of f's node. It
 // panics if the count would go negative, which indicates a Protect /
 // Unprotect imbalance in the caller.

@@ -65,6 +65,11 @@ type CellResult struct {
 // Canceling ctx aborts the cell's BDD operations promptly (the
 // manager's strided budget checks), yielding an Exhausted result whose
 // Err matches context.Canceled.
+//
+// A zero cell budget field inherits the grid default; to run a cell
+// with NO bound at all, set the field to resource.Unlimited — the
+// sentinel survives the inheritance step and is then normalized to the
+// truly unbounded zero value.
 func RunCell(ctx context.Context, c Cell, budget Budget) CellResult {
 	m := bdd.NewWithSize(1<<16, 20)
 	p := c.Build(m)
@@ -75,6 +80,7 @@ func RunCell(ctx context.Context, c Cell, budget Budget) CellResult {
 	if opt.Budget.Timeout == 0 {
 		opt.Budget.Timeout = budget.Timeout
 	}
+	opt.Budget = opt.Budget.Norm()
 	res := verify.RunContext(ctx, p, c.Method, opt)
 	return CellResult{Cell: c, Result: res, PeakLive: m.PeakNodes(), TotalVars: m.NumVars()}
 }
@@ -83,6 +89,11 @@ func RunCell(ctx context.Context, c Cell, budget Budget) CellResult {
 type Table struct {
 	Title string
 	Cells []Cell
+
+	// ShowEffort appends the observability counters (termination-test
+	// and greedy-evaluation effort, per-phase times) to each text row.
+	// The icibench -effort flag sets it on every table it runs.
+	ShowEffort bool
 }
 
 // rowWriter renders results in table order: title, a group header
@@ -90,13 +101,14 @@ type Table struct {
 // sequential runner and the parallel runner emit through it, so the two
 // produce byte-identical tables.
 type rowWriter struct {
-	w     io.Writer
-	group string
+	w          io.Writer
+	group      string
+	showEffort bool
 }
 
-func newRowWriter(w io.Writer, title string) *rowWriter {
+func newRowWriter(w io.Writer, title string, showEffort bool) *rowWriter {
 	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
-	return &rowWriter{w: w}
+	return &rowWriter{w: w, showEffort: showEffort}
 }
 
 func (rw *rowWriter) row(cr CellResult) {
@@ -105,7 +117,11 @@ func (rw *rowWriter) row(cr CellResult) {
 		fmt.Fprintf(rw.w, "\nExample: %s\n", rw.group)
 		fmt.Fprintf(rw.w, "%-5s %-9s %-5s %-10s %s\n", "Meth.", "Time", "Iter", "Mem", "BDD Nodes")
 	}
-	fmt.Fprintln(rw.w, formatRow(cr))
+	line := formatRow(cr)
+	if rw.showEffort {
+		line += effortText(cr.Result)
+	}
+	fmt.Fprintln(rw.w, line)
 }
 
 func (rw *rowWriter) done() { fmt.Fprintln(rw.w) }
@@ -134,7 +150,7 @@ func (t Table) Filter(methods []verify.Method) Table {
 // streaming each row as its cell finishes. Canceling ctx makes the
 // remaining cells finish promptly as Exhausted/canceled.
 func (t Table) Run(ctx context.Context, w io.Writer, budget Budget) []CellResult {
-	rw := newRowWriter(w, t.Title)
+	rw := newRowWriter(w, t.Title, t.ShowEffort)
 	results := make([]CellResult, 0, len(t.Cells))
 	for _, c := range t.Cells {
 		cr := RunCell(ctx, c, budget)
@@ -165,7 +181,7 @@ func (t Table) RunParallel(ctx context.Context, w io.Writer, budget Budget, work
 	par.NewPool(workers).ForEach(len(t.Cells), func(_, i int) {
 		results[i] = RunCell(ctx, t.Cells[i], budget)
 	})
-	rw := newRowWriter(w, t.Title)
+	rw := newRowWriter(w, t.Title, t.ShowEffort)
 	for _, cr := range results {
 		rw.row(cr)
 	}
@@ -186,6 +202,18 @@ func formatRow(cr CellResult) string {
 	return fmt.Sprintf("%-5s %-9s %-5d %-10s %d%s",
 		label, fmtDur(r.Elapsed), r.Iterations, fmtMem(r.MemBytes), r.PeakStateNodes,
 		fmtProfile(r.PeakProfile))
+}
+
+// effortText renders the per-row effort suffix of ShowEffort tables:
+// the exact termination test's call/split counts, the greedy
+// evaluation's pair/merge counts, and the per-phase wall-time split.
+// Wall times vary run to run; the counters are deterministic.
+func effortText(r verify.Result) string {
+	ph := r.PhaseDurations
+	return fmt.Sprintf("  [taut=%d splits=%d pairs=%d merges=%d | img=%.2fs pol=%.2fs term=%.2fs gc=%.2fs]",
+		r.Term.TautCalls, r.Term.ShannonSplits, r.Eval.PairsScored, r.Eval.MergesApplied,
+		ph[verify.PhaseImage].Seconds(), ph[verify.PhasePolicy].Seconds(),
+		ph[verify.PhaseTerm].Seconds(), ph[verify.PhaseGC].Seconds())
 }
 
 // exhaustedText prefers the result's typed termination cause and falls

@@ -2,12 +2,14 @@ package bench
 
 import (
 	"context"
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/bdd"
 	"repro/internal/models"
+	"repro/internal/resource"
 	"repro/internal/verify"
 )
 
@@ -81,6 +83,91 @@ func TestRunCellBudgets(t *testing.T) {
 	}
 	if !strings.Contains(formatRow(cr2), "Exceeded") {
 		t.Fatalf("exhausted row rendering: %q", formatRow(cr2))
+	}
+}
+
+func TestRunCellUnlimitedSentinel(t *testing.T) {
+	cell := Cell{
+		Group:  "test",
+		Method: verify.XICI,
+		Build: func(m *bdd.Manager) verify.Problem {
+			return models.NewFIFO(m, models.DefaultFIFO(3))
+		},
+	}
+	// Control: under a hopeless grid node limit the cell exhausts.
+	grid := Budget{NodeLimit: 50, Timeout: 30 * time.Second}
+	if cr := RunCell(context.Background(), cell, grid); cr.Result.Outcome != verify.Exhausted {
+		t.Fatalf("control cell outcome %v, want exhausted", cr.Result.Outcome)
+	}
+	// The sentinel must survive the zero-inherits-grid-default step and
+	// lift the limit entirely: the same cell now verifies.
+	cell.Opt.Budget.NodeLimit = resource.Unlimited
+	cr := RunCell(context.Background(), cell, grid)
+	if cr.Result.Outcome != verify.Verified {
+		t.Fatalf("unlimited cell outcome %v (%s)", cr.Result.Outcome, cr.Result.Why)
+	}
+	// Same story for the time axis.
+	cell.Opt.Budget = Budget{Timeout: resource.Unlimited}
+	cr = RunCell(context.Background(), cell, Budget{NodeLimit: 500_000, Timeout: time.Nanosecond})
+	if cr.Result.Outcome != verify.Verified {
+		t.Fatalf("unlimited-timeout cell outcome %v (%s)", cr.Result.Outcome, cr.Result.Why)
+	}
+}
+
+func TestCellReportStatsBlock(t *testing.T) {
+	cell := Cell{
+		Group:  "test",
+		Method: verify.XICI,
+		Build: func(m *bdd.Manager) verify.Problem {
+			return models.NewFIFO(m, models.DefaultFIFO(3))
+		},
+	}
+	cr := RunCell(context.Background(), cell, Budget{NodeLimit: 500_000, Timeout: 30 * time.Second})
+	var rep Report
+	rep.Add("t", time.Second, DefaultBudget, []CellResult{cr})
+	rep.Schema = ReportSchema
+
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The v3 contract: schema tag, an always-present stats key, and a
+	// live XICI cell reports non-zero exact-termination effort.
+	for _, want := range []string{`"schema":"icibench/v3"`, `"stats":{`, `"taut_calls"`, `"step_resolved"`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("report JSON missing %s:\n%s", want, data)
+		}
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	st := back.Tables[0].Cells[0].Stats
+	if st.TautCalls == 0 {
+		t.Error("XICI cell reports zero taut_calls")
+	}
+	if st.StepResolved[0]+st.StepResolved[1]+st.StepResolved[2]+st.ShannonSplits != st.TautCalls {
+		t.Errorf("stats block breaks the bucket invariant: %+v", st)
+	}
+	if st.PairsScored == 0 || st.Rounds == 0 {
+		t.Errorf("XICI cell reports no evaluation effort: %+v", st)
+	}
+	if len(st.SizeTrajectory) == 0 {
+		t.Error("stats block lost the size trajectory")
+	}
+}
+
+func TestEffortText(t *testing.T) {
+	var r verify.Result
+	r.Term.TautCalls = 7
+	r.Term.ShannonSplits = 2
+	r.Eval.PairsScored = 30
+	r.Eval.MergesApplied = 4
+	got := effortText(r)
+	for _, want := range []string{"taut=7", "splits=2", "pairs=30", "merges=4", "img=", "gc="} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("effortText %q missing %q", got, want)
+		}
 	}
 }
 

@@ -14,8 +14,9 @@ import (
 
 // ReportSchema identifies the JSON layout; bump on breaking changes.
 // v2 added the per-table budget and the per-cell typed termination
-// cause.
-const ReportSchema = "icibench/v2"
+// cause; v3 added the always-present per-cell "stats" block (effort
+// counters, phase times, size trajectory).
+const ReportSchema = "icibench/v3"
 
 // Report is the top-level -json document.
 type Report struct {
@@ -53,6 +54,52 @@ type CellReport struct {
 	MemBytes       int     `json:"mem_bytes"`
 	WallSeconds    float64 `json:"wall_seconds"`
 	ViolationDepth int     `json:"violation_depth,omitempty"`
+
+	// Stats is the schema-v3 effort block. It is always present (not a
+	// pointer), so consumers can rely on the key existing; the *_seconds
+	// fields vary run to run, everything else is deterministic for a
+	// fixed model, budget, and option set.
+	Stats CellStats `json:"stats"`
+}
+
+// CellStats flattens the run's observability counters: the Section
+// III.B exact termination test (taut_calls .. step_resolved), the
+// Section III.A greedy evaluation (pairs_scored .. rounds), the
+// per-phase wall-time split, and the iterate size trajectory.
+type CellStats struct {
+	TautCalls      int     `json:"taut_calls"`
+	ShannonSplits  int     `json:"shannon_splits"`
+	MaxSplitDepth  int     `json:"max_split_depth"`
+	StepResolved   [3]int  `json:"step_resolved"`
+	PairsScored    int     `json:"pairs_scored"`
+	MergesApplied  int     `json:"merges_applied"`
+	BudgetOverflow int     `json:"budget_overflow"`
+	Rounds         int     `json:"rounds"`
+	ImageSeconds   float64 `json:"image_seconds"`
+	PolicySeconds  float64 `json:"policy_seconds"`
+	TermSeconds    float64 `json:"term_seconds"`
+	GCSeconds      float64 `json:"gc_seconds"`
+	SizeTrajectory []int   `json:"size_trajectory,omitempty"`
+}
+
+// NewCellStats extracts the effort block from a result.
+func NewCellStats(r verify.Result) CellStats {
+	ph := r.PhaseDurations
+	return CellStats{
+		TautCalls:      r.Term.TautCalls,
+		ShannonSplits:  r.Term.ShannonSplits,
+		MaxSplitDepth:  r.Term.MaxSplitDepth,
+		StepResolved:   r.Term.StepResolved,
+		PairsScored:    r.Eval.PairsScored,
+		MergesApplied:  r.Eval.MergesApplied,
+		BudgetOverflow: r.Eval.BudgetOverflow,
+		Rounds:         r.Eval.Rounds,
+		ImageSeconds:   ph[verify.PhaseImage].Seconds(),
+		PolicySeconds:  ph[verify.PhasePolicy].Seconds(),
+		TermSeconds:    ph[verify.PhaseTerm].Seconds(),
+		GCSeconds:      ph[verify.PhaseGC].Seconds(),
+		SizeTrajectory: r.SizeTrajectory,
+	}
 }
 
 // NewCellReport converts a run result to its JSON form.
@@ -72,6 +119,7 @@ func NewCellReport(cr CellResult) CellReport {
 		TotalVars:      cr.TotalVars,
 		MemBytes:       r.MemBytes,
 		WallSeconds:    r.Elapsed.Seconds(),
+		Stats:          NewCellStats(r),
 	}
 	if r.Outcome == verify.Violated {
 		out.ViolationDepth = r.ViolationDepth

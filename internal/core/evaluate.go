@@ -47,6 +47,18 @@ type Options struct {
 	// pairwise conjunction is built in full).
 	PairBudgetFactor float64
 
+	// Stats, when non-nil, accumulates the greedy evaluation's effort
+	// counters (see EvalStats). The same determinism contract as for the
+	// output applies: with PairBudgetFactor == 0 the counters are
+	// identical whatever Workers is set to.
+	Stats *EvalStats
+
+	// OnMerge, when non-nil, is invoked for every merge the greedy loop
+	// applies, with the conjunct indices (i, j) of the replaced pair
+	// (j is dropped into i). It is the public form of the package's
+	// white-box test hooks, used by the verify layer's Observer.
+	OnMerge func(i, j int)
+
 	// Workers selects parallel pair scoring for the greedy evaluation
 	// (0 = sequential, the default; negative = GOMAXPROCS). Because a
 	// bdd.Manager is not safe for concurrent use, each worker gets its
@@ -168,7 +180,7 @@ func EvaluateGreedy(l List, opt Options) List {
 	} else {
 		sc = newSeqScorer(m, cs, opt)
 	}
-	return greedyMerge(m, cs, opt.threshold(), sc)
+	return greedyMerge(m, cs, opt, sc)
 }
 
 // evaluateGreedyRescan is the original (seed) implementation of Figure 1:

@@ -47,11 +47,38 @@ type pairScorer interface {
 
 // Test hooks: when non-nil, greedyMerge reports every scored pair and
 // every applied merge. Used by regression tests to prove that merged or
-// dropped indices are never rescored.
+// dropped indices are never rescored. The public counter surface is
+// Options.Stats / Options.OnMerge; these stay as the pair-identity seam
+// for white-box tests.
 var (
 	greedyScoreHook func(i, j int)
 	greedyMergeHook func(i, j int)
 )
+
+// EvalStats accumulates effort counters for the Figure 1 greedy
+// evaluation. All increments happen in the shared greedyMerge driver —
+// the scorers only build and size candidate conjunctions — so the
+// counters are identical between sequential and parallel (Workers != 0)
+// runs by construction, except that with a positive PairBudgetFactor a
+// borderline pair may classify as overflowed on one path and not the
+// other (the documented budget caveat), shifting counts between
+// PairsScored-accepted and BudgetOverflow.
+type EvalStats struct {
+	// PairsScored counts candidate conjunctions P_ij built and sized
+	// (the initial table plus one row rescore per merge).
+	PairsScored int
+
+	// MergesApplied counts Figure 1 replacements performed.
+	MergesApplied int
+
+	// BudgetOverflow counts pairs whose conjunction overflowed the
+	// PairBudgetFactor bound and were recorded as unmergeable.
+	BudgetOverflow int
+
+	// Rounds counts passes of the merge loop, including the final pass
+	// that found no candidate under the threshold.
+	Rounds int
+}
 
 // pairCand is one heap entry. stamp must match the table's current stamp
 // for the entry to be valid; stale entries are skipped on pop.
@@ -79,8 +106,11 @@ func (h *candHeap) Push(x any)   { *h = append(*h, x.(pairCand)) }
 func (h *candHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
 
 // greedyMerge runs the Figure 1 loop over cs (modified in place) using
-// the given scorer for pair construction.
-func greedyMerge(m *bdd.Manager, cs []bdd.Ref, threshold float64, sc pairScorer) List {
+// the given scorer for pair construction. Effort counters (opt.Stats)
+// and merge notifications (opt.OnMerge) are emitted here, never in the
+// scorers, so both counters and events are scorer-independent.
+func greedyMerge(m *bdd.Manager, cs []bdd.Ref, opt Options, sc pairScorer) List {
+	threshold := opt.threshold()
 	n := len(cs)
 	alive := make([]bool, n)
 	for i := range alive {
@@ -97,9 +127,15 @@ func greedyMerge(m *bdd.Manager, cs []bdd.Ref, threshold float64, sc pairScorer)
 				greedyScoreHook(p[0], p[1])
 			}
 		}
+		if opt.Stats != nil {
+			opt.Stats.PairsScored += len(pairs)
+		}
 		scores := sc.scoreAll(pairs)
 		for t, p := range pairs {
 			if !scores[t].ok {
+				if opt.Stats != nil {
+					opt.Stats.BudgetOverflow++
+				}
 				continue // unmergeable: conjunction overflowed the budget
 			}
 			heap.Push(&cands, pairCand{
@@ -124,6 +160,9 @@ func greedyMerge(m *bdd.Manager, cs []bdd.Ref, threshold float64, sc pairScorer)
 	row := make([][2]int, 0, n)
 	for live >= 2 {
 		m.CheckBudget() // merge rounds can spin on cached conjunctions
+		if opt.Stats != nil {
+			opt.Stats.Rounds++
+		}
 		// Pop the best still-valid candidate.
 		bestI, bestJ := -1, -1
 		var bestRatio float64
@@ -141,6 +180,12 @@ func greedyMerge(m *bdd.Manager, cs []bdd.Ref, threshold float64, sc pairScorer)
 		}
 		if greedyMergeHook != nil {
 			greedyMergeHook(bestI, bestJ)
+		}
+		if opt.Stats != nil {
+			opt.Stats.MergesApplied++
+		}
+		if opt.OnMerge != nil {
+			opt.OnMerge(bestI, bestJ)
 		}
 		merged := sc.merged(bestI, bestJ)
 		cs[bestI] = merged

@@ -220,3 +220,45 @@ func TestEvaluateGreedyParallelGuardsLimit(t *testing.T) {
 		t.Fatalf("got %T (%v), want *bdd.LimitError", err, err)
 	}
 }
+
+// TestEvalStatsCounters: the public stats seam must agree with the
+// white-box hooks (PairsScored counts exactly the hook-reported scoring
+// calls, MergesApplied the hook-reported merges) and be identical
+// between the sequential and parallel drivers when no pair budget is in
+// play.
+func TestEvalStatsCounters(t *testing.T) {
+	m := newM(t)
+	rng := rand.New(rand.NewSource(97))
+	for iter := 0; iter < 20; iter++ {
+		l := randList(m, rng, 2+rng.Intn(7))
+		if l.Len() < 2 {
+			continue
+		}
+
+		var hookScored, hookMerged int
+		greedyScoreHook = func(int, int) { hookScored++ }
+		greedyMergeHook = func(int, int) { hookMerged++ }
+		seq := EvalStats{}
+		var events [][2]int
+		EvaluateGreedy(l, Options{GrowThreshold: 10, Stats: &seq,
+			OnMerge: func(i, j int) { events = append(events, [2]int{i, j}) }})
+		greedyScoreHook, greedyMergeHook = nil, nil
+
+		if seq.PairsScored != hookScored || seq.MergesApplied != hookMerged {
+			t.Fatalf("iter %d: stats (pairs=%d merges=%d) disagree with hooks (%d, %d)",
+				iter, seq.PairsScored, seq.MergesApplied, hookScored, hookMerged)
+		}
+		if len(events) != seq.MergesApplied {
+			t.Fatalf("iter %d: %d OnMerge events for %d merges", iter, len(events), seq.MergesApplied)
+		}
+		if seq.Rounds == 0 || seq.BudgetOverflow != 0 {
+			t.Fatalf("iter %d: unexpected rounds=%d overflow=%d", iter, seq.Rounds, seq.BudgetOverflow)
+		}
+
+		parl := EvalStats{}
+		EvaluateGreedy(l, Options{GrowThreshold: 10, Workers: 3, Stats: &parl})
+		if parl != seq {
+			t.Fatalf("iter %d: parallel stats %+v != sequential %+v", iter, parl, seq)
+		}
+	}
+}

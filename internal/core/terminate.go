@@ -21,12 +21,37 @@ import (
 // possibly slow, over a method that is fast, but possibly wrong."
 
 // TermStats accumulates effort counters for the exact test, reported in
-// the ablation benchmarks.
+// the ablation benchmarks and carried on verify.Result. The json tags
+// match the icibench/v3 stats-block field names.
 type TermStats struct {
-	TautCalls     int    // disjunction-tautology invocations (incl. recursion)
-	ShannonSplits int    // Step 4 expansions performed
-	MaxSplitDepth int    // deepest recursion reached
-	StepResolved  [3]int // calls settled by step 1/2, by step 3, or at [2] ... index: 0 = steps 1-2, 1 = step 3, 2 = step 4 leaves
+	TautCalls     int `json:"taut_calls"`      // disjunction-tautology invocations (incl. recursion)
+	ShannonSplits int `json:"shannon_splits"`  // Step 4 expansions performed
+	MaxSplitDepth int `json:"max_split_depth"` // deepest recursion reached
+
+	// StepResolved buckets, by resolution stage, the disjTaut calls that
+	// settled WITHOUT a Shannon expansion:
+	//
+	//	[0] steps 1-2: a constant-True disjunct, a complementary pair,
+	//	    or everything dropped as False/duplicate
+	//	[1] step 3: the Theorem-3 cross-simplification exposed the
+	//	    verdict (re-running steps 1-2 on the simplified list)
+	//	[2] a single surviving non-constant disjunct — which cannot be
+	//	    a tautology — short-circuiting between steps 3 and 4
+	//
+	// A call that DID expand is counted in ShannonSplits and resolves
+	// through its recursive children, each of which lands in a bucket of
+	// its own; Step-4 recursions that bottom out via steps 1-2 therefore
+	// land in [0], not in a "step 4" bucket. For every run:
+	//
+	//	StepResolved[0] + StepResolved[1] + StepResolved[2] + ShannonSplits == TautCalls
+	StepResolved [3]int `json:"step_resolved"`
+}
+
+// Resolved returns the number of tautology calls settled without a
+// Shannon expansion — the sum of the StepResolved buckets. By the
+// invariant above, TautCalls - Resolved() == ShannonSplits.
+func (s TermStats) Resolved() int {
+	return s.StepResolved[0] + s.StepResolved[1] + s.StepResolved[2]
 }
 
 // VarChoice selects the Shannon-expansion variable of Step 4 — the
@@ -89,14 +114,17 @@ func (tt Termination) ListImplies(x, y List) bool {
 	if y.IsTrue() || x.IsFalse() {
 		return true
 	}
-	// Base disjunction: the negated conjuncts of x. Appending one
-	// conjunct of y at a time gives each X ⇒ Y_j check.
+	// Base disjunction: the negated conjuncts of x. The buffer has room
+	// for exactly one more element, so appending Y_j reuses it for every
+	// check (the append result keeps base's backing array and base's
+	// length stays put, truncating Y_{j-1} away). disjTaut never mutates
+	// its input — filterStep12 copies — so the prefix survives each round.
 	base := make([]bdd.Ref, 0, len(x.Conjuncts)+1)
 	for _, c := range x.Conjuncts {
 		base = append(base, c.Not())
 	}
 	for _, yj := range y.Conjuncts {
-		ds := append(append([]bdd.Ref(nil), base...), yj)
+		ds := append(base, yj)
 		if !tt.DisjunctionTautology(ds) {
 			return false
 		}

@@ -217,3 +217,114 @@ func TestFastListsEqual(t *testing.T) {
 		t.Fatal("unequal lists reported equal")
 	}
 }
+
+// TestTermStatsBuckets pins the StepResolved accounting on worked
+// examples with known resolution paths and split counts, and checks the
+// documented invariant: every call either lands in exactly one bucket
+// or performs a Shannon expansion, so the buckets plus ShannonSplits sum
+// to TautCalls. Step 3 is disabled where noted so the recursion shape
+// is forced.
+func TestTermStatsBuckets(t *testing.T) {
+	m := newM(t)
+	x1, x2 := m.VarRef(0), m.VarRef(1)
+
+	cases := []struct {
+		name      string
+		ds        []bdd.Ref
+		skipStep3 bool
+		want      bool
+		calls     int
+		splits    int
+		resolved  [3]int
+	}{
+		{
+			// Complementary pair: steps 1-2 settle the root call.
+			name: "complement-pair", ds: []bdd.Ref{x1, x1.Not()},
+			want: true, calls: 1, splits: 0, resolved: [3]int{1, 0, 0},
+		},
+		{
+			// One non-constant disjunct: the single-survivor
+			// short-circuit, not a "step 4 leaf".
+			name: "single-survivor", ds: []bdd.Ref{x1},
+			want: false, calls: 1, splits: 0, resolved: [3]int{0, 0, 1},
+		},
+		{
+			// Theorem-3 cross-simplification maps x1∧x2 to True.
+			name: "step3", ds: []bdd.Ref{m.And(x1, x2), x1.Not(), x2.Not()},
+			want: true, calls: 1, splits: 0, resolved: [3]int{0, 1, 0},
+		},
+		{
+			// With step 3 off the same list must Shannon-expand on x1;
+			// both cofactor lists settle via steps 1-2 (a True disjunct
+			// appears), so the expansion's children land in bucket [0] —
+			// the "step 4 leaves land in [0]" case the old comment
+			// mislabeled.
+			name: "split-then-steps12", skipStep3: true,
+			ds:   []bdd.Ref{m.Or(x1, x2), m.Or(x1.Not(), x2.Not())},
+			want: true, calls: 3, splits: 1, resolved: [3]int{2, 0, 0},
+		},
+		{
+			// Non-tautology: the x1=1 cofactor list shrinks to the
+			// single survivor x2, and the && short-circuit skips the
+			// x1=0 branch entirely.
+			name: "split-single-survivor", skipStep3: true,
+			ds:   []bdd.Ref{m.And(x1, x2), m.And(x1.Not(), x2)},
+			want: false, calls: 2, splits: 1, resolved: [3]int{0, 0, 1},
+		},
+	}
+
+	for _, tc := range cases {
+		stats := &TermStats{}
+		tt := Termination{M: m, Simplifier: bdd.UseRestrict, SkipStep3: tc.skipStep3, Stats: stats}
+		if got := tt.DisjunctionTautology(tc.ds); got != tc.want {
+			t.Errorf("%s: verdict %v, want %v", tc.name, got, tc.want)
+		}
+		if stats.TautCalls != tc.calls || stats.ShannonSplits != tc.splits ||
+			stats.StepResolved != tc.resolved {
+			t.Errorf("%s: calls=%d splits=%d resolved=%v, want calls=%d splits=%d resolved=%v",
+				tc.name, stats.TautCalls, stats.ShannonSplits, stats.StepResolved,
+				tc.calls, tc.splits, tc.resolved)
+		}
+		if stats.Resolved()+stats.ShannonSplits != stats.TautCalls {
+			t.Errorf("%s: invariant broken: resolved %d + splits %d != calls %d",
+				tc.name, stats.Resolved(), stats.ShannonSplits, stats.TautCalls)
+		}
+	}
+}
+
+// TestTermStatsInvariantRandom checks the bucket invariant on random
+// lists, with and without step 3.
+func TestTermStatsInvariantRandom(t *testing.T) {
+	m := newM(t)
+	rng := rand.New(rand.NewSource(86))
+	for _, skip := range []bool{false, true} {
+		stats := &TermStats{}
+		tt := Termination{M: m, Simplifier: bdd.UseRestrict, SkipStep3: skip, Stats: stats}
+		for i := 0; i < 20; i++ {
+			x := randList(m, rng, 3)
+			y := repartition(m, rng, x)
+			tt.ListsEqual(x, y)
+		}
+		if stats.Resolved()+stats.ShannonSplits != stats.TautCalls {
+			t.Fatalf("skipStep3=%v: resolved %d + splits %d != calls %d",
+				skip, stats.Resolved(), stats.ShannonSplits, stats.TautCalls)
+		}
+	}
+}
+
+// BenchmarkListImplies guards the buffer-reuse optimization: the
+// implication check used to copy the negated-conjunct slice once per
+// Y_j; it now appends into one buffer. Run with -benchmem (ReportAllocs
+// is on) to see the per-operation allocation count.
+func BenchmarkListImplies(b *testing.B) {
+	m := newM(b)
+	rng := rand.New(rand.NewSource(87))
+	x := randList(m, rng, 6)
+	y := repartition(m, rng, x)
+	tt := NewTermination(m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tt.ListImplies(x, y)
+	}
+}

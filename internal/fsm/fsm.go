@@ -285,27 +285,31 @@ func (ma *Machine) MustSeal() {
 	}
 }
 
-// Protect reference-counts every function the machine owns, so caller
-// GCs between traversal iterations cannot reclaim them.
+// Protect registers every function the machine owns as a permanent GC
+// root, so caller GCs between traversal iterations cannot reclaim them.
+// Registration is idempotent per manager (bdd.ProtectPermanent): calling
+// Protect before every GC-enabled run — as the verify harness does —
+// does not inflate refcounts, and a re-call after sealing picks up the
+// partition functions built by Seal.
 func (ma *Machine) Protect() {
 	m := ma.M
-	m.Protect(ma.init)
-	m.Protect(ma.constraint)
+	m.ProtectPermanent(ma.init)
+	m.ProtectPermanent(ma.constraint)
 	for _, f := range ma.nextFn {
-		m.Protect(f)
+		m.ProtectPermanent(f)
 	}
 	if ma.sealed {
-		m.Protect(ma.inputCube)
-		m.Protect(ma.curCube)
-		m.Protect(ma.seedQuant)
-		m.Protect(ma.preSeedQuant)
+		m.ProtectPermanent(ma.inputCube)
+		m.ProtectPermanent(ma.curCube)
+		m.ProtectPermanent(ma.seedQuant)
+		m.ProtectPermanent(ma.preSeedQuant)
 		for _, p := range ma.transition {
-			m.Protect(p.rel)
-			m.Protect(p.quant)
+			m.ProtectPermanent(p.rel)
+			m.ProtectPermanent(p.quant)
 		}
 		for _, p := range ma.preTransition {
-			m.Protect(p.rel)
-			m.Protect(p.quant)
+			m.ProtectPermanent(p.rel)
+			m.ProtectPermanent(p.quant)
 		}
 	}
 }

@@ -46,6 +46,15 @@ var (
 	ErrIterLimit = errors.New("resource: iteration cap exceeded")
 )
 
+// Unlimited is the explicit "no bound" sentinel for Budget fields in
+// harnesses where the zero value means "inherit a default" (the bench
+// grids): a cell whose NodeLimit or Timeout is Unlimited runs with no
+// bound at all instead of picking up the grid's. It is untyped so it
+// assigns to both the int and the time.Duration fields; Norm folds it
+// (and any other negative value) back to the unbounded zero value
+// before the budget reaches the enforcement layers.
+const Unlimited = -1
+
 // Budget is one run's complete resource bound. The zero value means
 // "unbounded": no node limit, no wall bound, the engine's default
 // iteration cap, and no cancellation.
@@ -85,6 +94,25 @@ func (b Budget) Start(now time.Time) Budget {
 		if b.Deadline.IsZero() || d.Before(b.Deadline) {
 			b.Deadline = d
 		}
+	}
+	return b
+}
+
+// Norm returns the budget with negative (explicitly Unlimited) bounds
+// folded to their unbounded zero values. Harnesses that treat a zero
+// field as "inherit a default" apply their defaults first, then Norm;
+// the run harness also calls it, so an un-normalized Unlimited passed
+// straight to verify.Run still means "no bound" (for MaxIterations,
+// "the engine's default cap", the same as zero).
+func (b Budget) Norm() Budget {
+	if b.NodeLimit < 0 {
+		b.NodeLimit = 0
+	}
+	if b.Timeout < 0 {
+		b.Timeout = 0
+	}
+	if b.MaxIterations < 0 {
+		b.MaxIterations = 0
 	}
 	return b
 }

@@ -40,9 +40,13 @@ func runBackward(c *Ctx, p Problem, opt Options) Result {
 			return res
 		}
 
+		stop := c.Phase(PhaseImage)
 		gn := c.Protect(m.And(good, ma.BackImage(g)))
+		stop()
 		c.Observe(m.Size(gn), nil)
-		if gn == g {
+		conv := gn == g // canonical Ref equality: the fixpoint test is free
+		c.EmitTermResolved(conv)
+		if conv {
 			peak, _ := c.Peak()
 			return Result{Outcome: Verified, Iterations: i + 1, PeakStateNodes: peak}
 		}

@@ -1,7 +1,10 @@
 package verify
 
 import (
+	"time"
+
 	"repro/internal/bdd"
+	"repro/internal/core"
 	"repro/internal/resource"
 )
 
@@ -26,24 +29,36 @@ type Ctx struct {
 	iterations int
 	peak       int
 	profile    []int
+
+	// Observability sink. Engines write via the Phase timers, the
+	// Termination/CoreOptions wiring, and EmitTermResolved; the harness
+	// copies everything onto the Result after the run.
+	term       core.TermStats
+	eval       core.EvalStats
+	phases     PhaseDurations
+	trajectory []int
+	observer   Observer
 }
 
 func newCtx(p Problem, opt Options, b resource.Budget) *Ctx {
 	ma := p.Machine
-	c := &Ctx{m: ma.M, opt: opt, budget: b, maxIter: b.MaxIter(defaultMaxIter)}
+	c := &Ctx{m: ma.M, opt: opt, budget: b,
+		maxIter: b.MaxIter(defaultMaxIter), observer: opt.Observer}
 	if opt.GCEvery > 0 {
 		// The machine's functions and the problem's property/dependency
 		// BDDs must survive every collection — including collections in
 		// LATER runs on the same manager, since the caller still holds
-		// these Refs. They become permanent roots (counts only grow and
-		// are never released) once GC is in play.
+		// these Refs. They become permanent roots once GC is in play;
+		// registration is idempotent (bdd.ProtectPermanent), so running
+		// the same problem repeatedly with GCEvery > 0 cannot inflate
+		// the refcounts.
 		ma.Protect()
-		c.m.Protect(p.Good)
+		c.m.ProtectPermanent(p.Good)
 		for _, g := range p.GoodList {
-			c.m.Protect(g)
+			c.m.ProtectPermanent(g)
 		}
 		for _, d := range p.Deps {
-			c.m.Protect(d.Def)
+			c.m.ProtectPermanent(d.Def)
 		}
 	}
 	return c
@@ -67,22 +82,86 @@ func (c *Ctx) release() {
 	c.roots = c.roots[:0]
 }
 
-// MaybeGC runs a collection at the configured cadence.
+// MaybeGC runs a collection at the configured cadence. GC time is
+// attributed to PhaseGC centrally here, for every engine.
 func (c *Ctx) MaybeGC(iteration int) {
 	if c.opt.GCEvery > 0 && iteration > 0 && iteration%c.opt.GCEvery == 0 {
+		stop := c.Phase(PhaseGC)
 		c.m.GC()
+		stop()
 	}
 }
 
 // Observe records an iterate's shared node count and (for the implicit
-// engines) per-conjunct profile, keeping the maximum seen. Engines call
-// it for every iterate; results read the peak back via Peak.
+// engines) per-conjunct profile, keeping the maximum seen and appending
+// to the size trajectory. Engines call it once per iterate (including
+// the initial one), which also drives the Observer's OnIteration events;
+// results read the peak back via Peak and the trajectory via the Result.
 func (c *Ctx) Observe(shared int, profile []int) {
+	c.trajectory = append(c.trajectory, shared)
 	if shared > c.peak {
 		c.peak = shared
 		if profile != nil {
 			c.profile = append(c.profile[:0], profile...)
 		}
+	}
+	if c.observer != nil {
+		c.observer.OnIteration(IterationEvent{
+			Index:       len(c.trajectory) - 1,
+			SharedNodes: shared,
+			Profile:     profile,
+		})
+	}
+}
+
+// Phase starts timing the given phase and returns the stop function;
+// call it exactly once. Engines bracket their image, policy, and
+// termination sections with it:
+//
+//	stop := c.Phase(PhaseImage)
+//	back := ma.BackImageList(g.Conjuncts)
+//	stop()
+func (c *Ctx) Phase(ph Phase) (stop func()) {
+	start := time.Now()
+	return func() { c.phases[ph] += time.Since(start) }
+}
+
+// Termination returns the Section III.B exact-test configuration wired
+// to the run's TermStats sink. Engines that build a core.Termination
+// must obtain it here so the counters reach the Result.
+func (c *Ctx) Termination() core.Termination {
+	return core.Termination{
+		M:          c.m,
+		Simplifier: c.opt.Core.Simplifier,
+		VarChoice:  c.opt.TermVarChoice,
+		Stats:      &c.term,
+	}
+}
+
+// CoreOptions returns the run's policy options wired to the EvalStats
+// sink and (when an Observer is installed) the OnMerge event stream.
+// Engines pass the result — not opt.Core directly — to the Section
+// III.A entry points.
+func (c *Ctx) CoreOptions() core.Options {
+	copt := c.opt.Core
+	copt.Stats = &c.eval
+	if c.observer != nil {
+		copt.OnMerge = func(i, j int) {
+			c.observer.OnMerge(MergeEvent{Iteration: c.iterations, I: i, J: j})
+		}
+	}
+	return copt
+}
+
+// EmitTermResolved notifies the Observer that the engine's convergence
+// test resolved for the current iteration.
+func (c *Ctx) EmitTermResolved(converged bool) {
+	if c.observer != nil {
+		c.observer.OnTermResolved(TermEvent{
+			Iteration: c.iterations,
+			Converged: converged,
+			Stats:     c.term,
+		})
 	}
 }
 

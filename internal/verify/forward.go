@@ -40,9 +40,13 @@ func runForward(c *Ctx, p Problem, opt Options) Result {
 			return res
 		}
 
+		stop := c.Phase(PhaseImage)
 		rn := c.Protect(m.Or(r, ma.Image(r)))
+		stop()
 		c.Observe(m.Size(rn), nil)
-		if rn == r {
+		conv := rn == r // canonical Ref equality: the fixpoint test is free
+		c.EmitTermResolved(conv)
+		if conv {
 			peak, _ := c.Peak()
 			return Result{Outcome: Verified, Iterations: i + 1, PeakStateNodes: peak}
 		}

@@ -28,7 +28,8 @@ func runForwardID(c *Ctx, p Problem, opt Options) Result {
 	for _, g := range goods {
 		c.Protect(g)
 	}
-	term := core.Termination{M: m, Simplifier: opt.Core.Simplifier, VarChoice: opt.TermVarChoice}
+	term := c.Termination()
+	copt := c.CoreOptions()
 
 	r := []bdd.Ref{c.Protect(ma.Init())}
 	rings := [][]bdd.Ref{r}
@@ -55,17 +56,25 @@ func runForwardID(c *Ctx, p Problem, opt Options) Result {
 
 		// R_{i+1} = R_i ∨ Image(R_i), with Image distributed over the
 		// disjuncts, then the dual Section III.A policy.
+		stop := c.Phase(PhaseImage)
 		next := append([]bdd.Ref(nil), r...)
 		for _, d := range r {
 			next = append(next, ma.Image(d))
 		}
-		rn := dualSimplifyAndEvaluate(m, next, opt.Core)
+		stop()
+		stop = c.Phase(PhasePolicy)
+		rn := dualSimplifyAndEvaluate(m, next, copt)
+		stop()
 		for _, d := range rn {
 			c.Protect(d)
 		}
 		c.Observe(listStats(m, rn))
 
-		if disjConverged(term, opt.Termination, r, rn) {
+		stop = c.Phase(PhaseTerm)
+		conv := disjConverged(term, opt.Termination, r, rn)
+		stop()
+		c.EmitTermResolved(conv)
+		if conv {
 			peak, profile := c.Peak()
 			return Result{Outcome: Verified, Iterations: i + 1, PeakStateNodes: peak, PeakProfile: profile}
 		}

@@ -60,12 +60,16 @@ func runICI(c *Ctx, p Problem, opt Options) Result {
 		// Positional step: G_{i+1}[j] = G_0[j] ∧ BackImage(τ, G_i[j]).
 		// The conjunction over j equals G_0 ∧ BackImage(G_i) by
 		// Theorem 1, whatever the pairing.
+		stop := c.Phase(PhaseImage)
 		back := ma.BackImageList(g)
 		gn := make([]bdd.Ref, len(g))
 		for j := range g {
 			gn[j] = m.And(g0[j], back[j])
 		}
+		stop()
+		stop = c.Phase(PhasePolicy)
 		core.CrossSimplifyPositional(m, gn, opt.Core.Simplifier)
+		stop()
 		for _, cj := range gn {
 			c.Protect(cj)
 		}
@@ -80,6 +84,7 @@ func runICI(c *Ctx, p Problem, opt Options) Result {
 				break
 			}
 		}
+		c.EmitTermResolved(same)
 		if same {
 			peak, profile := c.Peak()
 			return Result{Outcome: Verified, Iterations: i + 1, PeakStateNodes: peak, PeakProfile: profile}

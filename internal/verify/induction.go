@@ -47,17 +47,25 @@ func runInduction(c *Ctx, p Problem, opt Options) Result {
 	// Inductive step, per conjunct: P ∧ ¬BackImage(P_j) must be empty
 	// for every conjunct P_j (P as an implicit conjunction never gets
 	// built). The cross-simplified conjuncts keep the BackImages small.
+	stop := c.Phase(PhasePolicy)
 	simplified := core.CrossSimplify(core.List{M: m, Conjuncts: append([]bdd.Ref(nil), goods...)},
 		opt.Core.Simplifier)
+	stop()
 	c.Observe(listStats(m, simplified.Conjuncts))
 	peak, profile := c.Peak()
 
+	term := c.Termination()
 	for _, pj := range simplified.Conjuncts {
+		stop = c.Phase(PhaseImage)
 		back := ma.BackImage(pj)
+		stop()
 		// Check P ⇒ back without conjoining P: find a conjunct-wise
 		// witness via the implicit test.
-		term := core.Termination{M: m, Simplifier: opt.Core.Simplifier, VarChoice: opt.TermVarChoice}
-		if !term.ListImplies(simplified, core.NewList(m, back)) {
+		stop = c.Phase(PhaseTerm)
+		holds := term.ListImplies(simplified, core.NewList(m, back))
+		stop()
+		c.EmitTermResolved(holds)
+		if !holds {
 			return Result{
 				Outcome:        Exhausted,
 				Iterations:     1,

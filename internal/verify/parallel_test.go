@@ -52,6 +52,27 @@ func TestXICIParallelMatchesSequential(t *testing.T) {
 				}
 			}
 		}
+		// The effort counters fall under the same determinism contract:
+		// with PairBudgetFactor == 0 the parallel run issues the same
+		// pair sequence and the same termination tests, so Eval and
+		// Term must match field for field, and the size trajectories
+		// must be identical.
+		if parl.Eval != seq.Eval {
+			t.Errorf("%s: eval stats %+v != sequential %+v", p.Name, parl.Eval, seq.Eval)
+		}
+		if parl.Term != seq.Term {
+			t.Errorf("%s: term stats %+v != sequential %+v", p.Name, parl.Term, seq.Term)
+		}
+		if len(parl.SizeTrajectory) != len(seq.SizeTrajectory) {
+			t.Errorf("%s: trajectory %v != %v", p.Name, parl.SizeTrajectory, seq.SizeTrajectory)
+		} else {
+			for i := range seq.SizeTrajectory {
+				if parl.SizeTrajectory[i] != seq.SizeTrajectory[i] {
+					t.Errorf("%s: trajectory %v != %v", p.Name, parl.SizeTrajectory, seq.SizeTrajectory)
+					break
+				}
+			}
+		}
 	}
 }
 

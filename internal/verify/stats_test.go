@@ -1,0 +1,181 @@
+// Observability-layer tests: Result stats plumbing, the Observer event
+// stream, per-phase timers, and the idempotent GC-root protection. In
+// package verify_test for the same reason as parallel_test.go.
+package verify_test
+
+import (
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/models"
+	"repro/internal/resource"
+	"repro/internal/verify"
+)
+
+// recorder is a test Observer that counts events.
+type recorder struct {
+	iterations []verify.IterationEvent
+	merges     []verify.MergeEvent
+	terms      []verify.TermEvent
+}
+
+func (r *recorder) OnIteration(e verify.IterationEvent) { r.iterations = append(r.iterations, e) }
+func (r *recorder) OnMerge(e verify.MergeEvent)         { r.merges = append(r.merges, e) }
+func (r *recorder) OnTermResolved(e verify.TermEvent)   { r.terms = append(r.terms, e) }
+
+// TestResultCarriesEffortStats: an XICI run under the default exact
+// termination test must surface non-zero TermStats and EvalStats on the
+// Result, a size trajectory whose maximum is the reported peak, and the
+// bucket invariant on the termination counters.
+func TestResultCarriesEffortStats(t *testing.T) {
+	p := models.NewFIFO(bdd.New(), models.DefaultFIFO(3))
+	res := verify.Run(p, verify.XICI, verify.Options{})
+	if res.Outcome != verify.Verified {
+		t.Fatalf("outcome %v: %s", res.Outcome, res.Why)
+	}
+	if res.Term.TautCalls == 0 {
+		t.Error("no tautology calls reported — TermStats not plumbed")
+	}
+	if res.Term.Resolved()+res.Term.ShannonSplits != res.Term.TautCalls {
+		t.Errorf("bucket invariant broken: %+v", res.Term)
+	}
+	if res.Eval.PairsScored == 0 || res.Eval.Rounds == 0 {
+		t.Errorf("no evaluation effort reported: %+v", res.Eval)
+	}
+	if len(res.SizeTrajectory) != res.Iterations+1 {
+		t.Errorf("trajectory has %d entries for %d iterations", len(res.SizeTrajectory), res.Iterations)
+	}
+	max := 0
+	for _, s := range res.SizeTrajectory {
+		if s > max {
+			max = s
+		}
+	}
+	if max != res.PeakStateNodes {
+		t.Errorf("trajectory max %d != peak %d", max, res.PeakStateNodes)
+	}
+	if res.PhaseDurations.Total() > res.Elapsed {
+		t.Errorf("attributed phase time %v exceeds elapsed %v", res.PhaseDurations.Total(), res.Elapsed)
+	}
+}
+
+// TestObserverEventStream: the Observer sees one OnIteration per
+// trajectory entry, OnMerge exactly MergesApplied times, and at least
+// one OnTermResolved whose final event reports convergence with the
+// run's cumulative counters.
+func TestObserverEventStream(t *testing.T) {
+	p := models.NewFIFO(bdd.New(), models.DefaultFIFO(3))
+	rec := &recorder{}
+	res := verify.Run(p, verify.XICI, verify.Options{Observer: rec})
+	if res.Outcome != verify.Verified {
+		t.Fatalf("outcome %v: %s", res.Outcome, res.Why)
+	}
+	if len(rec.iterations) != len(res.SizeTrajectory) {
+		t.Errorf("%d OnIteration events for %d trajectory entries",
+			len(rec.iterations), len(res.SizeTrajectory))
+	}
+	for i, e := range rec.iterations {
+		if e.Index != i || e.SharedNodes != res.SizeTrajectory[i] {
+			t.Errorf("iteration event %d = %+v, want index %d size %d",
+				i, e, i, res.SizeTrajectory[i])
+		}
+	}
+	if len(rec.merges) != res.Eval.MergesApplied {
+		t.Errorf("%d OnMerge events for %d merges", len(rec.merges), res.Eval.MergesApplied)
+	}
+	if len(rec.terms) == 0 {
+		t.Fatal("no OnTermResolved events")
+	}
+	last := rec.terms[len(rec.terms)-1]
+	if !last.Converged {
+		t.Error("final termination event did not report convergence")
+	}
+	if last.Stats != res.Term {
+		t.Errorf("final term snapshot %+v != result %+v", last.Stats, res.Term)
+	}
+}
+
+// TestObserverAllEngines: every registered engine must emit iteration
+// and termination events on a problem it can decide.
+func TestObserverAllEngines(t *testing.T) {
+	for _, meth := range verify.Methods {
+		p := models.NewFIFO(bdd.New(), models.DefaultFIFO(2))
+		rec := &recorder{}
+		res := verify.Run(p, meth, verify.Options{Observer: rec})
+		if res.Outcome == verify.Exhausted && meth != verify.Induction {
+			t.Errorf("%s: unexpected exhaustion: %s", meth, res.Why)
+			continue
+		}
+		if len(rec.iterations) == 0 {
+			t.Errorf("%s: no OnIteration events", meth)
+		}
+		if len(rec.terms) == 0 {
+			t.Errorf("%s: no OnTermResolved events", meth)
+		}
+		if len(rec.iterations) != len(res.SizeTrajectory) {
+			t.Errorf("%s: %d iteration events vs %d trajectory entries",
+				meth, len(rec.iterations), len(res.SizeTrajectory))
+		}
+	}
+}
+
+// TestExhaustedKeepsPartialStats: a run aborted by the iteration cap
+// still reports the effort spent before the abort.
+func TestExhaustedKeepsPartialStats(t *testing.T) {
+	p := models.NewPipeline(bdd.New(), models.PipelineConfig{Regs: 2, Width: 1, Assist: true})
+	res := verify.Run(p, verify.XICI, verify.Options{
+		Budget: resource.Budget{MaxIterations: 2},
+	})
+	if res.Outcome != verify.Exhausted {
+		t.Fatalf("outcome %v, want exhausted", res.Outcome)
+	}
+	if res.Term.TautCalls == 0 || res.Eval.PairsScored == 0 {
+		t.Errorf("partial stats lost on abort: term %+v eval %+v", res.Term, res.Eval)
+	}
+	if len(res.SizeTrajectory) == 0 {
+		t.Error("partial trajectory lost on abort")
+	}
+}
+
+// TestGCProtectIdempotentAcrossRuns is the regression test for the
+// unbounded-refcount bug: re-running the same problem with GCEvery > 0
+// on one manager used to re-Protect the machine and property Refs each
+// time, inflating their counts without bound. Permanent protection is
+// now idempotent per manager, so a second (and k-th) run must leave the
+// refcounts exactly where the first run left them.
+func TestGCProtectIdempotentAcrossRuns(t *testing.T) {
+	m := bdd.New()
+	p := models.NewFIFO(m, models.DefaultFIFO(2))
+	opt := verify.Options{GCEvery: 1}
+
+	refs := func() map[bdd.Ref]int {
+		out := make(map[bdd.Ref]int)
+		out[p.Good] = m.ExternalRefs(p.Good)
+		for _, g := range p.GoodList {
+			out[g] = m.ExternalRefs(g)
+		}
+		out[p.Machine.Init()] = m.ExternalRefs(p.Machine.Init())
+		return out
+	}
+
+	first := verify.Run(p, verify.XICI, opt)
+	if first.Outcome != verify.Verified {
+		t.Fatalf("outcome %v: %s", first.Outcome, first.Why)
+	}
+	after1 := refs()
+
+	for run := 2; run <= 4; run++ {
+		res := verify.Run(p, verify.XICI, opt)
+		if res.Outcome != first.Outcome || res.Iterations != first.Iterations {
+			t.Fatalf("run %d diverged: %+v vs %+v", run, res, first)
+		}
+		for r, n := range refs() {
+			if n != after1[r] {
+				t.Fatalf("run %d: refcount of %v grew from %d to %d", run, r, after1[r], n)
+			}
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

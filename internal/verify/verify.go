@@ -149,6 +149,13 @@ type Options struct {
 	// GCEvery triggers a garbage collection every n iterations
 	// (0 = never). Live iterates are protected automatically.
 	GCEvery int
+
+	// Observer, when non-nil, receives progress events from the engine
+	// as the run unfolds: one OnIteration per iterate, one OnMerge per
+	// policy merge, one OnTermResolved per convergence test. Nil (the
+	// default) costs nothing. Callbacks run synchronously on the
+	// engine's goroutine.
+	Observer Observer
 }
 
 // defaultMaxIter is the traversal depth bound when the budget sets none.
@@ -205,6 +212,27 @@ type Result struct {
 
 	// Elapsed is wall time for the run ("Time").
 	Elapsed time.Duration
+
+	// Term accumulates the Section III.B exact termination test's
+	// effort counters across the run (zero for engines that never run
+	// the exact test). With Workers set and Core.PairBudgetFactor == 0
+	// the counters are identical to a sequential run.
+	Term core.TermStats
+
+	// Eval accumulates the Section III.A greedy evaluation's effort
+	// counters across the run, under the same determinism contract.
+	Eval core.EvalStats
+
+	// PhaseDurations is the run's wall time attributed per engine phase
+	// (image / policy / termination / GC). The sum is a lower bound on
+	// Elapsed; unattributed time is loop bookkeeping.
+	PhaseDurations PhaseDurations
+
+	// SizeTrajectory is the shared node count of every iterate in
+	// sequence order, index 0 being the initial iterate — the data
+	// behind the paper's "BDD Nodes" growth discussion. Its maximum is
+	// PeakStateNodes.
+	SizeTrajectory []int
 
 	// Why explains Exhausted outcomes (node limit, timeout, ...).
 	Why string
@@ -296,7 +324,7 @@ func RunContext(ctx context.Context, p Problem, method Method, opt Options) Resu
 	if b.Ctx == nil && ctx != context.Background() {
 		b.Ctx = ctx
 	}
-	b = b.Start(start)
+	b = b.Norm().Start(start)
 	restore := m.ApplyBudget(b)
 	defer restore()
 
@@ -315,5 +343,11 @@ func RunContext(ctx context.Context, p Problem, method Method, opt Options) Resu
 	res.Method = method
 	res.Elapsed = time.Since(start)
 	res.MemBytes = m.MemEstimate()
+	// Observability fields accumulate on the Ctx, so Exhausted runs
+	// report the partial effort spent before the abort.
+	res.Term = c.term
+	res.Eval = c.eval
+	res.PhaseDurations = c.phases
+	res.SizeTrajectory = c.trajectory
 	return res
 }

@@ -29,14 +29,17 @@ func runXICI(c *Ctx, p Problem, opt Options) Result {
 
 	init := ma.Init()
 
-	term := core.Termination{M: m, Simplifier: opt.Core.Simplifier, VarChoice: opt.TermVarChoice}
+	term := c.Termination()
+	copt := c.CoreOptions()
 
 	g0 := append([]bdd.Ref(nil), p.goodList()...)
 	for _, cj := range g0 {
 		c.Protect(cj)
 	}
 
-	g := core.SimplifyAndEvaluate(core.NewList(m, g0...), opt.Core)
+	stop := c.Phase(PhasePolicy)
+	g := core.SimplifyAndEvaluate(core.NewList(m, g0...), copt)
+	stop()
 	protectList(c, g)
 	layers := []core.List{g}
 	c.Observe(g.SharedSize(), g.Sizes())
@@ -63,14 +66,22 @@ func runXICI(c *Ctx, p Problem, opt Options) Result {
 		// G_{i+1} = G_0 ∧ BackImage(G_i), kept implicit: append the
 		// per-conjunct BackImages to G_0's conjuncts and let the policy
 		// shorten the result.
+		stop = c.Phase(PhaseImage)
 		back := ma.BackImageList(g.Conjuncts)
+		stop()
 		gn := core.NewList(m, append(append([]bdd.Ref(nil), g0...), back...)...)
-		gn = core.SimplifyAndEvaluate(gn, opt.Core)
+		stop = c.Phase(PhasePolicy)
+		gn = core.SimplifyAndEvaluate(gn, copt)
+		stop()
 		protectList(c, gn)
 
 		c.Observe(gn.SharedSize(), gn.Sizes())
 
-		if converged(term, opt.Termination, g, gn) {
+		stop = c.Phase(PhaseTerm)
+		conv := converged(term, opt.Termination, g, gn)
+		stop()
+		c.EmitTermResolved(conv)
+		if conv {
 			peak, profile := c.Peak()
 			return Result{Outcome: Verified, Iterations: i + 1, PeakStateNodes: peak, PeakProfile: profile}
 		}
