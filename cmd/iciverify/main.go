@@ -216,7 +216,12 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Println("counterexample (validated by replay):")
-			fmt.Print(res.Trace.Format(m, p.Machine.CurVars()))
+			rendered, err := res.Trace.Format(m, p.Machine.CurVars())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "trace formatting FAILED: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Print(rendered)
 		}
 		switch res.Outcome {
 		case verify.Violated:

@@ -53,5 +53,7 @@ func main() {
 			interesting = append(interesting, v)
 		}
 	}
-	fmt.Print(res.Trace.Format(m, interesting))
+	if s, err := res.Trace.Format(m, interesting); err == nil {
+		fmt.Print(s)
+	}
 }

@@ -57,5 +57,7 @@ func main() {
 		log.Fatalf("trace failed replay: %v", err)
 	}
 	fmt.Println("counterexample (replayed and validated on the machine):")
-	fmt.Print(res.Trace.Format(bp.Machine.M, bp.Machine.CurVars()))
+	if s, err := res.Trace.Format(bp.Machine.M, bp.Machine.CurVars()); err == nil {
+		fmt.Print(s)
+	}
 }

@@ -54,5 +54,7 @@ buggy receiver then delivers the stale duplicate as if it were new:
 			interesting = append(interesting, v)
 		}
 	}
-	fmt.Print(res.Trace.Format(m, interesting))
+	if s, err := res.Trace.Format(m, interesting); err == nil {
+		fmt.Print(s)
+	}
 }

@@ -56,7 +56,9 @@ func main() {
 			regVars = append(regVars, v)
 		}
 	}
-	fmt.Print(bres.Trace.Format(m, regVars))
+	if s, err := bres.Trace.Format(m, regVars); err == nil {
+		fmt.Print(s)
+	}
 	fmt.Println("\n(ri* = pipelined register file, rs* = specification's; the")
 	fmt.Println("final step shows them diverging.)")
 }

@@ -75,6 +75,8 @@ func main() {
 	res := verify.Run(bad, verify.XICI, verify.Options{WantTrace: true})
 	fmt.Printf("\nbroken arbiter -> %s\n", res)
 	if res.Trace != nil {
-		fmt.Print("counterexample:\n", res.Trace.Format(m, broken.CurVars()))
+		if s, err := res.Trace.Format(m, broken.CurVars()); err == nil {
+			fmt.Print("counterexample:\n", s)
+		}
 	}
 }

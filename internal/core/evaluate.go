@@ -50,7 +50,10 @@ type Options struct {
 	// Stats, when non-nil, accumulates the greedy evaluation's effort
 	// counters (see EvalStats). The same determinism contract as for the
 	// output applies: with PairBudgetFactor == 0 the counters are
-	// identical whatever Workers is set to.
+	// identical whatever Workers is set to. The counters are per run:
+	// the sink is never reset here, so a sink reused across independent
+	// evaluations must be zeroed between them (verify.RunContext does
+	// this for its engines).
 	Stats *EvalStats
 
 	// OnMerge, when non-nil, is invoked for every merge the greedy loop
@@ -216,7 +219,7 @@ func evaluateGreedyRescan(l List, opt Options) List {
 		}
 		var v pairVal
 		if opt.PairBudgetFactor > 0 {
-			budget := int(opt.PairBudgetFactor*float64(m.SharedSize(cs[i], cs[j]))) + 64
+			budget := int(opt.PairBudgetFactor*float64(pairDenominator(m.SharedSize(cs[i], cs[j])))) + 64
 			v.p, v.ok = m.AndBounded(cs[i], cs[j], budget)
 		} else {
 			v.p, v.ok = m.And(cs[i], cs[j]), true
@@ -246,7 +249,7 @@ func evaluateGreedyRescan(l List, opt Options) List {
 				if !ok {
 					continue // conjunction overflowed the pair budget
 				}
-				ratio := float64(m.Size(p)) / float64(m.SharedSize(cs[i], cs[j]))
+				ratio := float64(m.Size(p)) / float64(pairDenominator(m.SharedSize(cs[i], cs[j])))
 				if ratio < bestRatio {
 					bestRatio, bestI, bestJ = ratio, i, j
 				}

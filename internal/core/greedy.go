@@ -30,6 +30,21 @@ type pairScore struct {
 	ok    bool    // false: conjunction overflowed the pair budget
 }
 
+// pairDenominator guards the BDDSize(X_i, X_j) denominator of the Figure
+// 1 ratio against degeneracy. Constant conjuncts normally never reach a
+// scorer (NewList normalizes them away), but a list built directly —
+// or a size accounting that counts internal nodes only — can make the
+// denominator collapse, and a zero here turns the ratio into NaN/Inf:
+// NaN compares inconsistently, so the heap path and the rescan reference
+// would silently pick different merges. All three scorers (sequential,
+// parallel, rescan) must use this same guard to stay Ref-identical.
+func pairDenominator(den int) int {
+	if den < 1 {
+		return 1
+	}
+	return den
+}
+
 // pairScorer builds and sizes candidate conjunctions P_ij. The driver
 // guarantees that merged/applyMerge are called only for a pair whose
 // score is current (scored after the last change to either endpoint).
@@ -257,7 +272,7 @@ func (s *seqScorer) scoreAll(pairs [][2]int) []pairScore {
 	out := make([]pairScore, len(pairs))
 	for t, p := range pairs {
 		i, j := p[0], p[1]
-		den := s.m.SharedSize(s.cs[i], s.cs[j])
+		den := pairDenominator(s.m.SharedSize(s.cs[i], s.cs[j]))
 		var pr bdd.Ref
 		ok := true
 		if s.opt.PairBudgetFactor > 0 {

@@ -73,7 +73,7 @@ func (s *parScorer) scoreAll(pairs [][2]int) []pairScore {
 		gw := s.ws[w]
 		i, j := pairs[t][0], pairs[t][1]
 		f, g := gw.cs[i], gw.cs[j]
-		den := gw.m.SharedSize(f, g)
+		den := pairDenominator(gw.m.SharedSize(f, g))
 		var pr bdd.Ref
 		ok := true
 		if s.opt.PairBudgetFactor > 0 {

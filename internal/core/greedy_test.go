@@ -152,6 +152,51 @@ func TestGreedyNeverRescoresDeadIndices(t *testing.T) {
 	}
 }
 
+// TestEvaluateGreedyConstantConjuncts is the regression test for the
+// guarded ratio denominator: a list built directly — bypassing the
+// constant-stripping of NewList/Normalize — may carry One (or Zero, or
+// duplicated constant) conjuncts into the scorers. The ratio must stay
+// finite (no NaN/Inf from a degenerate BDDSize(X_i, X_j)), the three
+// scoring paths (heap, rescan reference, parallel) must remain
+// Ref-identical, and the represented conjunction must be preserved.
+func TestEvaluateGreedyConstantConjuncts(t *testing.T) {
+	m := newM(t)
+	rng := rand.New(rand.NewSource(98))
+	f := randList(m, rng, 3)
+	if f.Len() < 2 {
+		t.Fatal("setup: want at least two non-constant conjuncts")
+	}
+	a, b := f.Conjuncts[0], f.Conjuncts[1]
+
+	lists := []List{
+		{M: m, Conjuncts: []bdd.Ref{bdd.One, bdd.One}},
+		{M: m, Conjuncts: []bdd.Ref{bdd.One, a}},
+		{M: m, Conjuncts: []bdd.Ref{bdd.One, bdd.One, a, b}},
+		{M: m, Conjuncts: []bdd.Ref{a, bdd.One, b, bdd.One}},
+		{M: m, Conjuncts: []bdd.Ref{bdd.Zero, a, b}},
+		{M: m, Conjuncts: []bdd.Ref{bdd.One, bdd.Zero}},
+	}
+	for li, l := range lists {
+		want := l.M.AndN(l.Conjuncts...)
+		for oi, opt := range greedyOptionsMatrix() {
+			rescan := evaluateGreedyRescan(l, opt)
+			heap := EvaluateGreedy(l, opt)
+			if !refsEqual(heap, rescan) {
+				t.Fatalf("list %d opts[%d]: heap %v != rescan %v", li, oi, heap.Conjuncts, rescan.Conjuncts)
+			}
+			if got := heap.Explicit(); got != want {
+				t.Fatalf("list %d opts[%d]: semantics changed", li, oi)
+			}
+			if opt.PairBudgetFactor == 0 {
+				parl := EvaluateGreedy(l, Options{GrowThreshold: opt.GrowThreshold, Workers: 2})
+				if !refsEqual(parl, heap) {
+					t.Fatalf("list %d opts[%d]: parallel %v != sequential %v", li, oi, parl.Conjuncts, heap.Conjuncts)
+				}
+			}
+		}
+	}
+}
+
 // TestEvaluateGreedyParallelZeroCollapse: a merge producing Zero must
 // collapse the list in parallel mode exactly as sequentially.
 func TestEvaluateGreedyParallelZeroCollapse(t *testing.T) {

@@ -23,6 +23,13 @@ import (
 // TermStats accumulates effort counters for the exact test, reported in
 // the ablation benchmarks and carried on verify.Result. The json tags
 // match the icibench/v3 stats-block field names.
+//
+// The counters are per run: each call through a Termination adds to the
+// sink, so a sink reused across independent runs must be zeroed between
+// them — otherwise the totals silently accumulate, MaxSplitDepth becomes
+// a cross-run max, and the bucket invariant below only holds for the
+// running sum, not for any single run. verify.RunContext owns this reset
+// for its engines; direct users of Termination reset their own sink.
 type TermStats struct {
 	TautCalls     int `json:"taut_calls"`      // disjunction-tautology invocations (incl. recursion)
 	ShannonSplits int `json:"shannon_splits"`  // Step 4 expansions performed
@@ -90,7 +97,8 @@ type Termination struct {
 	// VarChoice selects the Step 4 cofactoring variable.
 	VarChoice VarChoice
 
-	// Stats, if non-nil, accumulates effort counters.
+	// Stats, if non-nil, accumulates effort counters. The sink is not
+	// reset here: see the TermStats per-run contract.
 	Stats *TermStats
 }
 

@@ -1,0 +1,173 @@
+package difftest
+
+import (
+	"bytes"
+	"flag"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/verify"
+)
+
+// -difftest.n raises the smoke-test instance count (CI runs 500; the
+// default keeps `go test ./...` fast).
+var nFlag = flag.Int("difftest.n", 40, "instances for the differential smoke test")
+
+// TestDifferentialSmoke is the harness's main self-check: n seeded
+// random instances, every engine and ablation, zero divergences. Both
+// verdicts must occur across the campaign or the generator went inert.
+func TestDifferentialSmoke(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	verified, violated := 0, 0
+	for i := 0; i < *nFlag; i++ {
+		params := RandomParams(rng)
+		inst, err := Generate(params)
+		if err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+		rep := RunInstance(inst, Config{})
+		if rep.Divergent() {
+			t.Fatalf("instance %d diverged:\n%s", i, rep.NDJSON())
+		}
+		if rep.Oracle != nil && rep.Oracle.Violated {
+			violated++
+		} else if rep.Oracle != nil {
+			verified++
+		}
+	}
+	if verified == 0 || violated == 0 {
+		t.Errorf("degenerate campaign: %d verified, %d violated", verified, violated)
+	}
+}
+
+// TestReportsDeterministic: generating and running the same Params twice
+// must produce byte-identical NDJSON — the property that makes seed
+// files a complete reproduction recipe.
+func TestReportsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 8; i++ {
+		params := RandomParams(rng)
+		var lines [2][]byte
+		for round := range lines {
+			inst, err := Generate(params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lines[round] = RunInstance(inst, Config{}).NDJSON()
+		}
+		if !bytes.Equal(lines[0], lines[1]) {
+			t.Fatalf("params %+v: reports differ:\n%s%s", params, lines[0], lines[1])
+		}
+	}
+}
+
+// TestOracleAgreesWithForward cross-checks the explicit-state oracle
+// against the symbolic forward engine directly — the two references of
+// the differential driver must themselves agree.
+func TestOracleAgreesWithForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 25; i++ {
+		params := Params{
+			Seed:      rng.Int63(),
+			Kind:      KindRandom,
+			StateBits: 2 + rng.Intn(4),
+			InputBits: 1 + rng.Intn(2),
+			Terms:     1 + rng.Intn(3),
+			Parts:     1,
+		}
+		inst, err := Generate(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ov := Oracle(inst, 0, 0)
+		if !ov.Decided {
+			t.Fatalf("oracle abstained on %d state bits", params.StateBits)
+		}
+		res := verify.Run(inst.Problem, verify.Forward, verify.Options{})
+		wantViolated := res.Outcome == verify.Violated
+		if ov.Violated != wantViolated {
+			t.Fatalf("instance %d: oracle violated=%v, Forward says %v", i, ov.Violated, res.Outcome)
+		}
+		if ov.Violated && ov.Depth != res.ViolationDepth {
+			t.Fatalf("instance %d: oracle depth %d, Forward depth %d", i, ov.Depth, res.ViolationDepth)
+		}
+	}
+}
+
+// TestInjectedBugCaughtAndShrunk is the harness's negative control: with
+// a deliberately lying engine injected, the driver must flag a
+// divergence, the shrinker must reduce it to a minimal instance that
+// still diverges, and the seed file must round-trip.
+func TestInjectedBugCaughtAndShrunk(t *testing.T) {
+	cfg := Config{Engines: InjectBuggyEngine()}
+
+	// Find an instance the buggy engine lies about: any violation at
+	// depth >= 1. A bugged two-slot FIFO violates at its depth.
+	params := Params{Seed: 11, Kind: KindFIFO, Width: 2, Depth: 2, Bug: true}
+	inst, err := Generate(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := RunInstance(inst, cfg)
+	if !rep.Divergent() {
+		t.Fatalf("injected bug not caught:\n%s", rep.NDJSON())
+	}
+
+	shrunk := Shrink(params, cfg, 0)
+	sInst, err := Generate(shrunk)
+	if err != nil {
+		t.Fatalf("shrunk params invalid: %+v: %v", shrunk, err)
+	}
+	if !RunInstance(sInst, cfg).Divergent() {
+		t.Fatalf("shrunk params no longer diverge: %+v", shrunk)
+	}
+	if shrunk.Width > params.Width || shrunk.Depth > params.Depth {
+		t.Errorf("shrinker grew the instance: %+v -> %+v", params, shrunk)
+	}
+	if shrunk.Width != 1 || shrunk.Depth != 1 {
+		t.Errorf("shrinker left a non-minimal instance: %+v", shrunk)
+	}
+
+	// Seed-file round trip.
+	path := filepath.Join(t.TempDir(), "shrunk.json")
+	if err := WriteSeed(path, SeedFile{Params: shrunk, Note: "injected-bug self test"}); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSeed(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Params != shrunk {
+		t.Errorf("seed round trip changed params: %+v -> %+v", shrunk, loaded.Params)
+	}
+	rInst, err := Generate(loaded.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !RunInstance(rInst, cfg).Divergent() {
+		t.Error("replayed seed no longer diverges")
+	}
+}
+
+// TestConstGoodInstances: the constant-conjunct knob must not change any
+// verdict — it exercises the degenerate-denominator path of the greedy
+// scorers end to end.
+func TestConstGoodInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 6; i++ {
+		params := RandomParams(rng)
+		params.Kind = KindRandom
+		if params.StateBits == 0 {
+			params.StateBits = 3
+		}
+		params.ConstGood = true
+		inst, err := Generate(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep := RunInstance(inst, Config{}); rep.Divergent() {
+			t.Fatalf("const-good instance %d diverged:\n%s", i, rep.NDJSON())
+		}
+	}
+}

@@ -1,0 +1,274 @@
+// Package difftest is the differential fuzzing harness for the verify
+// engines: it generates small seeded FSM + safety-property instances,
+// runs every engine on each one, and compares the verdicts against each
+// other and against a brute-force explicit-state oracle. Divergences are
+// minimized by a delta-debugging shrinker into replayable seed files
+// (see cmd/icifuzz).
+//
+// Everything in the package is deterministic in Params: the same Params
+// value always produces the same instance, the same verdicts, and the
+// same report bytes — timing never enters a report. That is what makes a
+// seed file a complete reproduction recipe.
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bdd"
+	"repro/internal/fsm"
+	"repro/internal/models"
+	"repro/internal/verify"
+)
+
+// Instance kinds. Random machines probe the engine algebra broadly;
+// the model mutations probe the paper's benchmark circuits (datapath
+// constraints, assisting invariants, seeded bugs) at oracle-checkable
+// sizes.
+const (
+	KindRandom   = "random"
+	KindFIFO     = "fifo"
+	KindFilter   = "filter"
+	KindPipeline = "pipeline"
+)
+
+// Params is the complete, JSON-serializable recipe for one instance.
+// Generate is a pure function of this value. Fields are interpreted per
+// Kind; irrelevant fields are ignored so the shrinker can zero them.
+type Params struct {
+	Seed int64  `json:"seed"`
+	Kind string `json:"kind"`
+
+	// Random-machine shape (KindRandom).
+	StateBits  int  `json:"state_bits,omitempty"`
+	InputBits  int  `json:"input_bits,omitempty"`
+	Terms      int  `json:"terms,omitempty"`      // DNF terms per next-state function
+	Parts      int  `json:"parts,omitempty"`      // good-list partition size (>= 1)
+	Constraint bool `json:"constraint,omitempty"` // add a random input-literal constraint
+
+	// ConstGood appends a constant-True conjunct to the partition,
+	// exercising the normalization and degenerate-denominator paths of
+	// the evaluation policy (any Kind).
+	ConstGood bool `json:"const_good,omitempty"`
+
+	// Model-mutation shape (KindFIFO, KindFilter, KindPipeline).
+	Depth  int  `json:"depth,omitempty"`  // fifo depth / filter window / pipeline regs
+	Width  int  `json:"width,omitempty"`  // fifo item bits / filter sample bits / pipeline datapath bits
+	Bug    bool `json:"bug,omitempty"`    // seed the model's bug
+	Assist bool `json:"assist,omitempty"` // user assisting partition
+}
+
+// Instance is one generated verification task. The Problem and Machine
+// live on their own fresh Manager.
+type Instance struct {
+	Params  Params
+	Problem verify.Problem
+	Machine *fsm.Machine
+}
+
+// Generate builds the instance described by p on a fresh manager. It is
+// deterministic: equal Params yield structurally identical instances
+// (same variables in the same order, same Refs).
+func Generate(p Params) (Instance, error) {
+	m := bdd.New()
+	var prob verify.Problem
+	switch p.Kind {
+	case KindRandom:
+		if p.StateBits < 1 || p.InputBits < 0 {
+			return Instance{}, fmt.Errorf("difftest: random machine needs state_bits >= 1 (got %+v)", p)
+		}
+		prob = genRandom(m, p)
+	case KindFIFO:
+		if p.Width < 1 || p.Depth < 1 {
+			return Instance{}, fmt.Errorf("difftest: fifo needs width, depth >= 1 (got %+v)", p)
+		}
+		cfg := models.FIFOConfig{
+			Width: p.Width,
+			Depth: p.Depth,
+			// Half-range bound keeps the type constraint non-trivial at
+			// any width (the paper's 8-bit/128 shape, scaled down; at
+			// width 1 items must be 0, and the bug lets 1 in).
+			Bound: 1<<(uint(p.Width)-1) - 1,
+			Bug:   p.Bug,
+		}
+		prob = models.NewFIFO(m, cfg)
+	case KindFilter:
+		d := p.Depth
+		if d < 2 || d&(d-1) != 0 {
+			return Instance{}, fmt.Errorf("difftest: filter depth must be a power of two >= 2 (got %d)", d)
+		}
+		if p.Width < 1 {
+			return Instance{}, fmt.Errorf("difftest: filter needs width >= 1 (got %+v)", p)
+		}
+		prob = models.NewFilter(m, models.FilterConfig{
+			Depth: d, SampleWidth: p.Width, Assist: p.Assist, Bug: p.Bug,
+		})
+	case KindPipeline:
+		if p.Depth < 1 || p.Width < 1 {
+			return Instance{}, fmt.Errorf("difftest: pipeline needs depth (regs), width >= 1 (got %+v)", p)
+		}
+		prob = models.NewPipeline(m, models.PipelineConfig{
+			Regs: p.Depth, Width: p.Width, Assist: p.Assist, Bug: p.Bug,
+		})
+	default:
+		return Instance{}, fmt.Errorf("difftest: unknown kind %q", p.Kind)
+	}
+	if p.ConstGood {
+		gl := prob.GoodList
+		if len(gl) == 0 {
+			gl = []bdd.Ref{prob.Good}
+		}
+		// Copy, never alias a model's shared slice.
+		prob.GoodList = append(append([]bdd.Ref(nil), gl...), bdd.One)
+	}
+	if len(prob.GoodList) > 0 {
+		// A differential instance must pose the same question to every
+		// engine. The assisted models supply a partition strictly
+		// stronger than the monolithic property (the assisting
+		// invariants), so on a bugged model the implicit engines would
+		// legitimately find a shallower violation than the monolithic
+		// ones. Re-derive Good from the partition; at these sizes the
+		// conjunction the implicit methods avoid is cheap to build.
+		prob.Good = m.AndN(prob.GoodList...)
+	}
+	prob.Name = fmt.Sprintf("%s/seed=%d", p.Kind, p.Seed)
+	return Instance{Params: p, Problem: prob, Machine: prob.Machine}, nil
+}
+
+// goodList returns the instance's property partition, falling back to
+// the monolithic singleton — the list trace validation replays against.
+func (i Instance) goodList() []bdd.Ref {
+	if len(i.Problem.GoodList) > 0 {
+		return i.Problem.GoodList
+	}
+	return []bdd.Ref{i.Problem.Good}
+}
+
+// genRandom mirrors the cross-validation generator of the verify tests:
+// next-state functions are random k-term DNFs over all bits, the initial
+// state is a single random state, and the property is the complement of
+// a sparse random cube, partitioned into Parts conjuncts whose
+// conjunction is exactly the property.
+func genRandom(m *bdd.Manager, p Params) verify.Problem {
+	rng := rand.New(rand.NewSource(p.Seed))
+	ma := fsm.New(m)
+
+	state := make([]bdd.Var, p.StateBits)
+	inputs := make([]bdd.Var, p.InputBits)
+	for i := range state {
+		state[i] = ma.NewStateBit("")
+	}
+	for i := range inputs {
+		inputs[i] = ma.NewInputBit("")
+	}
+	all := append(append([]bdd.Var(nil), state...), inputs...)
+
+	terms := p.Terms
+	if terms < 1 {
+		terms = 3
+	}
+	randFn := func() bdd.Ref {
+		f := bdd.Zero
+		for t := 0; t < terms; t++ {
+			cube := bdd.One
+			for _, v := range all {
+				switch rng.Intn(3) {
+				case 0:
+					cube = m.And(cube, m.VarRef(v))
+				case 1:
+					cube = m.And(cube, m.NVarRef(v))
+				}
+			}
+			f = m.Or(f, cube)
+		}
+		return f
+	}
+	for _, s := range state {
+		ma.SetNext(s, randFn())
+	}
+
+	if p.Constraint && len(inputs) > 0 {
+		// A single input literal: always satisfiable, so no state
+		// deadlocks; it halves the enabled input space.
+		v := inputs[rng.Intn(len(inputs))]
+		if rng.Intn(2) == 0 {
+			ma.AddInputConstraint(m.VarRef(v))
+		} else {
+			ma.AddInputConstraint(m.NVarRef(v))
+		}
+	}
+
+	initLits := make([]bdd.Lit, len(state))
+	for i, s := range state {
+		initLits[i] = bdd.Lit{Var: s, Val: rng.Intn(2) == 1}
+	}
+	ma.SetInit(m.CubeRef(initLits))
+	ma.MustSeal()
+
+	// Property: complement of a sparse random set, so it holds on most
+	// states and both verdicts occur across seeds.
+	badCube := bdd.One
+	for _, s := range state {
+		switch rng.Intn(3) {
+		case 0:
+			badCube = m.And(badCube, m.VarRef(s))
+		case 1:
+			badCube = m.And(badCube, m.NVarRef(s))
+		}
+	}
+	good := badCube.Not()
+
+	parts := p.Parts
+	if parts < 1 {
+		parts = 1
+	}
+	goodList := []bdd.Ref{good}
+	for k := 1; k < parts; k++ {
+		// Each extra conjunct is implied by good, so the conjunction of
+		// the partition is exactly good.
+		v := state[rng.Intn(len(state))]
+		lit := m.VarRef(v)
+		if rng.Intn(2) == 0 {
+			lit = lit.Not()
+		}
+		goodList = append(goodList, m.Or(good, lit))
+	}
+
+	return verify.Problem{Machine: ma, Good: good, GoodList: goodList}
+}
+
+// RandomParams draws a random instance recipe: mostly random machines at
+// oracle-checkable sizes, with a steady minority of mutated benchmark
+// models. The instance seed is drawn from rng too, so a single icifuzz
+// master seed determines the whole campaign.
+func RandomParams(rng *rand.Rand) Params {
+	p := Params{Seed: rng.Int63()}
+	switch rng.Intn(10) {
+	case 0: // fifo mutation
+		p.Kind = KindFIFO
+		p.Width = 1 + rng.Intn(2)
+		p.Depth = 1 + rng.Intn(3)
+		p.Bug = rng.Intn(2) == 0
+	case 1: // filter mutation
+		p.Kind = KindFilter
+		p.Depth = 2 << rng.Intn(2) // 2 or 4
+		p.Width = 1
+		p.Assist = rng.Intn(2) == 0
+		p.Bug = rng.Intn(3) == 0
+	case 2: // pipeline mutation
+		p.Kind = KindPipeline
+		p.Depth = 2
+		p.Width = 1 + rng.Intn(2)
+		p.Assist = rng.Intn(2) == 0
+		p.Bug = rng.Intn(3) == 0
+	default:
+		p.Kind = KindRandom
+		p.StateBits = 2 + rng.Intn(5)
+		p.InputBits = 1 + rng.Intn(3)
+		p.Terms = 1 + rng.Intn(4)
+		p.Parts = 1 + rng.Intn(3)
+		p.Constraint = rng.Intn(4) == 0
+		p.ConstGood = rng.Intn(8) == 0
+	}
+	return p
+}

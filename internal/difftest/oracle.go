@@ -1,0 +1,126 @@
+package difftest
+
+// The brute-force oracle: explicit-state breadth-first search over the
+// machine's concrete state space, evaluating every BDD through bdd.Eval
+// only — no image computation, no fixpoints, no implicit conjunction —
+// so its verdict is algorithmically independent of every engine under
+// test. Exponential in the bit counts; the caps keep it to a few
+// thousand states.
+
+// OracleVerdict is the explicit-state search's answer.
+type OracleVerdict struct {
+	// Decided is false when the instance exceeded the caps and the
+	// oracle abstained (the engines are still cross-checked against
+	// each other).
+	Decided bool `json:"decided"`
+
+	// Violated reports whether a reachable state breaks the property.
+	Violated bool `json:"violated"`
+
+	// Depth is the length of the shortest violating path (0 = an
+	// initial state already violates). Meaningful when Violated.
+	Depth int `json:"depth,omitempty"`
+
+	// States is the number of distinct reachable states explored.
+	States int `json:"states,omitempty"`
+}
+
+// Oracle runs the explicit search on inst, abstaining beyond
+// maxStateBits/maxInputBits (defaults 12 and 6 when zero).
+func Oracle(inst Instance, maxStateBits, maxInputBits int) OracleVerdict {
+	if maxStateBits <= 0 {
+		maxStateBits = 12
+	}
+	if maxInputBits <= 0 {
+		maxInputBits = 6
+	}
+	ma := inst.Machine
+	sb, ib := ma.StateBits(), ma.InputBits()
+	if sb > maxStateBits || ib > maxInputBits {
+		return OracleVerdict{}
+	}
+
+	m := ma.M
+	nvars := m.NumVars()
+	cur := ma.CurVars()
+	ins := ma.InputVars()
+	goods := inst.goodList()
+	constraint := ma.InputConstraint()
+
+	// pack/unpack a concrete state <-> its index in the 2^sb space.
+	pack := func(asg []bool) uint32 {
+		var k uint32
+		for i, v := range cur {
+			if asg[v] {
+				k |= 1 << uint(i)
+			}
+		}
+		return k
+	}
+	unpack := func(k uint32, asg []bool) {
+		for i, v := range cur {
+			asg[v] = k&(1<<uint(i)) != 0
+		}
+	}
+	bad := func(asg []bool) bool {
+		for _, g := range goods {
+			if !m.Eval(g, asg) {
+				return true
+			}
+		}
+		return false
+	}
+
+	visited := make([]bool, 1<<uint(sb))
+	type node struct {
+		state uint32
+		depth int
+	}
+	var queue []node
+
+	// Seed the frontier with every initial state.
+	asg := make([]bool, nvars)
+	init := ma.Init()
+	for k := uint32(0); k < 1<<uint(sb); k++ {
+		unpack(k, asg)
+		if m.Eval(init, asg) && !visited[k] {
+			visited[k] = true
+			queue = append(queue, node{k, 0})
+		}
+	}
+
+	explored := 0
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		explored++
+		unpack(n.state, asg)
+		for i := range ins {
+			asg[ins[i]] = false
+		}
+		if bad(asg) {
+			// BFS order: the first violating dequeue is at the
+			// shortest depth.
+			return OracleVerdict{Decided: true, Violated: true, Depth: n.depth, States: explored}
+		}
+		for in := uint32(0); in < 1<<uint(ib); in++ {
+			unpack(n.state, asg)
+			for i, v := range ins {
+				asg[v] = in&(1<<uint(i)) != 0
+			}
+			if !m.Eval(constraint, asg) {
+				continue // no such transition
+			}
+			next, err := ma.Step(asg)
+			if err != nil {
+				continue
+			}
+			k := pack(next)
+			if !visited[k] {
+				visited[k] = true
+				queue = append(queue, node{k, n.depth + 1})
+			}
+		}
+	}
+	return OracleVerdict{Decided: true, States: explored}
+}

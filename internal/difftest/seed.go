@@ -1,0 +1,48 @@
+package difftest
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// SeedSchema identifies the seed-file format. Bump on incompatible
+// Params changes; Load rejects anything else.
+const SeedSchema = "icifuzz/seed/v1"
+
+// SeedFile is the on-disk reproduction recipe for one instance: replay
+// with `icifuzz -replay <file>` or load it into the difftest corpus.
+type SeedFile struct {
+	Schema string `json:"schema"`
+	Params Params `json:"params"`
+
+	// Note records why the seed was saved (the divergence messages of
+	// the run that produced it). Informational only.
+	Note string `json:"note,omitempty"`
+}
+
+// WriteSeed writes sf to path as indented JSON, stamping the schema.
+func WriteSeed(path string, sf SeedFile) error {
+	sf.Schema = SeedSchema
+	b, err := json.MarshalIndent(sf, "", "  ")
+	if err != nil {
+		return fmt.Errorf("difftest: encoding seed: %w", err)
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadSeed reads and validates a seed file.
+func LoadSeed(path string) (SeedFile, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return SeedFile{}, err
+	}
+	var sf SeedFile
+	if err := json.Unmarshal(b, &sf); err != nil {
+		return SeedFile{}, fmt.Errorf("difftest: %s: %w", path, err)
+	}
+	if sf.Schema != SeedSchema {
+		return SeedFile{}, fmt.Errorf("difftest: %s: schema %q, want %q", path, sf.Schema, SeedSchema)
+	}
+	return sf, nil
+}

@@ -134,6 +134,7 @@ func (c *Ctx) Termination() core.Termination {
 		M:          c.m,
 		Simplifier: c.opt.Core.Simplifier,
 		VarChoice:  c.opt.TermVarChoice,
+		SkipStep3:  c.opt.TermSkipStep3,
 		Stats:      &c.term,
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/bdd"
+	"repro/internal/core"
 	"repro/internal/models"
 	"repro/internal/resource"
 	"repro/internal/verify"
@@ -134,6 +135,63 @@ func TestExhaustedKeepsPartialStats(t *testing.T) {
 	}
 	if len(res.SizeTrajectory) == 0 {
 		t.Error("partial trajectory lost on abort")
+	}
+}
+
+// TestStatsPerRunAcrossRuns is the regression test for the stats-reuse
+// bug: a caller keeping one Options value (with a shared EvalStats sink)
+// across runs used to see the counters silently accumulate run over run,
+// breaking the TermStats bucket invariant for any single run and turning
+// MaxSplitDepth into a cross-run max. Each run must now report its own
+// counters alone — both on the Result and in the caller's sink.
+func TestStatsPerRunAcrossRuns(t *testing.T) {
+	m := bdd.New()
+	p := models.NewFIFO(m, models.DefaultFIFO(3))
+	var sink core.EvalStats
+	opt := verify.Options{Core: core.Options{Stats: &sink}}
+
+	first := verify.Run(p, verify.XICI, opt)
+	if first.Outcome != verify.Verified {
+		t.Fatalf("outcome %v: %s", first.Outcome, first.Why)
+	}
+	if sink != first.Eval {
+		t.Errorf("caller sink %+v != first run's Eval %+v", sink, first.Eval)
+	}
+
+	second := verify.Run(p, verify.XICI, opt)
+	if second.Outcome != verify.Verified {
+		t.Fatalf("second outcome %v: %s", second.Outcome, second.Why)
+	}
+	if second.Eval != first.Eval {
+		t.Errorf("Eval accumulated across runs: first %+v, second %+v", first.Eval, second.Eval)
+	}
+	if second.Term != first.Term {
+		t.Errorf("Term accumulated across runs: first %+v, second %+v", first.Term, second.Term)
+	}
+	if sink != second.Eval {
+		t.Errorf("caller sink %+v != second run's Eval %+v (accumulated?)", sink, second.Eval)
+	}
+	for run, term := range map[string]core.TermStats{"first": first.Term, "second": second.Term} {
+		if term.Resolved()+term.ShannonSplits != term.TautCalls {
+			t.Errorf("%s run breaks the bucket invariant: %+v", run, term)
+		}
+	}
+}
+
+// TestTermSkipStep3Exact: the ablation knob must not change verdicts —
+// the test stays exact with step 3 disabled, and no call may resolve in
+// the step-3 bucket.
+func TestTermSkipStep3Exact(t *testing.T) {
+	base := verify.Run(models.NewFIFO(bdd.New(), models.DefaultFIFO(3)), verify.XICI, verify.Options{})
+	skip := verify.Run(models.NewFIFO(bdd.New(), models.DefaultFIFO(3)), verify.XICI, verify.Options{TermSkipStep3: true})
+	if base.Outcome != verify.Verified || skip.Outcome != verify.Verified {
+		t.Fatalf("outcomes %v / %v, want verified", base.Outcome, skip.Outcome)
+	}
+	if skip.Iterations != base.Iterations {
+		t.Errorf("SkipStep3 changed the verdict path: %d vs %d iterations", skip.Iterations, base.Iterations)
+	}
+	if skip.Term.StepResolved[1] != 0 {
+		t.Errorf("step-3 bucket nonzero with SkipStep3: %+v", skip.Term)
 	}
 }
 

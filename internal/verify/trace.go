@@ -26,11 +26,30 @@ type Trace struct {
 // Len returns the number of transitions in the trace.
 func (t *Trace) Len() int { return len(t.Inputs) }
 
+// checkAssignment verifies that one assignment vector of the trace is
+// long enough to be indexed by every manager variable. Assignments are
+// captured at trace-construction time, so a manager that grew variables
+// afterwards (a later model on the same manager, a worker transfer)
+// leaves the vectors short — indexing them blind would panic.
+func checkAssignment(what string, i int, s []bool, nvars int) error {
+	if len(s) < nvars {
+		return fmt.Errorf("verify: trace %s %d has %d assignments but the manager declares %d variables (trace captured before variables were added?)",
+			what, i, len(s), nvars)
+	}
+	return nil
+}
+
 // Format renders the trace, printing each state through the given
-// variable list (typically the machine's state variables).
-func (t *Trace) Format(m *bdd.Manager, vars []bdd.Var) string {
+// variable list (typically the machine's state variables). It reports an
+// error instead of panicking when a state vector is shorter than the
+// manager's variable count.
+func (t *Trace) Format(m *bdd.Manager, vars []bdd.Var) (string, error) {
+	nvars := m.NumVars()
 	var b strings.Builder
 	for i, s := range t.States {
+		if err := checkAssignment("state", i, s, nvars); err != nil {
+			return "", err
+		}
 		fmt.Fprintf(&b, "step %d:", i)
 		for _, v := range vars {
 			val := 0
@@ -41,7 +60,7 @@ func (t *Trace) Format(m *bdd.Manager, vars []bdd.Var) string {
 		}
 		b.WriteString("\n")
 	}
-	return b.String()
+	return b.String(), nil
 }
 
 // Validate replays the trace on the machine and confirms that it starts
@@ -55,6 +74,19 @@ func (t *Trace) Validate(ma *fsm.Machine, goodList []bdd.Ref) error {
 	}
 	if len(t.Inputs) != len(t.States)-1 {
 		return fmt.Errorf("verify: %d states but %d input vectors", len(t.States), len(t.Inputs))
+	}
+	// Every assignment must cover the manager's full variable range
+	// before anything (Eval, the agreement checks below) indexes it.
+	nvars := m.NumVars()
+	for i, s := range t.States {
+		if err := checkAssignment("state", i, s, nvars); err != nil {
+			return err
+		}
+	}
+	for i, in := range t.Inputs {
+		if err := checkAssignment("input vector", i, in, nvars); err != nil {
+			return err
+		}
 	}
 	if !m.Eval(ma.Init(), t.States[0]) {
 		return fmt.Errorf("verify: trace does not start in an initial state")

@@ -73,7 +73,10 @@ func TestTraceValidateRejectsMalformed(t *testing.T) {
 
 func TestTraceFormat(t *testing.T) {
 	tr, p := validTrace(t)
-	out := tr.Format(p.Machine.M, p.Machine.CurVars())
+	out, err := tr.Format(p.Machine.M, p.Machine.CurVars())
+	if err != nil {
+		t.Fatalf("Format: %v", err)
+	}
 	if !strings.Contains(out, "step 0:") {
 		t.Fatalf("missing step labels:\n%s", out)
 	}
@@ -83,6 +86,49 @@ func TestTraceFormat(t *testing.T) {
 	}
 	if tr.Len() != len(tr.States)-1 {
 		t.Fatal("Len inconsistent")
+	}
+}
+
+// TestTraceTruncatedAssignment: a trace whose assignment vectors are
+// shorter than the manager's variable count (vars added after capture)
+// must yield a descriptive error from Validate and Format, not an
+// out-of-range panic.
+func TestTraceTruncatedAssignment(t *testing.T) {
+	tr, p := validTrace(t)
+	ma := p.Machine
+	m := ma.M
+
+	truncate := func(rows [][]bool, n int) [][]bool {
+		out := make([][]bool, len(rows))
+		for i, r := range rows {
+			out[i] = append([]bool(nil), r[:n]...)
+		}
+		return out
+	}
+
+	// Simulate vars declared after the trace was captured by cutting the
+	// vectors below the current variable count.
+	short := m.NumVars() - 1
+	cases := map[string]*Trace{
+		"short states":  {States: truncate(tr.States, short), Inputs: tr.Inputs},
+		"short inputs":  {States: tr.States, Inputs: truncate(tr.Inputs, short)},
+		"empty vectors": {States: truncate(tr.States, 0), Inputs: truncate(tr.Inputs, 0)},
+	}
+	for name, bad := range cases {
+		err := bad.Validate(ma, p.goodList())
+		if err == nil {
+			t.Fatalf("%s: truncated trace accepted", name)
+		}
+		if !strings.Contains(err.Error(), "variables") {
+			t.Fatalf("%s: undiagnostic error: %v", name, err)
+		}
+	}
+	if _, err := (&Trace{States: truncate(tr.States, short)}).Format(m, ma.CurVars()); err == nil {
+		t.Fatal("Format accepted a truncated state vector")
+	}
+	// A full-length trace still validates and formats after the check.
+	if err := tr.Validate(ma, p.goodList()); err != nil {
+		t.Fatalf("full trace rejected: %v", err)
 	}
 }
 

@@ -143,6 +143,11 @@ type Options struct {
 	// the exact termination test (Section V tuning knob).
 	TermVarChoice core.VarChoice
 
+	// TermSkipStep3 disables step 3 (the pairwise-implication filter) of
+	// the exact termination test — the Section V ablation knob. The test
+	// stays exact; it only changes which step resolves each call.
+	TermSkipStep3 bool
+
 	// WantTrace requests a counterexample trace on violation.
 	WantTrace bool
 
@@ -318,6 +323,15 @@ func RunContext(ctx context.Context, p Problem, method Method, opt Options) Resu
 	if opt.Workers != 0 && opt.Core.Workers == 0 {
 		opt.Core.Workers = opt.Workers
 	}
+	// Stats sinks are per-run: a caller reusing one Options value across
+	// runs must see each run's counters alone, not a silent accumulation
+	// (which also breaks the TermStats bucket invariant and turns
+	// MaxSplitDepth into a cross-run max). The harness wires engines to
+	// its own zeroed Ctx sinks, so here it is enough to reset the
+	// caller's sink on entry and mirror the run's totals back on exit.
+	if opt.Core.Stats != nil {
+		*opt.Core.Stats = core.EvalStats{}
+	}
 
 	start := time.Now()
 	b := opt.Budget
@@ -349,5 +363,8 @@ func RunContext(ctx context.Context, p Problem, method Method, opt Options) Resu
 	res.Eval = c.eval
 	res.PhaseDurations = c.phases
 	res.SizeTrajectory = c.trajectory
+	if opt.Core.Stats != nil {
+		*opt.Core.Stats = res.Eval
+	}
 	return res
 }

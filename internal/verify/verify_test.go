@@ -283,3 +283,34 @@ func TestUnknownMethodPanics(t *testing.T) {
 	}()
 	Run(p, Method("nope"), Options{})
 }
+
+// TestCtxTerminationWiring: every Options termination knob must reach the
+// core.Termination an engine obtains from the harness — in particular the
+// SkipStep3 ablation flag, which is not observable from counter totals on
+// the small models.
+func TestCtxTerminationWiring(t *testing.T) {
+	p, _ := tinyFIFO(t, 1, 2, 0, false)
+	opt := Options{
+		TermVarChoice: core.VarMostCommonTop,
+		TermSkipStep3: true,
+		Core:          core.Options{Simplifier: bdd.UseConstrain},
+	}
+	c := newCtx(p, opt, resource.Budget{}.Norm().Start(time.Now()))
+	defer c.release()
+	term := c.Termination()
+	if term.M != p.Machine.M {
+		t.Error("Termination not bound to the problem's manager")
+	}
+	if !term.SkipStep3 {
+		t.Error("TermSkipStep3 not wired through to core.Termination")
+	}
+	if term.VarChoice != core.VarMostCommonTop {
+		t.Error("TermVarChoice not wired through")
+	}
+	if term.Simplifier != bdd.UseConstrain {
+		t.Error("Core.Simplifier not wired through")
+	}
+	if term.Stats != &c.term {
+		t.Error("Termination stats not wired to the harness sink")
+	}
+}
