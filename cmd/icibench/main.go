@@ -23,6 +23,20 @@
 // as canceled. The -json schema ("icibench/v3", with the per-table
 // budget, per-row termination cause, and the per-cell effort stats
 // block) is documented in EXPERIMENTS.md.
+//
+// Exit codes mirror iciverify's, aggregated over every cell that ran
+// (violation outranks exhaustion):
+//
+//	0  every cell verified its property
+//	1  at least one cell found a property violation
+//	2  usage or configuration error (bad flag, unknown engine, ...)
+//	3  no violation, but at least one cell exhausted its budget — the
+//	   typed causes (node-limit, deadline, canceled, iteration-cap) are
+//	   listed in the closing summary
+//
+// Since the tables deliberately run engines into the paper's budget
+// walls, exit 3 is the expected outcome of a full run; scripts that
+// only care about correctness should treat 1 as the failure signal.
 package main
 
 import (
@@ -90,6 +104,7 @@ func main() {
 		Workers:   *parallel,
 	}
 
+	var all []bench.CellResult
 	run := func(t bench.Table, b bench.Budget) {
 		t = t.Filter(methods)
 		t.ShowEffort = *effort
@@ -106,6 +121,7 @@ func main() {
 		elapsed := time.Since(start)
 		fmt.Printf("(%s finished in %v)\n\n", t.Title, elapsed.Round(time.Millisecond))
 		report.Add(t.Title, elapsed, b, results)
+		all = append(all, results...)
 	}
 
 	if *table == 0 || *table == 1 {
@@ -126,4 +142,39 @@ func main() {
 		}
 		fmt.Printf("(wrote %s)\n", *jsonPath)
 	}
+	os.Exit(gridExitCode(all))
+}
+
+// gridExitCode aggregates the cell outcomes into the documented exit
+// code — 1 for any violation, else 3 for any budget exhaustion, else 0
+// — and, on a non-zero code, prints a one-line summary with the typed
+// causes (Result.Cause()) of the exhausted cells.
+func gridExitCode(all []bench.CellResult) int {
+	var violated, exhausted int
+	causes := map[string]int{}
+	for _, cr := range all {
+		switch cr.Result.Outcome {
+		case verify.Violated:
+			violated++
+		case verify.Exhausted:
+			exhausted++
+			causes[cr.Result.Cause()]++
+		}
+	}
+	switch {
+	case violated > 0:
+		fmt.Fprintf(os.Stderr, "icibench: %d cell(s) VIOLATED their property\n", violated)
+		return 1
+	case exhausted > 0:
+		parts := make([]string, 0, len(causes))
+		for _, c := range []string{"node-limit", "deadline", "canceled", "iteration-cap", "other"} {
+			if n := causes[c]; n > 0 {
+				parts = append(parts, fmt.Sprintf("%s: %d", c, n))
+			}
+		}
+		fmt.Fprintf(os.Stderr, "icibench: %d cell(s) exhausted their budget (%s)\n",
+			exhausted, strings.Join(parts, ", "))
+		return 3
+	}
+	return 0
 }

@@ -1,0 +1,105 @@
+// Command icid is the networked verification service: a daemon that
+// accepts verification jobs over HTTP/JSON, runs them on a bounded
+// queue with a worker scheduler (one fresh BDD manager per job, budgets
+// enforced server-side), and streams per-job progress as NDJSON.
+//
+// Usage:
+//
+//	icid -addr :8417
+//	icid -addr :8417 -workers 4 -queue 128 -nodelimit 2000000 -timeout 5m
+//
+// Endpoints (see docs/api.md for the wire reference and curl examples):
+//
+//	POST   /jobs              submit a job (textual model or builtin)
+//	GET    /jobs              list retained jobs
+//	GET    /jobs/{id}         job status and result
+//	DELETE /jobs/{id}         cancel a job
+//	GET    /jobs/{id}/events  NDJSON progress stream (follows until done)
+//	GET    /healthz           liveness + engines/builtins
+//	GET    /metrics           expvar counters
+//
+// On SIGTERM or SIGINT the daemon drains gracefully: it stops accepting
+// submissions, finishes (or, after -drain expires, budget-cancels) the
+// queued and in-flight jobs, flushes every job's final event line, then
+// exits 0. A second signal forces immediate exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/resource"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8417", "listen address")
+		workers   = flag.Int("workers", 0, "scheduler workers (0 = GOMAXPROCS)")
+		queueCap  = flag.Int("queue", 64, "queued-job capacity; submissions past it get 503")
+		cacheCap  = flag.Int("cache", 128, "result cache entries (negative disables)")
+		history   = flag.Int("history", 1024, "terminal jobs retained for status queries")
+		nodeLimit = flag.Int("nodelimit", 0, "default per-job live-node budget (0 = unlimited)")
+		timeout   = flag.Duration("timeout", 0, "default per-job wall budget (0 = unlimited)")
+		maxIter   = flag.Int("maxiter", 0, "default per-job iteration cap (0 = engine default)")
+		maxNodes  = flag.Int("maxnodes", 0, "clamp every job's node budget to this (0 = no clamp)")
+		maxTime   = flag.Duration("maxtime", 0, "clamp every job's wall budget to this (0 = no clamp)")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful drain window before in-flight jobs are budget-canceled")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:    *workers,
+		QueueCap:   *queueCap,
+		CacheCap:   *cacheCap,
+		JobHistory: *history,
+		DefaultBudget: resource.Budget{
+			NodeLimit:     *nodeLimit,
+			Timeout:       *timeout,
+			MaxIterations: *maxIter,
+		},
+		MaxNodeLimit: *maxNodes,
+		MaxTimeout:   *maxTime,
+	})
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	fmt.Printf("icid listening on %s (%d workers, queue %d)\n", *addr, srv.Workers(), *queueCap)
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "icid: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	fmt.Printf("icid: draining (up to %v)...\n", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "icid: drain deadline passed, in-flight jobs were budget-canceled\n")
+	}
+	// Jobs are final and their event lines appended; now close the HTTP
+	// side. Streams end on their own (their jobs are done), so a short
+	// deadline only guards against wedged connections.
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	if err := hs.Shutdown(httpCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "icid: http shutdown: %v\n", err)
+	}
+	<-errCh // ListenAndServe has returned ErrServerClosed
+	fmt.Println("icid: drained cleanly")
+}

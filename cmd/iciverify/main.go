@@ -15,6 +15,15 @@
 // Models: fifo (size = depth), network (size = processors), filter
 // (size = window depth, power of two), pipeline (-regs/-bits).
 // Ctrl-C cancels a running traversal cleanly (reported as exhausted).
+//
+// Exit codes (multi-engine runs report the worst outcome, where
+// violation outranks exhaustion):
+//
+//	0  every engine verified the property
+//	1  an engine found a property violation (or its trace failed replay)
+//	2  usage or configuration error (bad flag, unknown model/engine, ...)
+//	3  a run exhausted its budget — the typed cause (node-limit,
+//	   deadline, canceled, iteration-cap) is printed with the row
 package main
 
 import (
@@ -140,7 +149,7 @@ func main() {
 		Core:        core.Options{GrowThreshold: *threshold},
 	}
 
-	var elog *eventLog
+	var elog *verify.NDJSONObserver
 	if *events != "" {
 		f, err := os.OpenFile(*events, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
@@ -148,7 +157,7 @@ func main() {
 			os.Exit(2)
 		}
 		defer f.Close()
-		elog = newEventLog(f)
+		elog = verify.NewNDJSONObserver(f)
 		opt.Observer = elog
 	}
 
@@ -196,11 +205,14 @@ func main() {
 	exit := 0
 	for _, meth := range methods {
 		if elog != nil {
-			elog.setMethod(string(meth))
+			elog.SetMethod(string(meth))
 		}
 		start := time.Now()
 		res := verify.RunContext(ctx, p, meth, opt)
 		fmt.Println(res)
+		if cause := res.Cause(); cause != "" {
+			fmt.Printf("cause: %s\n", cause)
+		}
 		fmt.Printf("wall %v, peak live nodes %d\n", time.Since(start).Round(time.Millisecond), m.PeakNodes())
 		if *stats {
 			printStats(res)

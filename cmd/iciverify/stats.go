@@ -1,9 +1,7 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
-	"io"
 	"strings"
 
 	"repro/internal/verify"
@@ -29,41 +27,4 @@ func printStats(res verify.Result) {
 		}
 		fmt.Printf("iterate sizes: %s\n", strings.Join(parts, " "))
 	}
-}
-
-// eventLog is the -events NDJSON sink: one JSON object per line, each
-// tagged with the event kind and the method that produced it.
-type eventLog struct {
-	enc    *json.Encoder
-	method string
-}
-
-func newEventLog(w io.Writer) *eventLog {
-	return &eventLog{enc: json.NewEncoder(w)}
-}
-
-func (l *eventLog) setMethod(m string) { l.method = m }
-
-func (l *eventLog) OnIteration(e verify.IterationEvent) {
-	l.enc.Encode(struct {
-		Event  string `json:"event"`
-		Method string `json:"method"`
-		verify.IterationEvent
-	}{"iteration", l.method, e})
-}
-
-func (l *eventLog) OnMerge(e verify.MergeEvent) {
-	l.enc.Encode(struct {
-		Event  string `json:"event"`
-		Method string `json:"method"`
-		verify.MergeEvent
-	}{"merge", l.method, e})
-}
-
-func (l *eventLog) OnTermResolved(e verify.TermEvent) {
-	l.enc.Encode(struct {
-		Event  string `json:"event"`
-		Method string `json:"method"`
-		verify.TermEvent
-	}{"term_resolved", l.method, e})
 }

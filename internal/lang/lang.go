@@ -14,6 +14,20 @@
 // interleaved). Boolean operators: and, or, not, xor, xnor, imp, ite,
 // nand, nor; constants: true, false. The `good` forms together are the
 // implicit conjunction the ICI methods consume.
+//
+// The package is split into two stages so the textual format can double
+// as a network wire format (the icid service):
+//
+//	ParseModel  source text → *Model, a plain AST, with all static
+//	            checking (form shapes, duplicate or undeclared
+//	            variables, operator arities) done up front
+//	Compile     *Model → verify.Problem on a caller-supplied manager,
+//	            building the BDDs
+//
+// Parse composes the two. A Model prints back to canonical source via
+// Format, and ParseModel∘Format is the identity on ASTs (see the
+// round-trip test), which is what makes the printed form safe to hash as
+// a content address: Canon returns that canonical text directly.
 package lang
 
 import (
@@ -25,60 +39,151 @@ import (
 	"repro/internal/verify"
 )
 
-// Parse compiles source text into a verification problem on the given
-// manager.
-func Parse(m *bdd.Manager, src, name string) (verify.Problem, error) {
+// Model is the parsed AST of a textual model: the declarations in source
+// order. Order is semantically significant — variables are ordered in
+// the BDD by declaration order — so the AST preserves it exactly.
+type Model struct {
+	Decls []Decl
+}
+
+// Inputs returns the declared input names in order.
+func (mo *Model) Inputs() []string {
+	var names []string
+	for _, d := range mo.Decls {
+		if in, ok := d.(*InputDecl); ok {
+			names = append(names, in.Names...)
+		}
+	}
+	return names
+}
+
+// States returns the declared state names in order.
+func (mo *Model) States() []string {
+	var names []string
+	for _, d := range mo.Decls {
+		if st, ok := d.(*StateDecl); ok {
+			names = append(names, st.Name)
+		}
+	}
+	return names
+}
+
+// Goods counts the property conjuncts — the size of the implicit
+// conjunction the ICI engines will consume.
+func (mo *Model) Goods() int {
+	n := 0
+	for _, d := range mo.Decls {
+		if _, ok := d.(*GoodDecl); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Decl is one top-level form.
+type Decl interface{ isDecl() }
+
+// InputDecl declares one or more primary inputs: (input a b ...).
+type InputDecl struct {
+	Names []string
+}
+
+// StateDecl declares a state bit: (state NAME :init 0|1 :next EXPR).
+type StateDecl struct {
+	Name string
+	Init bool
+	Next Expr
+}
+
+// ConstraintDecl is an environment assumption over inputs and states.
+type ConstraintDecl struct {
+	Expr Expr
+}
+
+// GoodDecl is one property conjunct.
+type GoodDecl struct {
+	Expr Expr
+}
+
+func (*InputDecl) isDecl()      {}
+func (*StateDecl) isDecl()      {}
+func (*ConstraintDecl) isDecl() {}
+func (*GoodDecl) isDecl()       {}
+
+// Expr is a boolean expression: an Atom (variable or constant) or a
+// List (operator application).
+type Expr interface{ isExpr() }
+
+// Atom is a symbol: a variable name or the constants true/false.
+type Atom string
+
+func (Atom) isExpr() {}
+
+// List is an operator application (op arg ...); the reader also uses it
+// for top-level forms before they are classified into Decls.
+type List []Expr
+
+func (List) isExpr() {}
+
+// arity maps each operator to its argument count; -1 means variadic.
+var arity = map[string]int{
+	"and": -1, "or": -1,
+	"not": 1,
+	"xor": 2, "xnor": 2, "eq": 2, "imp": 2, "nand": 2, "nor": 2,
+	"ite": 3,
+}
+
+// ParseModel parses source text into a checked AST. All static errors —
+// malformed forms, duplicate or undeclared variables, unknown operators,
+// arity mistakes, a missing property — are reported here, so a Model
+// that parses will Compile on any fresh manager (resource limits aside).
+func ParseModel(src string) (*Model, error) {
 	forms, err := read(src)
 	if err != nil {
-		return verify.Problem{}, err
+		return nil, err
 	}
 
-	ma := fsm.New(m)
-	type stateDecl struct {
-		v    bdd.Var
-		init bool
-		next sexp
-	}
-	vars := make(map[string]bdd.Var)
-	var states []stateDecl
-	var constraints, goods []sexp
-
+	mo := &Model{}
+	declared := map[string]bool{}
 	for _, f := range forms {
-		list, ok := f.(list)
-		if !ok || len(list) == 0 {
-			return verify.Problem{}, fmt.Errorf("lang: top-level form must be a list, got %v", f)
+		form, ok := f.(List)
+		if !ok || len(form) == 0 {
+			return nil, fmt.Errorf("lang: top-level form must be a list, got %v", f)
 		}
-		head, ok := list[0].(atom)
+		head, ok := form[0].(Atom)
 		if !ok {
-			return verify.Problem{}, fmt.Errorf("lang: form head must be a symbol")
+			return nil, fmt.Errorf("lang: form head must be a symbol")
 		}
 		switch string(head) {
 		case "input":
-			for _, a := range list[1:] {
-				name, ok := a.(atom)
+			in := &InputDecl{}
+			for _, a := range form[1:] {
+				name, ok := a.(Atom)
 				if !ok {
-					return verify.Problem{}, fmt.Errorf("lang: input names must be symbols")
+					return nil, fmt.Errorf("lang: input names must be symbols")
 				}
-				if _, dup := vars[string(name)]; dup {
-					return verify.Problem{}, fmt.Errorf("lang: duplicate variable %q", name)
+				if declared[string(name)] {
+					return nil, fmt.Errorf("lang: duplicate variable %q", name)
 				}
-				vars[string(name)] = ma.NewInputBit(string(name))
+				declared[string(name)] = true
+				in.Names = append(in.Names, string(name))
 			}
+			mo.Decls = append(mo.Decls, in)
 		case "state":
-			if len(list) != 6 {
-				return verify.Problem{}, fmt.Errorf("lang: state form is (state NAME :init 0|1 :next EXPR)")
+			if len(form) != 6 {
+				return nil, fmt.Errorf("lang: state form is (state NAME :init 0|1 :next EXPR)")
 			}
-			name, ok := list[1].(atom)
+			name, ok := form[1].(Atom)
 			if !ok {
-				return verify.Problem{}, fmt.Errorf("lang: state name must be a symbol")
+				return nil, fmt.Errorf("lang: state name must be a symbol")
 			}
-			if _, dup := vars[string(name)]; dup {
-				return verify.Problem{}, fmt.Errorf("lang: duplicate variable %q", name)
+			if declared[string(name)] {
+				return nil, fmt.Errorf("lang: duplicate variable %q", name)
 			}
-			if k, _ := list[2].(atom); string(k) != ":init" {
-				return verify.Problem{}, fmt.Errorf("lang: state %q: expected :init", name)
+			if k, _ := form[2].(Atom); string(k) != ":init" {
+				return nil, fmt.Errorf("lang: state %q: expected :init", name)
 			}
-			initAtom, _ := list[3].(atom)
+			initAtom, _ := form[3].(Atom)
 			var initVal bool
 			switch string(initAtom) {
 			case "0":
@@ -86,75 +191,174 @@ func Parse(m *bdd.Manager, src, name string) (verify.Problem, error) {
 			case "1":
 				initVal = true
 			default:
-				return verify.Problem{}, fmt.Errorf("lang: state %q: :init must be 0 or 1", name)
+				return nil, fmt.Errorf("lang: state %q: :init must be 0 or 1", name)
 			}
-			if k, _ := list[4].(atom); string(k) != ":next" {
-				return verify.Problem{}, fmt.Errorf("lang: state %q: expected :next", name)
+			if k, _ := form[4].(Atom); string(k) != ":next" {
+				return nil, fmt.Errorf("lang: state %q: expected :next", name)
 			}
-			v := ma.NewStateBit(string(name))
-			vars[string(name)] = v
-			states = append(states, stateDecl{v: v, init: initVal, next: list[5]})
+			declared[string(name)] = true
+			mo.Decls = append(mo.Decls, &StateDecl{Name: string(name), Init: initVal, Next: form[5]})
 		case "constraint":
-			if len(list) != 2 {
-				return verify.Problem{}, fmt.Errorf("lang: constraint takes one expression")
+			if len(form) != 2 {
+				return nil, fmt.Errorf("lang: constraint takes one expression")
 			}
-			constraints = append(constraints, list[1])
+			mo.Decls = append(mo.Decls, &ConstraintDecl{Expr: form[1]})
 		case "good":
-			if len(list) != 2 {
-				return verify.Problem{}, fmt.Errorf("lang: good takes one expression")
+			if len(form) != 2 {
+				return nil, fmt.Errorf("lang: good takes one expression")
 			}
-			goods = append(goods, list[1])
+			mo.Decls = append(mo.Decls, &GoodDecl{Expr: form[1]})
 		default:
-			return verify.Problem{}, fmt.Errorf("lang: unknown form %q", head)
+			return nil, fmt.Errorf("lang: unknown form %q", head)
 		}
 	}
 
-	eval := func(e sexp) (bdd.Ref, error) { return evalExpr(m, vars, e) }
+	if mo.Goods() == 0 {
+		return nil, fmt.Errorf("lang: model has no (good ...) property")
+	}
+	// Expressions may reference any variable, including ones declared
+	// later (the two-phase Compile supports forward references), so the
+	// static check runs after all declarations are collected.
+	for _, d := range mo.Decls {
+		var e Expr
+		switch d := d.(type) {
+		case *StateDecl:
+			e = d.Next
+		case *ConstraintDecl:
+			e = d.Expr
+		case *GoodDecl:
+			e = d.Expr
+		default:
+			continue
+		}
+		if err := checkExpr(declared, e); err != nil {
+			return nil, err
+		}
+	}
+	return mo, nil
+}
+
+// checkExpr validates variables, operators, and arities against the
+// declared-name set.
+func checkExpr(declared map[string]bool, e Expr) error {
+	switch e := e.(type) {
+	case Atom:
+		switch string(e) {
+		case "true", "false":
+			return nil
+		}
+		if !declared[string(e)] {
+			return fmt.Errorf("lang: undeclared variable %q", e)
+		}
+		return nil
+	case List:
+		if len(e) == 0 {
+			return fmt.Errorf("lang: empty expression")
+		}
+		head, ok := e[0].(Atom)
+		if !ok {
+			return fmt.Errorf("lang: operator must be a symbol")
+		}
+		n, known := arity[string(head)]
+		if !known {
+			return fmt.Errorf("lang: unknown operator %q", head)
+		}
+		if n >= 0 && len(e)-1 != n {
+			return fmt.Errorf("lang: %s takes %d arguments, got %d", head, n, len(e)-1)
+		}
+		for _, a := range e[1:] {
+			if err := checkExpr(declared, a); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("lang: malformed expression")
+}
+
+// Compile builds the verification problem on the given manager: declares
+// the variables in AST order, builds the transition functions, initial
+// set, constraints, and property conjuncts, and seals the machine.
+func Compile(m *bdd.Manager, mo *Model, name string) (verify.Problem, error) {
+	ma := fsm.New(m)
+	vars := make(map[string]bdd.Var)
+	var states []*StateDecl
+
+	for _, d := range mo.Decls {
+		switch d := d.(type) {
+		case *InputDecl:
+			for _, n := range d.Names {
+				if _, dup := vars[n]; dup {
+					return verify.Problem{}, fmt.Errorf("lang: duplicate variable %q", n)
+				}
+				vars[n] = ma.NewInputBit(n)
+			}
+		case *StateDecl:
+			if _, dup := vars[d.Name]; dup {
+				return verify.Problem{}, fmt.Errorf("lang: duplicate variable %q", d.Name)
+			}
+			vars[d.Name] = ma.NewStateBit(d.Name)
+			states = append(states, d)
+		}
+	}
+
+	eval := func(e Expr) (bdd.Ref, error) { return evalExpr(m, vars, e) }
 
 	initSet := bdd.One
 	for _, s := range states {
-		f, err := eval(s.next)
+		f, err := eval(s.Next)
 		if err != nil {
 			return verify.Problem{}, err
 		}
-		ma.SetNext(s.v, f)
-		lit := m.VarRef(s.v)
-		if !s.init {
+		ma.SetNext(vars[s.Name], f)
+		lit := m.VarRef(vars[s.Name])
+		if !s.Init {
 			lit = lit.Not()
 		}
 		initSet = m.And(initSet, lit)
 	}
 	ma.SetInit(initSet)
-	for _, c := range constraints {
-		f, err := eval(c)
-		if err != nil {
-			return verify.Problem{}, err
+
+	var goodList []bdd.Ref
+	for _, d := range mo.Decls {
+		switch d := d.(type) {
+		case *ConstraintDecl:
+			f, err := eval(d.Expr)
+			if err != nil {
+				return verify.Problem{}, err
+			}
+			ma.AddInputConstraint(f)
+		case *GoodDecl:
+			f, err := eval(d.Expr)
+			if err != nil {
+				return verify.Problem{}, err
+			}
+			goodList = append(goodList, f)
 		}
-		ma.AddInputConstraint(f)
+	}
+	if len(goodList) == 0 {
+		return verify.Problem{}, fmt.Errorf("lang: model has no (good ...) property")
 	}
 	if err := ma.Seal(); err != nil {
 		return verify.Problem{}, err
 	}
-
-	if len(goods) == 0 {
-		return verify.Problem{}, fmt.Errorf("lang: model has no (good ...) property")
-	}
-	goodList := make([]bdd.Ref, len(goods))
-	for i, g := range goods {
-		f, err := eval(g)
-		if err != nil {
-			return verify.Problem{}, err
-		}
-		goodList[i] = f
-	}
-
 	return verify.Problem{Machine: ma, GoodList: goodList, Name: name}, nil
 }
 
+// Parse compiles source text into a verification problem on the given
+// manager — ParseModel followed by Compile.
+func Parse(m *bdd.Manager, src, name string) (verify.Problem, error) {
+	mo, err := ParseModel(src)
+	if err != nil {
+		return verify.Problem{}, err
+	}
+	return Compile(m, mo, name)
+}
+
 // evalExpr compiles a boolean expression over the declared variables.
-func evalExpr(m *bdd.Manager, vars map[string]bdd.Var, e sexp) (bdd.Ref, error) {
+func evalExpr(m *bdd.Manager, vars map[string]bdd.Var, e Expr) (bdd.Ref, error) {
 	switch e := e.(type) {
-	case atom:
+	case Atom:
 		switch string(e) {
 		case "true":
 			return bdd.One, nil
@@ -166,11 +370,11 @@ func evalExpr(m *bdd.Manager, vars map[string]bdd.Var, e sexp) (bdd.Ref, error) 
 			return 0, fmt.Errorf("lang: undeclared variable %q", e)
 		}
 		return m.VarRef(v), nil
-	case list:
+	case List:
 		if len(e) == 0 {
 			return 0, fmt.Errorf("lang: empty expression")
 		}
-		head, ok := e[0].(atom)
+		head, ok := e[0].(Atom)
 		if !ok {
 			return 0, fmt.Errorf("lang: operator must be a symbol")
 		}
@@ -240,23 +444,13 @@ func applyOp(m *bdd.Manager, op string, args []bdd.Ref) (bdd.Ref, error) {
 
 // --- s-expression reader -------------------------------------------------
 
-type sexp interface{ isSexp() }
-
-type atom string
-
-func (atom) isSexp() {}
-
-type list []sexp
-
-func (list) isSexp() {}
-
 // read tokenizes and parses a whole source file into top-level forms.
-func read(src string) ([]sexp, error) {
+func read(src string) ([]Expr, error) {
 	toks, err := tokenize(src)
 	if err != nil {
 		return nil, err
 	}
-	var forms []sexp
+	var forms []Expr
 	pos := 0
 	for pos < len(toks) {
 		f, next, err := parseOne(toks, pos)
@@ -295,13 +489,13 @@ func tokenize(src string) ([]string, error) {
 	return toks, nil
 }
 
-func parseOne(toks []string, pos int) (sexp, int, error) {
+func parseOne(toks []string, pos int) (Expr, int, error) {
 	if pos >= len(toks) {
 		return nil, pos, fmt.Errorf("lang: unexpected end of input")
 	}
 	switch toks[pos] {
 	case "(":
-		var out list
+		var out List
 		pos++
 		for {
 			if pos >= len(toks) {
@@ -320,6 +514,6 @@ func parseOne(toks []string, pos int) (sexp, int, error) {
 	case ")":
 		return nil, pos, fmt.Errorf("lang: unexpected ')'")
 	default:
-		return atom(toks[pos]), pos + 1, nil
+		return Atom(toks[pos]), pos + 1, nil
 	}
 }

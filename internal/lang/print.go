@@ -1,0 +1,69 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders the model as canonical source text: one declaration
+// per line in AST order, single spaces, no comments. ParseModel(Format)
+// returns an identical AST (the round-trip property the wire format
+// depends on), so Format output is stable under re-parsing and safe to
+// hash as a content address.
+func (mo *Model) Format() string {
+	var b strings.Builder
+	for _, d := range mo.Decls {
+		switch d := d.(type) {
+		case *InputDecl:
+			b.WriteString("(input")
+			for _, n := range d.Names {
+				b.WriteByte(' ')
+				b.WriteString(n)
+			}
+			b.WriteString(")\n")
+		case *StateDecl:
+			init := "0"
+			if d.Init {
+				init = "1"
+			}
+			fmt.Fprintf(&b, "(state %s :init %s :next %s)\n", d.Name, init, formatExpr(d.Next))
+		case *ConstraintDecl:
+			fmt.Fprintf(&b, "(constraint %s)\n", formatExpr(d.Expr))
+		case *GoodDecl:
+			fmt.Fprintf(&b, "(good %s)\n", formatExpr(d.Expr))
+		}
+	}
+	return b.String()
+}
+
+// String renders the model as canonical source (same as Format).
+func (mo *Model) String() string { return mo.Format() }
+
+// formatExpr renders an expression as an s-expression with single
+// spaces. Atoms print verbatim: the tokenizer never produces an atom
+// containing a delimiter, so printing cannot introduce ambiguity.
+func formatExpr(e Expr) string {
+	switch e := e.(type) {
+	case Atom:
+		return string(e)
+	case List:
+		parts := make([]string, len(e))
+		for i, sub := range e {
+			parts[i] = formatExpr(sub)
+		}
+		return "(" + strings.Join(parts, " ") + ")"
+	}
+	return "<?>"
+}
+
+// Canon parses source text and returns its canonical form — comments
+// and layout stripped, one declaration per line. Two sources with the
+// same canonical form denote the same model bit for bit, which is what
+// the icid result cache hashes.
+func Canon(src string) (string, error) {
+	mo, err := ParseModel(src)
+	if err != nil {
+		return "", err
+	}
+	return mo.Format(), nil
+}

@@ -17,6 +17,37 @@ import (
 	"sync/atomic"
 )
 
+// Serve runs n workers (n <= 0 selects GOMAXPROCS) that drain tasks
+// from the channel until it is closed and drained, then returns. It is
+// the streaming counterpart of Pool.ForEach for long-running callers —
+// the icid job scheduler — whose task set is not known up front: tasks
+// arrive over the channel's lifetime and each is handed to exactly one
+// worker.
+//
+// The worker argument carries the same stable-identity contract as
+// ForEach: tasks with the same worker id never run concurrently, so
+// callers may attach per-worker state without locking. Unlike ForEach,
+// Serve offers no panic collection — a panic in fn escapes on the
+// worker's goroutine and takes the process down, so a daemon must
+// recover inside fn (resource overruns inside verification runs are
+// already converted to results by bdd.Guard well below fn).
+func Serve[T any](n int, tasks <-chan T, fn func(worker int, task T)) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for task := range tasks {
+				fn(w, task)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 // Pool is a fixed-width worker pool. A Pool holds no goroutines between
 // calls: each ForEach spins up its workers, drains the tasks, and joins,
 // so an idle Pool costs nothing. That matters because pools are created

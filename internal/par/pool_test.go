@@ -2,8 +2,10 @@ package par
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForEachCoversEveryTaskExactlyOnce(t *testing.T) {
@@ -104,5 +106,84 @@ func TestForEachSingleTaskInline(t *testing.T) {
 	NewPool(16).ForEach(1, func(w, task int) { worker = w })
 	if worker != 0 {
 		t.Fatalf("single task ran on worker %d, want 0", worker)
+	}
+}
+
+// Serve must hand every task to exactly one worker, honor the stable
+// worker-identity contract, and return only once the channel is closed
+// and drained.
+func TestServeDrainsChannel(t *testing.T) {
+	const n = 500
+	tasks := make(chan int, 16)
+	go func() {
+		for i := 0; i < n; i++ {
+			tasks <- i
+		}
+		close(tasks)
+	}()
+
+	var mu sync.Mutex
+	seen := make(map[int]int) // task -> times run
+	perWorker := make(map[int]int)
+	Serve(4, tasks, func(w, task int) {
+		mu.Lock()
+		seen[task]++
+		perWorker[w]++
+		mu.Unlock()
+	})
+	if len(seen) != n {
+		t.Fatalf("ran %d distinct tasks, want %d", len(seen), n)
+	}
+	for task, times := range seen {
+		if times != 1 {
+			t.Fatalf("task %d ran %d times", task, times)
+		}
+	}
+	for w := range perWorker {
+		if w < 0 || w >= 4 {
+			t.Fatalf("worker id %d out of range", w)
+		}
+	}
+}
+
+// Per-worker state needs no locking: tasks sharing a worker id never run
+// concurrently. Each worker owns a counter slot; the slots must sum to
+// the task count (the race detector guards the contract).
+func TestServePerWorkerStateUnlocked(t *testing.T) {
+	const workers, n = 3, 300
+	tasks := make(chan int)
+	go func() {
+		for i := 0; i < n; i++ {
+			tasks <- i
+		}
+		close(tasks)
+	}()
+	counts := make([]int, workers) // written without locks, one slot per worker
+	Serve(workers, tasks, func(w, _ int) {
+		counts[w]++
+	})
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("per-worker counts sum to %d, want %d", total, n)
+	}
+}
+
+// Serve with an already-closed channel returns immediately; n <= 0
+// selects GOMAXPROCS workers rather than zero.
+func TestServeEmptyAndDefaultWidth(t *testing.T) {
+	empty := make(chan struct{})
+	close(empty)
+	done := make(chan struct{})
+	go func() {
+		Serve(0, empty, func(int, struct{}) { t.Error("task on empty channel") })
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return on a closed empty channel")
 	}
 }

@@ -149,6 +149,50 @@ func (b Budget) Err() error {
 	return nil
 }
 
+// JoinContext returns a context that is done as soon as either a or b
+// is done, with the finishing context's cause. Nil arguments mean
+// Background. The returned CancelFunc must be called to release the
+// join's resources (it also cancels the joined context).
+//
+// The join is what ties a server-side job budget to an HTTP request:
+// the budget's own context carries the daemon's lifecycle and explicit
+// job cancellation, the request context carries the client connection,
+// and the job must abort when either ends.
+func JoinContext(a, b context.Context) (context.Context, context.CancelFunc) {
+	if a == nil {
+		a = context.Background()
+	}
+	if b == nil {
+		b = context.Background()
+	}
+	// When one side can never be canceled the join is just the other
+	// side; a plain WithCancel keeps the fast path allocation-light.
+	if b.Done() == nil {
+		return context.WithCancel(a)
+	}
+	if a.Done() == nil {
+		return context.WithCancel(b)
+	}
+	ctx, cancel := context.WithCancelCause(a)
+	stop := context.AfterFunc(b, func() {
+		cancel(context.Cause(b))
+	})
+	return ctx, func() {
+		stop()
+		cancel(context.Canceled)
+	}
+}
+
+// Join returns the budget with its context joined to ctx: the run
+// aborts when either the budget's own context or ctx is done. The
+// returned CancelFunc releases the join and must be called when the run
+// finishes.
+func (b Budget) Join(ctx context.Context) (Budget, context.CancelFunc) {
+	joined, cancel := JoinContext(b.Ctx, ctx)
+	b.Ctx = joined
+	return b, cancel
+}
+
 // LimitError is the panic value raised when an operation would push a
 // manager past its node limit. errors.Is(err, ErrNodeLimit) matches it.
 type LimitError struct {

@@ -109,3 +109,85 @@ func TestGuardConvertsResourcePanics(t *testing.T) {
 	}()
 	_ = Guard(func() { panic("boom") })
 }
+
+func TestJoinContextEitherSideCancels(t *testing.T) {
+	// Left side cancels the join.
+	a, cancelA := context.WithCancel(context.Background())
+	b, cancelB := context.WithCancel(context.Background())
+	joined, release := JoinContext(a, b)
+	defer release()
+	cancelA()
+	select {
+	case <-joined.Done():
+	case <-time.After(time.Second):
+		t.Fatal("join did not observe left-side cancellation")
+	}
+	cancelB()
+
+	// Right side cancels the join.
+	a2, cancelA2 := context.WithCancel(context.Background())
+	b2, cancelB2 := context.WithCancel(context.Background())
+	joined2, release2 := JoinContext(a2, b2)
+	defer release2()
+	cancelB2()
+	select {
+	case <-joined2.Done():
+	case <-time.After(time.Second):
+		t.Fatal("join did not observe right-side cancellation")
+	}
+	if !errors.Is(joined2.Err(), context.Canceled) {
+		t.Fatalf("joined err %v, want context.Canceled", joined2.Err())
+	}
+	cancelA2()
+}
+
+func TestJoinContextNilAndBackgroundFastPaths(t *testing.T) {
+	// Nil sides behave as Background; the join is still cancellable via
+	// its release func.
+	joined, release := JoinContext(nil, nil)
+	if joined.Err() != nil {
+		t.Fatalf("fresh join already done: %v", joined.Err())
+	}
+	release()
+	if !errors.Is(joined.Err(), context.Canceled) {
+		t.Fatal("release did not cancel the join")
+	}
+
+	// One live side, one Background: cancelling the live side ends the join.
+	a, cancelA := context.WithCancel(context.Background())
+	joined2, release2 := JoinContext(a, context.Background())
+	defer release2()
+	cancelA()
+	select {
+	case <-joined2.Done():
+	case <-time.After(time.Second):
+		t.Fatal("fast-path join missed cancellation")
+	}
+}
+
+func TestBudgetJoin(t *testing.T) {
+	own, cancelOwn := context.WithCancel(context.Background())
+	defer cancelOwn()
+	req, cancelReq := context.WithCancel(context.Background())
+
+	b := Budget{Ctx: own, NodeLimit: 42}
+	jb, release := b.Join(req)
+	defer release()
+	if jb.NodeLimit != 42 {
+		t.Fatal("Join dropped budget fields")
+	}
+	if err := jb.Err(); err != nil {
+		t.Fatalf("joined budget already violated: %v", err)
+	}
+	cancelReq() // the "client disconnect"
+	select {
+	case <-jb.Ctx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("budget did not observe request cancellation")
+	}
+	err := jb.Err()
+	var ce *CancelError
+	if !errors.As(err, &ce) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("joined budget err %v, want *CancelError matching context.Canceled", err)
+	}
+}

@@ -1,0 +1,179 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bdd"
+	"repro/internal/lang"
+	"repro/internal/models"
+	"repro/internal/verify"
+)
+
+// The named built-in model families a job may request instead of
+// shipping textual source. Each entry validates its knobs at submission
+// (so bad sizes are a 400, not a failed job) and constructs the problem
+// on the worker's manager at run time.
+type builtin struct {
+	defaultSize int
+	validate    func(req *SubmitRequest) error
+	build       func(m *bdd.Manager, req *SubmitRequest) verify.Problem
+}
+
+var builtins = map[string]builtin{
+	"fifo": {
+		defaultSize: 3,
+		validate: func(req *SubmitRequest) error {
+			if req.Size <= 0 {
+				return fmt.Errorf("fifo needs size >= 1 (queue depth)")
+			}
+			return nil
+		},
+		build: func(m *bdd.Manager, req *SubmitRequest) verify.Problem {
+			cfg := models.DefaultFIFO(req.Size)
+			cfg.Bug = req.Bug
+			return models.NewFIFO(m, cfg)
+		},
+	},
+	"network": {
+		defaultSize: 2,
+		validate: func(req *SubmitRequest) error {
+			if req.Size < 1 || req.Size >= 16 {
+				return fmt.Errorf("network needs 1 <= size < 16 (processors)")
+			}
+			return nil
+		},
+		build: func(m *bdd.Manager, req *SubmitRequest) verify.Problem {
+			return models.NewNetwork(m, models.NetworkConfig{Procs: req.Size, Bug: req.Bug})
+		},
+	},
+	"filter": {
+		defaultSize: 4,
+		validate: func(req *SubmitRequest) error {
+			if req.Size < 2 || req.Size&(req.Size-1) != 0 {
+				return fmt.Errorf("filter needs size = a power of two >= 2 (window depth)")
+			}
+			return nil
+		},
+		build: func(m *bdd.Manager, req *SubmitRequest) verify.Problem {
+			cfg := models.DefaultFilter(req.Size, req.Assist)
+			cfg.Bug = req.Bug
+			return models.NewFilter(m, cfg)
+		},
+	},
+	"pipeline": {
+		validate: func(req *SubmitRequest) error {
+			if req.Regs < 2 || req.Regs&(req.Regs-1) != 0 {
+				return fmt.Errorf("pipeline needs regs = a power of two >= 2")
+			}
+			if req.Bits < 1 {
+				return fmt.Errorf("pipeline needs bits >= 1")
+			}
+			return nil
+		},
+		build: func(m *bdd.Manager, req *SubmitRequest) verify.Problem {
+			cfg := models.DefaultPipeline(req.Regs, req.Bits)
+			cfg.Assist = req.Assist
+			cfg.Bug = req.Bug
+			return models.NewPipeline(m, cfg)
+		},
+	},
+	"coherence": {
+		defaultSize: 2,
+		validate: func(req *SubmitRequest) error {
+			if req.Size < 2 || req.Size > 8 {
+				return fmt.Errorf("coherence needs 2 <= size <= 8 (caches)")
+			}
+			return nil
+		},
+		build: func(m *bdd.Manager, req *SubmitRequest) verify.Problem {
+			return models.NewCoherence(m, models.CoherenceConfig{Caches: req.Size, Bug: req.Bug})
+		},
+	},
+	"link": {
+		defaultSize: 1,
+		validate: func(req *SubmitRequest) error {
+			if req.Size < 1 || req.Size > 16 {
+				return fmt.Errorf("link needs 1 <= size <= 16 (data bits)")
+			}
+			return nil
+		},
+		build: func(m *bdd.Manager, req *SubmitRequest) verify.Problem {
+			return models.NewLink(m, models.LinkConfig{DataBits: req.Size, Bug: req.Bug})
+		},
+	},
+}
+
+// Builtins returns the accepted builtin names, sorted.
+func Builtins() []string {
+	names := make([]string, 0, len(builtins))
+	for n := range builtins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// normalizeModel validates the request's model selection, fills
+// defaults in place, and returns the canonical model identity string
+// the result cache hashes. For textual models that is the canonical
+// source (lang.Canon); for builtins, a fully-resolved parameter string.
+func normalizeModel(req *SubmitRequest) (string, error) {
+	hasModel := strings.TrimSpace(req.Model) != ""
+	if hasModel == (req.Builtin != "") {
+		return "", fmt.Errorf("exactly one of \"model\" or \"builtin\" must be set (builtins: %s)",
+			strings.Join(Builtins(), ", "))
+	}
+	if hasModel {
+		canon, err := lang.Canon(req.Model)
+		if err != nil {
+			return "", err
+		}
+		req.Model = canon
+		if req.Name == "" {
+			req.Name = "model"
+		}
+		return "lang:" + canon, nil
+	}
+	bi, ok := builtins[req.Builtin]
+	if !ok {
+		return "", fmt.Errorf("unknown builtin %q (builtins: %s)", req.Builtin, strings.Join(Builtins(), ", "))
+	}
+	if req.Size == 0 {
+		req.Size = bi.defaultSize
+	}
+	if req.Builtin == "pipeline" {
+		if req.Regs == 0 {
+			req.Regs = 2
+		}
+		if req.Bits == 0 {
+			req.Bits = 1
+		}
+	}
+	if err := bi.validate(req); err != nil {
+		return "", err
+	}
+	if req.Name == "" {
+		req.Name = req.Builtin
+	}
+	return fmt.Sprintf("builtin:%s/size=%d/regs=%d/bits=%d/assist=%t/bug=%t",
+		req.Builtin, req.Size, req.Regs, req.Bits, req.Assist, req.Bug), nil
+}
+
+// buildProblem constructs the job's problem on the worker's manager.
+// The request was normalized at submission, so failures here are
+// resource overruns or model-constructor panics, both converted by the
+// caller.
+func buildProblem(m *bdd.Manager, req *SubmitRequest) (verify.Problem, error) {
+	if req.Model != "" {
+		return lang.Parse(m, req.Model, req.Name)
+	}
+	bi, ok := builtins[req.Builtin]
+	if !ok {
+		return verify.Problem{}, fmt.Errorf("unknown builtin %q", req.Builtin)
+	}
+	p := bi.build(m, req)
+	p.Name = req.Name
+	return p, nil
+}

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// resultCache is the content-addressed in-memory result store: key =
+// hash of (canonical model identity, engine, options, budget), value =
+// the finished result plus the run's engine-event lines, so a repeated
+// submission of the same work returns instantly — result and replayable
+// event stream included — without touching a BDD manager.
+//
+// Only deterministic outcomes are cached: verified and violated
+// verdicts always; exhaustion only when caused by the node limit or the
+// iteration cap, which are functions of the keyed budget. Deadline and
+// cancellation exhaustion depend on wall clock and client behavior and
+// are never cached.
+type resultCache struct {
+	cap     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key    string
+	result *ResultWire
+	events []json.RawMessage
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// cacheKey derives the content address of a normalized submission. The
+// model identity is canonical (lang.Canon output or a fully-resolved
+// builtin parameter string), and options/budget are hashed in wire form,
+// so two submissions collide exactly when the service would do
+// byte-identical work.
+func cacheKey(modelIdentity string, req SubmitRequest) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00", modelIdentity, req.Engine)
+	opt, _ := json.Marshal(req.Options)
+	bud, _ := json.Marshal(req.Budget)
+	h.Write(opt)
+	h.Write([]byte{0})
+	h.Write(bud)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// cacheable reports whether a finished result may be stored.
+func cacheable(rw *ResultWire) bool {
+	switch rw.Outcome {
+	case "verified", "violated":
+		return true
+	case "exhausted":
+		return rw.Cause == "node-limit" || rw.Cause == "iteration-cap"
+	}
+	return false
+}
+
+// get returns the entry for key, refreshing its recency. Callers hold
+// the server mutex.
+func (c *resultCache) get(key string) (*cacheEntry, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry), true
+}
+
+// put stores an entry, evicting the least recently used past capacity.
+// Callers hold the server mutex.
+func (c *resultCache) put(key string, result *ResultWire, events []json.RawMessage) {
+	if c.cap <= 0 {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).result = result
+		el.Value.(*cacheEntry).events = events
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, result: result, events: events})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of cached results. Callers hold the server
+// mutex.
+func (c *resultCache) len() int { return c.order.Len() }

@@ -1,0 +1,203 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/resource"
+	"repro/internal/verify"
+)
+
+// job is one submitted verification task. Its event buffer holds
+// pre-marshaled NDJSON lines — engine events from the verify.Observer
+// adapter plus lifecycle markers — so the /events stream and the cache
+// replay are byte-identical and need no re-encoding. The buffer is
+// append-only; subscribers snapshot (length, change channel) under the
+// lock and replay the stable prefix outside it.
+type job struct {
+	id        string
+	key       string // cache key (content address)
+	name      string
+	engine    verify.Method
+	req       SubmitRequest
+	opt       verify.Options  // normalized at submission, observer unset
+	budget    resource.Budget // resolved and clamped, Ctx unset
+	submitted time.Time
+
+	// ctx is the job's lifecycle context, derived from the server's
+	// base context; cancel ends it (DELETE /jobs/{id}, or the drain
+	// deadline). reqCtx, for wait-mode submissions, is the HTTP request
+	// context the worker joins into the budget so a client disconnect
+	// cancels the run.
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+	reqCtx context.Context
+
+	mu      sync.Mutex
+	state   string
+	events  []json.RawMessage
+	changed chan struct{} // closed and replaced on every append / state change
+	result  *ResultWire
+	errMsg  string
+	cached  bool
+	done    chan struct{} // closed once the job is terminal
+}
+
+func newJob(id, key string, req SubmitRequest, base context.Context) *job {
+	ctx, cancel := context.WithCancelCause(base)
+	return &job{
+		id:        id,
+		key:       key,
+		name:      req.Name,
+		engine:    verify.Method(req.Engine),
+		req:       req,
+		submitted: time.Now(),
+		ctx:       ctx,
+		cancel:    cancel,
+		state:     StateQueued,
+		changed:   make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+}
+
+// lifecycleLine is the NDJSON envelope for job state transitions,
+// interleaved with the engine events in the same stream.
+type lifecycleLine struct {
+	Event   string `json:"event"` // "status" or "done"
+	State   string `json:"state"`
+	Outcome string `json:"outcome,omitempty"`
+	Cause   string `json:"cause,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+func (j *job) notifyLocked() {
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// appendRaw appends one pre-marshaled NDJSON line and wakes subscribers.
+func (j *job) appendRaw(line json.RawMessage) {
+	j.mu.Lock()
+	j.events = append(j.events, line)
+	j.notifyLocked()
+	j.mu.Unlock()
+}
+
+// appendEvent marshals and appends one envelope (engine or lifecycle).
+func (j *job) appendEvent(v any) {
+	line, err := json.Marshal(v)
+	if err != nil {
+		return // an unmarshalable event must not kill the run
+	}
+	j.appendRaw(line)
+}
+
+// setRunning transitions queued → running and logs the lifecycle line.
+// It returns false when the job is already terminal (canceled while
+// queued and finalized elsewhere).
+func (j *job) setRunning() bool {
+	j.mu.Lock()
+	if j.state != StateQueued {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = StateRunning
+	j.notifyLocked()
+	j.mu.Unlock()
+	j.appendEvent(lifecycleLine{Event: "status", State: StateRunning})
+	return true
+}
+
+// finish makes the job terminal with a result. The final "done" line is
+// appended before the done channel closes, so a streaming client that
+// reads to the channel close always sees it — the drain guarantee. The
+// lifecycle context is released so terminal jobs don't accumulate as
+// children of the server's base context.
+func (j *job) finish(rw *ResultWire) {
+	j.appendEvent(lifecycleLine{Event: "done", State: StateDone, Outcome: rw.Outcome, Cause: rw.Cause})
+	j.mu.Lock()
+	j.state = StateDone
+	j.result = rw
+	j.notifyLocked()
+	j.mu.Unlock()
+	close(j.done)
+	j.cancel(errJobFinished)
+}
+
+// fail makes the job terminal with an error message.
+func (j *job) fail(msg string) {
+	j.appendEvent(lifecycleLine{Event: "done", State: StateError, Error: msg})
+	j.mu.Lock()
+	j.state = StateError
+	j.errMsg = msg
+	j.notifyLocked()
+	j.mu.Unlock()
+	close(j.done)
+	j.cancel(errJobFinished)
+}
+
+// errJobFinished is the cause installed when a terminal job releases
+// its lifecycle context.
+var errJobFinished = fmt.Errorf("icid: job finished")
+
+// finishCached makes a fresh job terminal with a cached result and the
+// cached run's replayed event lines.
+func (j *job) finishCached(rw *ResultWire, events []json.RawMessage) {
+	j.mu.Lock()
+	j.cached = true
+	j.events = append(j.events, events...)
+	j.mu.Unlock()
+	j.finish(rw)
+}
+
+// status snapshots the job's wire status.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID:          j.id,
+		State:       j.state,
+		Name:        j.name,
+		Engine:      string(j.engine),
+		Cached:      j.cached,
+		Events:      len(j.events),
+		SubmittedAt: j.submitted.UTC().Format(time.RFC3339Nano),
+		Error:       j.errMsg,
+		Result:      j.result,
+	}
+}
+
+// terminal reports whether the job has reached a final state.
+func (j *job) terminal() bool {
+	select {
+	case <-j.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// snapshotFrom returns the event lines from index i on, the current
+// change channel, and whether the job is terminal — everything a
+// streaming subscriber needs per wakeup. The returned slice aliases the
+// append-only buffer and is stable.
+func (j *job) snapshotFrom(i int) (lines []json.RawMessage, changed chan struct{}, final bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if i < len(j.events) {
+		lines = j.events[i:len(j.events):len(j.events)]
+	}
+	return lines, j.changed, j.state == StateDone || j.state == StateError
+}
+
+// eventsCopy snapshots the full event buffer (for caching).
+func (j *job) eventsCopy() []json.RawMessage {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]json.RawMessage, len(j.events))
+	copy(out, j.events)
+	return out
+}

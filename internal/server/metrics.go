@@ -1,0 +1,76 @@
+package server
+
+import (
+	"expvar"
+	"net/http"
+)
+
+// metrics is the daemon's counter set, served at /metrics in expvar's
+// JSON rendering. The counters are per-Server (not expvar-published
+// globals), so tests and embedders can run several servers in one
+// process.
+//
+// Invariants the metrics test pins down:
+//
+//	submitted == queued + running + completed + errors
+//	completed == verified + violated + exhausted
+//	cancelled <= exhausted           (cancellation is an exhaustion cause)
+//	sum over engines == completed
+type metrics struct {
+	submitted expvar.Int // accepted POST /jobs (rejections excluded)
+	queued    expvar.Int // gauge: jobs waiting in the queue
+	running   expvar.Int // gauge: jobs on a worker
+	completed expvar.Int // jobs that reached state "done"
+	errors    expvar.Int // jobs that reached state "error"
+	verified  expvar.Int // done with outcome verified
+	violated  expvar.Int // done with outcome violated
+	exhausted expvar.Int // done with outcome exhausted (any cause)
+	cancelled expvar.Int // exhausted specifically by cancellation
+	cacheHits expvar.Int // submissions answered from the result cache
+	engines   expvar.Map // per-engine completed totals
+
+	top expvar.Map // the /metrics document
+}
+
+func newMetrics() *metrics {
+	mt := &metrics{}
+	mt.engines.Init()
+	mt.top.Init()
+	mt.top.Set("submitted", &mt.submitted)
+	mt.top.Set("queued", &mt.queued)
+	mt.top.Set("running", &mt.running)
+	mt.top.Set("completed", &mt.completed)
+	mt.top.Set("errors", &mt.errors)
+	mt.top.Set("verified", &mt.verified)
+	mt.top.Set("violated", &mt.violated)
+	mt.top.Set("exhausted", &mt.exhausted)
+	mt.top.Set("cancelled", &mt.cancelled)
+	mt.top.Set("cache_hits", &mt.cacheHits)
+	mt.top.Set("engines", &mt.engines)
+	return mt
+}
+
+// completedJob counts one terminal "done" job into the outcome and
+// per-engine counters.
+func (mt *metrics) completedJob(engine string, rw *ResultWire) {
+	mt.completed.Add(1)
+	switch rw.Outcome {
+	case "verified":
+		mt.verified.Add(1)
+	case "violated":
+		mt.violated.Add(1)
+	case "exhausted":
+		mt.exhausted.Add(1)
+		if rw.Cause == "canceled" {
+			mt.cancelled.Add(1)
+		}
+	}
+	mt.engines.Add(engine, 1)
+}
+
+// handler serves the expvar JSON document.
+func (mt *metrics) handler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Write([]byte(mt.top.String()))
+	w.Write([]byte("\n"))
+}

@@ -1,0 +1,128 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime/debug"
+
+	"repro/internal/bdd"
+	"repro/internal/par"
+	"repro/internal/verify"
+)
+
+// The scheduler is par.Serve over the server's bounded job channel:
+// Config.Workers persistent workers with stable identities, each
+// running one job at a time on a manager of its own. Closing the
+// channel (drain) lets the workers finish the backlog and exit; the
+// server signals schedDone when the last one returns.
+
+// startScheduler launches the worker pool. It is called once by New.
+func (s *Server) startScheduler() {
+	go func() {
+		defer close(s.schedDone)
+		par.Serve(s.cfg.Workers, s.tasks, s.runJob)
+	}()
+}
+
+// runJob executes one job end to end: fresh BDD manager, problem
+// construction, a budget joined to the job's lifecycle context (and,
+// for wait-mode submissions, the client's request context), the
+// verify run with the job's event sink attached, trace rendering, and
+// finalization into result cache and metrics. Any panic that escapes
+// the verification harness is converted into a job error rather than
+// taking the daemon down.
+func (s *Server) runJob(_ int, j *job) {
+	s.met.queued.Add(-1)
+	if j.ctx.Err() != nil {
+		// Canceled (or drained past the deadline) while still queued:
+		// finalize without running. The verdict is an exhaustion with
+		// the cancellation cause, mirroring what a mid-run cancel
+		// produces, so clients observe one shape either way.
+		s.finalize(j, &ResultWire{
+			Problem: j.name,
+			Method:  string(j.engine),
+			Outcome: verify.Exhausted.String(),
+			Cause:   "canceled",
+			Why:     "canceled before start",
+		}, nil)
+		return
+	}
+	if !j.setRunning() {
+		return
+	}
+	s.met.running.Add(1)
+	defer s.met.running.Add(-1)
+
+	defer func() {
+		if r := recover(); r != nil {
+			s.failJob(j, fmt.Sprintf("internal error: %v\n%s", r, debug.Stack()))
+		}
+	}()
+
+	m := bdd.NewWithSize(1<<16, 20)
+	p, err := buildProblem(m, &j.req)
+	if err != nil {
+		s.failJob(j, err.Error())
+		return
+	}
+
+	// The run's budget context: the job lifecycle context (server base
+	// + explicit cancel), joined — for wait-mode submissions — with the
+	// HTTP request context, so a client hanging up cancels the work.
+	budget := j.budget
+	budget.Ctx = j.ctx
+	budget, release := budget.Join(j.reqCtx)
+	defer release()
+
+	// The sink feeds the job's subscriber-visible buffer and, in
+	// parallel, collects the engine lines alone for the result cache
+	// (lifecycle lines are per-job, not per-computation).
+	var engineLines []json.RawMessage
+	opt := j.opt
+	opt.Budget = budget
+	opt.Observer = verify.SinkObserver{Method: string(j.engine), Sink: func(e verify.Event) {
+		line, err := json.Marshal(e)
+		if err != nil {
+			return
+		}
+		engineLines = append(engineLines, line)
+		j.appendRaw(line)
+	}}
+
+	res := verify.RunContext(j.ctx, p, j.engine, opt)
+
+	var traceText string
+	if res.Trace != nil {
+		goods := p.GoodList
+		if goods == nil {
+			goods = []bdd.Ref{p.Good}
+		}
+		if err := res.Trace.Validate(p.Machine, goods); err != nil {
+			traceText = fmt.Sprintf("trace validation failed: %v", err)
+		} else if rendered, err := res.Trace.Format(m, p.Machine.CurVars()); err == nil {
+			traceText = rendered
+		}
+	}
+
+	s.finalize(j, resultWire(res, traceText), engineLines)
+}
+
+// finalize completes a job: result cache (when the outcome is
+// deterministic), metrics, and the job's terminal transition, whose
+// final event line is appended before the done channel closes — the
+// ordering the drain guarantee rests on.
+func (s *Server) finalize(j *job, rw *ResultWire, engineLines []json.RawMessage) {
+	if cacheable(rw) {
+		s.mu.Lock()
+		s.cache.put(j.key, rw, engineLines)
+		s.mu.Unlock()
+	}
+	s.met.completedJob(string(j.engine), rw)
+	j.finish(rw)
+}
+
+// failJob completes a job in the error state.
+func (s *Server) failJob(j *job, msg string) {
+	s.met.errors.Add(1)
+	j.fail(msg)
+}

@@ -1,0 +1,251 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/resource"
+	"repro/internal/verify"
+)
+
+// Wire types of the icid HTTP/JSON API. The full reference, with curl
+// examples, lives in docs/api.md; the types here are the single source
+// of truth for field names.
+
+// SubmitRequest is the body of POST /jobs. Exactly one of Model (a
+// textual model in the internal/lang format) or Builtin (a named
+// built-in from internal/models) selects the machine.
+type SubmitRequest struct {
+	// Model is textual model source (see internal/lang). It is parsed
+	// and canonicalized at submission, so syntax errors are rejected
+	// with 400 before the job queues.
+	Model string `json:"model,omitempty"`
+
+	// Name labels the job in statuses and results. Defaults to the
+	// builtin's name, or "model" for textual submissions.
+	Name string `json:"name,omitempty"`
+
+	// Builtin selects a named built-in model family: fifo, network,
+	// filter, pipeline, coherence, link.
+	Builtin string `json:"builtin,omitempty"`
+
+	// Size is the builtin's size knob (fifo depth, network processors,
+	// filter depth, coherence caches, link data bits). 0 = the
+	// builtin's default.
+	Size int `json:"size,omitempty"`
+
+	// Regs and Bits configure the pipeline builtin.
+	Regs int `json:"regs,omitempty"`
+	Bits int `json:"bits,omitempty"`
+
+	// Assist supplies the model's user assisting invariants (filter,
+	// pipeline); Bug seeds the model's planted bug.
+	Assist bool `json:"assist,omitempty"`
+	Bug    bool `json:"bug,omitempty"`
+
+	// Engine names the verification engine (default "XICI"); any name
+	// in the registry — GET /healthz lists them — is accepted.
+	Engine string `json:"engine,omitempty"`
+
+	// Budget bounds the run server-side; zero fields inherit the
+	// daemon's defaults, and the daemon may clamp them to its maxima.
+	Budget BudgetSpec `json:"budget"`
+
+	// Options tunes the engine.
+	Options OptionsSpec `json:"options"`
+
+	// Wait makes the submission synchronous: the response carries the
+	// final status, and hanging up cancels the job (the request context
+	// is joined into the job's budget).
+	Wait bool `json:"wait,omitempty"`
+}
+
+// BudgetSpec is the wire form of resource.Budget. -1 means explicitly
+// unlimited (resource.Unlimited), subject to the daemon's clamps.
+type BudgetSpec struct {
+	NodeLimit     int   `json:"node_limit,omitempty"`
+	TimeoutMS     int64 `json:"timeout_ms,omitempty"`
+	MaxIterations int   `json:"max_iterations,omitempty"`
+}
+
+// OptionsSpec is the wire form of the engine options a client may set.
+type OptionsSpec struct {
+	// Termination selects the ICI-family convergence test:
+	// "exact" (default), "implication", or "fast".
+	Termination string `json:"termination,omitempty"`
+
+	// Workers enables parallel pair scoring inside the run
+	// (verify.Options.Workers).
+	Workers int `json:"workers,omitempty"`
+
+	// GrowThreshold overrides the XICI policy threshold (0 = default).
+	GrowThreshold float64 `json:"grow_threshold,omitempty"`
+
+	// WantTrace requests a counterexample trace on violation; the
+	// rendered trace rides in the result's "trace" field.
+	WantTrace bool `json:"want_trace,omitempty"`
+
+	// GCEvery triggers a BDD garbage collection every n iterations.
+	GCEvery int `json:"gc_every,omitempty"`
+}
+
+// SubmitResponse is the body of a successful POST /jobs.
+type SubmitResponse struct {
+	ID     string     `json:"id"`
+	Cached bool       `json:"cached"`
+	Status *JobStatus `json:"status,omitempty"` // wait mode and cache hits: final status inline
+}
+
+// JobStatus is the body of GET /jobs/{id} and the elements of GET /jobs.
+type JobStatus struct {
+	ID          string      `json:"id"`
+	State       string      `json:"state"` // queued | running | done | error
+	Name        string      `json:"name"`
+	Engine      string      `json:"engine"`
+	Cached      bool        `json:"cached,omitempty"`
+	Events      int         `json:"events"`
+	SubmittedAt string      `json:"submitted_at"`
+	Error       string      `json:"error,omitempty"`
+	Result      *ResultWire `json:"result,omitempty"`
+}
+
+// Job states.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateError   = "error"
+)
+
+// ResultWire is the serializable form of verify.Result.
+type ResultWire struct {
+	Problem        string             `json:"problem"`
+	Method         string             `json:"method"`
+	Outcome        string             `json:"outcome"` // verified | violated | exhausted
+	Cause          string             `json:"cause,omitempty"`
+	Why            string             `json:"why,omitempty"`
+	Iterations     int                `json:"iterations"`
+	PeakStateNodes int                `json:"peak_state_nodes"`
+	PeakProfile    []int              `json:"peak_profile,omitempty"`
+	MemBytes       int                `json:"mem_bytes"`
+	ElapsedMS      float64            `json:"elapsed_ms"`
+	ViolationDepth int                `json:"violation_depth,omitempty"`
+	Trace          string             `json:"trace,omitempty"`
+	Term           core.TermStats     `json:"term"`
+	Eval           EvalWire           `json:"eval"`
+	SizeTrajectory []int              `json:"size_trajectory,omitempty"`
+	PhaseMS        map[string]float64 `json:"phase_ms,omitempty"`
+}
+
+// EvalWire mirrors core.EvalStats with wire field names.
+type EvalWire struct {
+	PairsScored    int `json:"pairs_scored"`
+	MergesApplied  int `json:"merges_applied"`
+	BudgetOverflow int `json:"budget_overflow"`
+	Rounds         int `json:"rounds"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// resultWire converts a finished run into its wire form. traceText is
+// the pre-rendered counterexample (the run's manager does not outlive
+// the worker, so rendering happens there).
+func resultWire(res verify.Result, traceText string) *ResultWire {
+	rw := &ResultWire{
+		Problem:        res.Problem,
+		Method:         string(res.Method),
+		Outcome:        res.Outcome.String(),
+		Cause:          res.Cause(),
+		Why:            res.Why,
+		Iterations:     res.Iterations,
+		PeakStateNodes: res.PeakStateNodes,
+		PeakProfile:    res.PeakProfile,
+		MemBytes:       res.MemBytes,
+		ElapsedMS:      float64(res.Elapsed) / float64(time.Millisecond),
+		ViolationDepth: res.ViolationDepth,
+		Trace:          traceText,
+		Term:           res.Term,
+		Eval: EvalWire{
+			PairsScored:    res.Eval.PairsScored,
+			MergesApplied:  res.Eval.MergesApplied,
+			BudgetOverflow: res.Eval.BudgetOverflow,
+			Rounds:         res.Eval.Rounds,
+		},
+		SizeTrajectory: res.SizeTrajectory,
+	}
+	if total := res.PhaseDurations.Total(); total > 0 {
+		rw.PhaseMS = make(map[string]float64, verify.NumPhases)
+		for ph, d := range res.PhaseDurations {
+			if d > 0 {
+				rw.PhaseMS[verify.Phase(ph).String()] = float64(d) / float64(time.Millisecond)
+			}
+		}
+	}
+	return rw
+}
+
+// budget resolves the spec against the daemon's defaults and clamps.
+func (bs BudgetSpec) budget(cfg Config) (resource.Budget, error) {
+	b := resource.Budget{
+		NodeLimit:     cfg.DefaultBudget.NodeLimit,
+		Timeout:       cfg.DefaultBudget.Timeout,
+		MaxIterations: cfg.DefaultBudget.MaxIterations,
+	}
+	if bs.NodeLimit != 0 {
+		if bs.NodeLimit < resource.Unlimited {
+			return b, fmt.Errorf("budget.node_limit %d is invalid (use -1 for unlimited)", bs.NodeLimit)
+		}
+		b.NodeLimit = bs.NodeLimit
+	}
+	if bs.TimeoutMS != 0 {
+		if bs.TimeoutMS < resource.Unlimited {
+			return b, fmt.Errorf("budget.timeout_ms %d is invalid (use -1 for unlimited)", bs.TimeoutMS)
+		}
+		if bs.TimeoutMS == resource.Unlimited {
+			b.Timeout = resource.Unlimited
+		} else {
+			b.Timeout = time.Duration(bs.TimeoutMS) * time.Millisecond
+		}
+	}
+	if bs.MaxIterations != 0 {
+		if bs.MaxIterations < resource.Unlimited {
+			return b, fmt.Errorf("budget.max_iterations %d is invalid (use -1 for unlimited)", bs.MaxIterations)
+		}
+		b.MaxIterations = bs.MaxIterations
+	}
+	// Server-side clamps: a client may not exceed the daemon's maxima,
+	// and "unlimited" means "the maximum" when one is configured.
+	if cfg.MaxNodeLimit > 0 && (b.NodeLimit <= 0 || b.NodeLimit > cfg.MaxNodeLimit) {
+		b.NodeLimit = cfg.MaxNodeLimit
+	}
+	if cfg.MaxTimeout > 0 && (b.Timeout <= 0 || b.Timeout > cfg.MaxTimeout) {
+		b.Timeout = cfg.MaxTimeout
+	}
+	return b.Norm(), nil
+}
+
+// options builds the engine options (observer excluded — the worker
+// attaches its own sink).
+func (os OptionsSpec) options() (verify.Options, error) {
+	opt := verify.Options{
+		Workers:   os.Workers,
+		WantTrace: os.WantTrace,
+		GCEvery:   os.GCEvery,
+		Core:      core.Options{GrowThreshold: os.GrowThreshold},
+	}
+	switch os.Termination {
+	case "", "exact":
+		opt.Termination = verify.TermExact
+	case "implication":
+		opt.Termination = verify.TermImplication
+	case "fast":
+		opt.Termination = verify.TermFast
+	default:
+		return opt, fmt.Errorf("unknown termination mode %q (exact, implication, fast)", os.Termination)
+	}
+	return opt, nil
+}

@@ -1,0 +1,140 @@
+package verify
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Observer-to-sink adapters: the Observer interface delivers typed
+// callbacks on the engine goroutine; a sink wants one uniform,
+// serializable stream it can buffer, broadcast, or write to a network
+// connection. Event is that envelope, SinkObserver the adapter, and
+// NDJSONObserver the ready-made "one JSON object per line" writer the
+// CLI and the icid event stream share.
+
+// Event kinds, the value of Event.Kind.
+const (
+	EventIteration    = "iteration"
+	EventMerge        = "merge"
+	EventTermResolved = "term_resolved"
+)
+
+// Event is the uniform envelope for one observer callback. Exactly one
+// of the payload pointers is set, matching Kind. The JSON form flattens
+// the payload into the envelope (see MarshalJSON), so a stream reads as
+//
+//	{"event":"iteration","method":"XICI","index":3,"shared_nodes":117}
+//	{"event":"merge","method":"XICI","iteration":3,"i":0,"j":2}
+type Event struct {
+	Kind   string // EventIteration, EventMerge, or EventTermResolved
+	Method string // the engine that produced the event, when known
+
+	Iteration *IterationEvent
+	Merge     *MergeEvent
+	Term      *TermEvent
+}
+
+// MarshalJSON flattens the set payload next to the envelope tags. One
+// envelope type per kind: MergeEvent and TermEvent both serialize an
+// "iteration" field, so a single struct embedding all three payloads
+// would make encoding/json drop the conflicting fields entirely.
+func (e Event) MarshalJSON() ([]byte, error) {
+	type tags struct {
+		Event  string `json:"event"`
+		Method string `json:"method,omitempty"`
+	}
+	tg := tags{Event: e.Kind, Method: e.Method}
+	switch {
+	case e.Iteration != nil:
+		return json.Marshal(struct {
+			tags
+			IterationEvent
+		}{tg, *e.Iteration})
+	case e.Merge != nil:
+		return json.Marshal(struct {
+			tags
+			MergeEvent
+		}{tg, *e.Merge})
+	case e.Term != nil:
+		return json.Marshal(struct {
+			tags
+			TermEvent
+		}{tg, *e.Term})
+	}
+	return json.Marshal(tg)
+}
+
+// SinkObserver adapts a function sink to the Observer interface: every
+// callback becomes one Event tagged with Method. The sink runs
+// synchronously on the engine goroutine — keep it cheap (append to a
+// buffer, send on a channel) and do not call back into the run's
+// Manager.
+type SinkObserver struct {
+	Method string
+	Sink   func(Event)
+}
+
+func (s SinkObserver) OnIteration(e IterationEvent) {
+	s.Sink(Event{Kind: EventIteration, Method: s.Method, Iteration: &e})
+}
+
+func (s SinkObserver) OnMerge(e MergeEvent) {
+	s.Sink(Event{Kind: EventMerge, Method: s.Method, Merge: &e})
+}
+
+func (s SinkObserver) OnTermResolved(e TermEvent) {
+	s.Sink(Event{Kind: EventTermResolved, Method: s.Method, Term: &e})
+}
+
+// NDJSONObserver writes every event as one JSON line to w. It is safe
+// for concurrent use — several runs may share one log file — and tags
+// each line with the method set by SetMethod. Encoding errors are
+// sticky and reported by Err (an event stream has no good in-band
+// error channel, and a failed sink must not abort a verification run).
+type NDJSONObserver struct {
+	mu     sync.Mutex
+	enc    *json.Encoder
+	method string
+	err    error
+}
+
+// NewNDJSONObserver returns an observer streaming NDJSON to w.
+func NewNDJSONObserver(w io.Writer) *NDJSONObserver {
+	return &NDJSONObserver{enc: json.NewEncoder(w)}
+}
+
+// SetMethod tags subsequent events with the given engine name.
+func (l *NDJSONObserver) SetMethod(m string) {
+	l.mu.Lock()
+	l.method = m
+	l.mu.Unlock()
+}
+
+// Err returns the first write error, if any.
+func (l *NDJSONObserver) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+func (l *NDJSONObserver) emit(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e.Method = l.method
+	if err := l.enc.Encode(e); err != nil && l.err == nil {
+		l.err = err
+	}
+}
+
+func (l *NDJSONObserver) OnIteration(e IterationEvent) {
+	l.emit(Event{Kind: EventIteration, Iteration: &e})
+}
+
+func (l *NDJSONObserver) OnMerge(e MergeEvent) {
+	l.emit(Event{Kind: EventMerge, Merge: &e})
+}
+
+func (l *NDJSONObserver) OnTermResolved(e TermEvent) {
+	l.emit(Event{Kind: EventTermResolved, Term: &e})
+}
