@@ -11,6 +11,14 @@
 //	icibench -json out.json # also write machine-readable results
 //	icibench -effort        # append effort counters to each text row
 //	icibench -pprof localhost:6060  # serve net/http/pprof while running
+//	icibench -workers 8 -shared  # cells score pairs concurrently on one shared manager
+//	icibench -speedup BENCH.json # run the speedup grid, write its JSON, and exit
+//
+// The -speedup grid compares sequential, per-worker-manager, and
+// shared-manager XICI runs cell by cell (schema "icibench-speedup/v1");
+// it exits 1 if any configuration disagrees on verdict or iteration
+// count, since the concurrent manager's contract is bit-identical
+// traversals.
 //
 // Each cell runs on a fresh BDD manager under a node/time budget playing
 // the role of the paper's "Exceeded 60MB" / "Exceeded 40 minutes" limits;
@@ -64,8 +72,16 @@ func main() {
 		jsonPath  = flag.String("json", "", "write machine-readable results to this path")
 		effort    = flag.Bool("effort", false, "append effort counters and phase times to each text row")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the grid's duration")
+		workers   = flag.Int("workers", 0, "in-cell scoring workers (0 = sequential scoring); with -shared they score against one concurrent manager")
+		shared    = flag.Bool("shared", false, "run every cell on a shared-memory concurrent manager (implies -workers 8 unless set)")
+		speedup   = flag.String("speedup", "", "run the parallel-vs-sequential speedup grid instead of the tables and write its JSON here")
+		reps      = flag.Int("reps", 3, "speedup grid: repetitions per configuration (best-of)")
 	)
 	flag.Parse()
+
+	if *shared && *workers == 0 {
+		*workers = 8
+	}
 
 	if *pprofAddr != "" {
 		go func() {
@@ -97,6 +113,22 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	if *speedup != "" {
+		rep := bench.RunSpeedup(ctx, os.Stdout, *workers, *reps, *quick, bench.DefaultBudget)
+		if err := rep.Write(*speedup); err != nil {
+			fmt.Fprintf(os.Stderr, "icibench: writing %s: %v\n", *speedup, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(wrote %s)\n", *speedup)
+		for _, c := range rep.Cells {
+			if !c.VerdictsAgree {
+				fmt.Fprintf(os.Stderr, "icibench: %s: configurations disagree on verdict or iterations\n", c.Group)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
 	report := &bench.Report{
 		Schema:    bench.ReportSchema,
 		Generated: time.Now().UTC().Format(time.RFC3339),
@@ -108,6 +140,14 @@ func main() {
 	run := func(t bench.Table, b bench.Budget) {
 		t = t.Filter(methods)
 		t.ShowEffort = *effort
+		if *workers != 0 || *shared {
+			for i := range t.Cells {
+				if t.Cells[i].Opt.Workers == 0 {
+					t.Cells[i].Opt.Workers = *workers
+				}
+				t.Cells[i].Opt.SharedManager = *shared
+			}
+		}
 		if len(t.Cells) == 0 {
 			return
 		}

@@ -10,6 +10,14 @@
 //	icifuzz -seed 1 -n 1000 -shrink -seeddir failures/
 //	icifuzz -replay failures/div-000.json # re-run one saved seed
 //	icifuzz -inject -n 50                 # self-test: a lying engine must be caught
+//	icifuzz -shared -n 200                # every instance on a concurrent manager
+//
+// A quarter of randomly drawn instances (and all of them under -shared)
+// are built on a shared-memory concurrent BDD manager, so the campaign
+// differentially tests the sharded unique table and striped cache
+// against the sequential manager and the explicit oracle; the
+// XICI/sharedscore ablation additionally scores pairs concurrently on
+// such instances.
 //
 // Reports are NDJSON on -out (default stdout): one line per divergent
 // instance (every line with -v), then one summary line. Output is
@@ -41,6 +49,7 @@ func main() {
 		verbose = flag.Bool("v", false, "report every instance, not only divergent ones")
 		oracleS = flag.Int("oracle-state-bits", 0, "explicit-oracle state-bit cap (0 = 12)")
 		oracleI = flag.Int("oracle-input-bits", 0, "explicit-oracle input-bit cap (0 = 6)")
+		shared  = flag.Bool("shared", false, "build every instance on a shared-memory concurrent manager (default: one in four)")
 	)
 	flag.Parse()
 
@@ -90,6 +99,9 @@ func main() {
 	verified, violated, abstained := 0, 0, 0
 	for i := 0; i < *n; i++ {
 		params := difftest.RandomParams(rng)
+		if *shared {
+			params.Shared = true
+		}
 		rep, err := runOne(params, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "icifuzz: instance %d: %v\n", i, err)

@@ -20,7 +20,13 @@
 //
 // All operations on a Manager panic with *LimitError when the node limit
 // is exceeded; use Guard to convert that panic into an error at an API
-// boundary. Managers are not safe for concurrent use.
+// boundary.
+//
+// Managers created by New/NewWithSize are not safe for concurrent use.
+// NewShared creates a Manager in shared-memory concurrent mode — sharded
+// unique table, striped computed cache, fork/join ParITE/ParAndN/
+// ParAndExists — whose operations may run from many goroutines at once;
+// see shared.go and DESIGN.md §12 for the concurrency contract.
 package bdd
 
 import (
@@ -132,6 +138,22 @@ type Manager struct {
 	// permRoots records the Refs already registered through
 	// ProtectPermanent, making that registration idempotent per manager.
 	permRoots map[Ref]struct{}
+
+	// shared is non-nil iff the Manager is in shared-memory concurrent
+	// mode (NewShared). When set, node storage, the unique table, and the
+	// computed cache live in the sharded structures of shared.go and the
+	// fields nodes/free/buckets/cache above are unused; every access site
+	// dispatches on this single nil check, so the sequential paths are
+	// byte-for-byte the pre-existing code.
+	shared *sharedState
+
+	// Transfer memo scratch (satellite: slice-indexed memo with a
+	// generation stamp instead of a per-call map). Owned by the
+	// DESTINATION manager of a Transfer, which is always goroutine-private
+	// even when several workers transfer from one shared source at once.
+	xferVal []Ref
+	xferGen []uint32
+	xferCur uint32
 }
 
 // DefaultCacheBits is the log2 of the default computed-cache size.
@@ -170,15 +192,35 @@ func (m *Manager) NodeLimit() int { return m.nodeLimit }
 func (m *Manager) NumVars() int { return len(m.varNames) }
 
 // NumNodes returns the number of live nodes, including the terminal.
-func (m *Manager) NumNodes() int { return m.stats.Nodes }
+func (m *Manager) NumNodes() int {
+	if s := m.shared; s != nil {
+		return int(s.nodeCount.Load())
+	}
+	return m.stats.Nodes
+}
 
 // PeakNodes returns the high-water mark of live nodes.
-func (m *Manager) PeakNodes() int { return m.stats.PeakNodes }
+func (m *Manager) PeakNodes() int {
+	if s := m.shared; s != nil {
+		return int(s.peakNodes.Load())
+	}
+	return m.stats.PeakNodes
+}
 
-// Stats returns a snapshot of the Manager's counters.
+// Stats returns a snapshot of the Manager's counters. On a shared-mode
+// Manager the atomic counters are folded in; calling it concurrently with
+// running operations yields a consistent-enough snapshot for reporting
+// (each counter is individually atomic, the set is not).
 func (m *Manager) Stats() Stats {
 	s := m.stats
 	s.Vars = len(m.varNames)
+	if sh := m.shared; sh != nil {
+		s.Nodes = int(sh.nodeCount.Load())
+		s.PeakNodes = int(sh.peakNodes.Load())
+		s.CacheLookups = sh.lookups.Load()
+		s.CacheHits = sh.hits.Load()
+		s.UniqueHits = sh.uniqueHits.Load()
+	}
 	return s
 }
 
@@ -189,6 +231,9 @@ func (m *Manager) Stats() Stats {
 // the same structures).
 func (m *Manager) MemEstimate() int {
 	const nodeBytes = 20 // level + low + high + next + refs
+	if s := m.shared; s != nil {
+		return s.memEstimate()
+	}
 	return m.stats.PeakNodes*nodeBytes + len(m.buckets)*4 + m.cache.memBytes()
 }
 
@@ -230,9 +275,20 @@ func (m *Manager) VarRef(v Var) Ref {
 // NVarRef returns the negation of variable v.
 func (m *Manager) NVarRef(v Var) Ref { return m.VarRef(v).Not() }
 
+// at returns the node record for the given index. It is the single
+// dispatch point between the two storage layouts: a flat append-grown
+// slice in sequential mode, sharded chunked arenas (whose published node
+// memory never moves, so concurrent readers are safe) in shared mode.
+func (m *Manager) at(idx uint32) *node {
+	if s := m.shared; s != nil {
+		return s.nodeAt(idx)
+	}
+	return &m.nodes[idx]
+}
+
 // Level returns the ordering level of the top variable of r, or
 // math.MaxUint32 for constants.
-func (m *Manager) Level(r Ref) uint32 { return m.nodes[r.index()].level }
+func (m *Manager) Level(r Ref) uint32 { return m.at(r.index()).level }
 
 // TopVar returns the top variable of r. It panics on constants.
 func (m *Manager) TopVar(r Ref) Var {
@@ -246,7 +302,7 @@ func (m *Manager) TopVar(r Ref) Var {
 // Low returns the else-cofactor of r with respect to its own top
 // variable, accounting for r's complement mark. It panics on constants.
 func (m *Manager) Low(r Ref) Ref {
-	n := &m.nodes[r.index()]
+	n := m.at(r.index())
 	if n.level == terminalLevel {
 		panic("bdd: Low of constant")
 	}
@@ -256,7 +312,7 @@ func (m *Manager) Low(r Ref) Ref {
 // High returns the then-cofactor of r with respect to its own top
 // variable, accounting for r's complement mark. It panics on constants.
 func (m *Manager) High(r Ref) Ref {
-	n := &m.nodes[r.index()]
+	n := m.at(r.index())
 	if n.level == terminalLevel {
 		panic("bdd: High of constant")
 	}
@@ -266,7 +322,7 @@ func (m *Manager) High(r Ref) Ref {
 // cofactor returns the two cofactors of r with respect to the variable at
 // level. If r's top variable is below level, both cofactors are r itself.
 func (m *Manager) cofactor(r Ref, level uint32) (lo, hi Ref) {
-	n := &m.nodes[r.index()]
+	n := m.at(r.index())
 	if n.level != level {
 		return r, r
 	}
@@ -307,6 +363,9 @@ func (m *Manager) mk(level uint32, low, high Ref) Ref {
 		out = 1
 		low ^= 1
 		high ^= 1
+	}
+	if s := m.shared; s != nil {
+		return s.mk(m, level, low, high) ^ out
 	}
 
 	h := hash3(level, low, high) & m.bucketMask

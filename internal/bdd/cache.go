@@ -15,12 +15,19 @@ const (
 	opCofactor
 )
 
-// cacheEntry memoizes one (op, f, g, h) -> result quadruple.
+// cacheEntry memoizes one (op, f, g, h) -> result quadruple. An entry is
+// valid only while its epoch matches the cache's current epoch: clearing
+// the cache is a single epoch bump rather than an O(size) sweep (see
+// clear). Zeroed entries carry epoch 0, which is never current.
 type cacheEntry struct {
 	op      uint32
 	f, g, h Ref
 	res     Ref
+	epoch   uint32
 }
+
+// cacheEntryBytes is the in-memory size of a cacheEntry, for MemEstimate.
+const cacheEntryBytes = 24
 
 // computedCache is a direct-mapped cache: colliding entries overwrite each
 // other. This is the classical BDD-package design — correctness never
@@ -28,6 +35,10 @@ type cacheEntry struct {
 type computedCache struct {
 	entries []cacheEntry
 	mask    uint32
+
+	// cur is the current epoch; entries stamped with an older epoch are
+	// stale. It starts at 1 so zeroed entries (epoch 0) are born invalid.
+	cur uint32
 }
 
 func (c *computedCache) init(bits uint) {
@@ -36,18 +47,33 @@ func (c *computedCache) init(bits uint) {
 	}
 	c.entries = make([]cacheEntry, 1<<bits)
 	c.mask = uint32(len(c.entries) - 1)
+	c.cur = 1
 }
 
 func (c *computedCache) memBytes() int {
-	return len(c.entries) * 20
+	return len(c.entries) * cacheEntryBytes
 }
 
 // clear invalidates every entry (used after GC, when node indices may be
-// reused for different functions).
+// reused for different functions). It bumps the epoch instead of sweeping
+// the array: a GC-heavy run with a 2^23-entry cache would otherwise spend
+// its inter-iteration pauses writing 200MB of tags. On the (once per 2^32
+// clears) epoch wraparound the full sweep runs to retire entries whose
+// ancient stamps would otherwise read as current again.
 func (c *computedCache) clear() {
-	for i := range c.entries {
-		c.entries[i].op = opNone
+	c.cur++
+	if c.cur == 0 {
+		c.sweep()
 	}
+}
+
+// sweep is the eager O(size) invalidation clear used to perform; it now
+// backs only the epoch-wraparound path (and benchmarks).
+func (c *computedCache) sweep() {
+	for i := range c.entries {
+		c.entries[i] = cacheEntry{op: opNone}
+	}
+	c.cur = 1
 }
 
 // cacheHash mixes an operation tag and its operands into a cache index.
@@ -74,6 +100,9 @@ func cacheHash(op uint32, f, g, h Ref) uint32 {
 // spin through already-allocated nodes indefinitely without ever calling
 // alloc, so the allocation-side check alone would never fire.
 func (m *Manager) cacheLookup(op uint32, f, g, h Ref) (Ref, bool) {
+	if s := m.shared; s != nil {
+		return s.cacheLookup(m, op, f, g, h)
+	}
 	m.stats.CacheLookups++
 	if !m.deadline.IsZero() && m.stats.CacheLookups%deadlineStride == 0 {
 		if time.Now().After(m.deadline) {
@@ -81,7 +110,7 @@ func (m *Manager) cacheLookup(op uint32, f, g, h Ref) (Ref, bool) {
 		}
 	}
 	e := &m.cache.entries[cacheHash(op, f, g, h)&m.cache.mask]
-	if e.op == op && e.f == f && e.g == g && e.h == h {
+	if e.epoch == m.cache.cur && e.op == op && e.f == f && e.g == g && e.h == h {
 		m.stats.CacheHits++
 		return e.res, true
 	}
@@ -90,6 +119,10 @@ func (m *Manager) cacheLookup(op uint32, f, g, h Ref) (Ref, bool) {
 
 // cacheStore records a computed result.
 func (m *Manager) cacheStore(op uint32, f, g, h, res Ref) {
+	if s := m.shared; s != nil {
+		s.cacheStore(op, f, g, h, res)
+		return
+	}
 	e := &m.cache.entries[cacheHash(op, f, g, h)&m.cache.mask]
-	*e = cacheEntry{op: op, f: f, g: g, h: h, res: res}
+	*e = cacheEntry{op: op, f: f, g: g, h: h, res: res, epoch: m.cache.cur}
 }

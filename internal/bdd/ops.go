@@ -62,8 +62,13 @@ func (m *Manager) OrN(fs ...Ref) Ref {
 	return acc
 }
 
-// ite is the memoized recursion behind every connective.
-func (m *Manager) ite(f, g, h Ref) Ref {
+// iteNormal applies the terminal cases and normalization rules shared by
+// the sequential (ite) and parallel (parIte) recursions. When the call
+// resolves without recursing it returns done=true with the result;
+// otherwise it returns the canonicalized triple (first argument and
+// then-argument uncomplemented) and the complement bit to apply to the
+// recursion's result.
+func (m *Manager) iteNormal(f, g, h Ref) (cf, cg, ch, outc, res Ref, done bool) {
 	// Collapse operand coincidences first; they both terminate the
 	// recursion early and improve normalization below.
 	if f == g {
@@ -80,15 +85,15 @@ func (m *Manager) ite(f, g, h Ref) Ref {
 	// Terminal cases.
 	switch {
 	case f == One:
-		return g
+		return 0, 0, 0, 0, g, true
 	case f == Zero:
-		return h
+		return 0, 0, 0, 0, h, true
 	case g == h:
-		return g
+		return 0, 0, 0, 0, g, true
 	case g == One && h == Zero:
-		return f
+		return 0, 0, 0, 0, f, true
 	case g == Zero && h == One:
-		return f.Not()
+		return 0, 0, 0, 0, f.Not(), true
 	}
 
 	// Normalization: for the commutative forms, put the operand with the
@@ -124,17 +129,16 @@ func (m *Manager) ite(f, g, h Ref) Ref {
 		g, h = h, g
 	}
 	// ...and then-argument uncomplemented (complement the output).
-	var outc Ref
 	if g.complement() {
 		outc = 1
 		g = g.Not()
 		h = h.Not()
 	}
+	return f, g, h, outc, 0, false
+}
 
-	if r, ok := m.cacheLookup(opITE, f, g, h); ok {
-		return r ^ outc
-	}
-
+// iteTop returns the topmost level among the (non-constant) operands.
+func (m *Manager) iteTop(f, g, h Ref) uint32 {
 	top := m.Level(f)
 	if l := m.Level(g); l < top {
 		top = l
@@ -142,7 +146,21 @@ func (m *Manager) ite(f, g, h Ref) Ref {
 	if l := m.Level(h); l < top {
 		top = l
 	}
+	return top
+}
 
+// ite is the memoized recursion behind every connective.
+func (m *Manager) ite(f, g, h Ref) Ref {
+	f, g, h, outc, res, done := m.iteNormal(f, g, h)
+	if done {
+		return res
+	}
+
+	if r, ok := m.cacheLookup(opITE, f, g, h); ok {
+		return r ^ outc
+	}
+
+	top := m.iteTop(f, g, h)
 	f0, f1 := m.cofactor(f, top)
 	g0, g1 := m.cofactor(g, top)
 	h0, h1 := m.cofactor(h, top)

@@ -1,0 +1,183 @@
+package bdd
+
+// Fork/join parallel variants of the core recursions. Each Par* entry
+// point degrades gracefully: on a sequential manager (or a shared one
+// sized for a single worker) it IS the sequential operation, so callers
+// up the stack (fsm image computation, the core merge policy) can route
+// through Par* unconditionally.
+//
+// The parallelization is the standard one for BDD packages (Sylvan): the
+// low/high cofactor sub-calls of a recursion step are independent, so
+// fork them — but only in the top forkDepth levels, where sub-problems
+// are big enough to amortize a goroutine handoff. Below the cutoff the
+// recursion continues on the plain sequential functions, which share the
+// same (concurrent) unique table and computed cache, so the two halves
+// of the recursion cooperate through memoization exactly as one.
+//
+// Determinism: within one manager equal functions have equal Refs
+// regardless of interleaving (the unique table canonicalizes), so a Par*
+// call returns the exact Ref its sequential counterpart would. Only
+// statistics and internal allocation order vary between runs.
+
+// ParITE is the fork/join parallel form of ITE. It returns exactly
+// ITE(f, g, h) — the same Ref — scheduling independent cofactor
+// sub-calls onto the manager's bounded fork pool.
+func (m *Manager) ParITE(f, g, h Ref) Ref {
+	s := m.shared
+	if s == nil || s.forkDepth <= 0 || s.fork.Size() < 2 {
+		return m.ite(f, g, h)
+	}
+	s.beginOp()
+	defer s.endOp()
+	return m.parIte(f, g, h, 0)
+}
+
+// ParAnd returns the conjunction of f and g, computed in parallel.
+func (m *Manager) ParAnd(f, g Ref) Ref { return m.ParITE(f, g, Zero) }
+
+// ParOr returns the disjunction of f and g, computed in parallel.
+func (m *Manager) ParOr(f, g Ref) Ref { return m.ParITE(f, One, g) }
+
+// ParAndN folds And over its arguments as a balanced parallel reduction
+// tree (AndN's linear fold would serialize the whole conjunction);
+// ParAndN() is One. The result Ref is identical to AndN's by canonicity.
+func (m *Manager) ParAndN(fs ...Ref) Ref {
+	s := m.shared
+	if s == nil || s.forkDepth <= 0 || s.fork.Size() < 2 {
+		return m.AndN(fs...)
+	}
+	s.beginOp()
+	defer s.endOp()
+	return m.parAndRange(fs, 0)
+}
+
+func (m *Manager) parAndRange(fs []Ref, depth int) Ref {
+	switch len(fs) {
+	case 0:
+		return One
+	case 1:
+		return fs[0]
+	case 2:
+		return m.parIte(fs[0], fs[1], Zero, depth)
+	}
+	mid := len(fs) / 2
+	var a, b Ref
+	if depth < m.shared.forkDepth {
+		m.shared.fork.Do(
+			func() { a = m.parAndRange(fs[:mid], depth+1) },
+			func() { b = m.parAndRange(fs[mid:], depth+1) },
+		)
+	} else {
+		a = m.parAndRange(fs[:mid], depth+1)
+		b = m.parAndRange(fs[mid:], depth+1)
+	}
+	if a == Zero || b == Zero {
+		return Zero
+	}
+	return m.parIte(a, b, Zero, depth)
+}
+
+// ParAndExists is the fork/join parallel relational product: exactly
+// AndExists(f, g, cube), with cofactor sub-calls forked above the
+// cutoff. This is the workhorse behind parallel image computation.
+func (m *Manager) ParAndExists(f, g, cube Ref) Ref {
+	s := m.shared
+	if s == nil || s.forkDepth <= 0 || s.fork.Size() < 2 {
+		return m.andExists(f, g, cube)
+	}
+	s.beginOp()
+	defer s.endOp()
+	return m.parAndExists(f, g, cube, 0)
+}
+
+// parIte mirrors ite with forked cofactor sub-calls above the cutoff.
+func (m *Manager) parIte(f, g, h Ref, depth int) Ref {
+	if depth >= m.shared.forkDepth {
+		return m.ite(f, g, h)
+	}
+	f, g, h, outc, res, done := m.iteNormal(f, g, h)
+	if done {
+		return res
+	}
+	if r, ok := m.cacheLookup(opITE, f, g, h); ok {
+		return r ^ outc
+	}
+
+	top := m.iteTop(f, g, h)
+	f0, f1 := m.cofactor(f, top)
+	g0, g1 := m.cofactor(g, top)
+	h0, h1 := m.cofactor(h, top)
+
+	var lo, hi Ref
+	m.shared.fork.Do(
+		func() { lo = m.parIte(f0, g0, h0, depth+1) },
+		func() { hi = m.parIte(f1, g1, h1, depth+1) },
+	)
+	r := m.mk(top, lo, hi)
+	m.cacheStore(opITE, f, g, h, r)
+	return r ^ outc
+}
+
+// parAndExists mirrors andExists with forked cofactor sub-calls. The
+// sequential version's early exit (skip the high branch when the low
+// branch quantifies to One) is necessarily forgone on forked steps; the
+// cache keeps the redundant work bounded.
+func (m *Manager) parAndExists(f, g, cube Ref, depth int) Ref {
+	if depth >= m.shared.forkDepth {
+		return m.andExists(f, g, cube)
+	}
+	// Terminal and coincidence cases (as andExists).
+	switch {
+	case f == Zero || g == Zero || f == g.Not():
+		return Zero
+	case f == One && g == One:
+		return One
+	case f == One || f == g:
+		return m.Exists(g, cube)
+	case g == One:
+		return m.Exists(f, cube)
+	}
+	if cube == One {
+		return m.parIte(f, g, Zero, depth)
+	}
+	if f.index() > g.index() {
+		f, g = g, f
+	}
+
+	top := m.Level(f)
+	if l := m.Level(g); l < top {
+		top = l
+	}
+	for !cube.IsConst() && m.Level(cube) < top {
+		cube = m.High(cube)
+	}
+	if cube == One {
+		return m.parIte(f, g, Zero, depth)
+	}
+
+	if r, ok := m.cacheLookup(opAndExists, f, g, cube); ok {
+		return r
+	}
+
+	f0, f1 := m.cofactor(f, top)
+	g0, g1 := m.cofactor(g, top)
+	var r Ref
+	if m.Level(cube) == top {
+		rest := m.High(cube)
+		var r0, r1 Ref
+		m.shared.fork.Do(
+			func() { r0 = m.parAndExists(f0, g0, rest, depth+1) },
+			func() { r1 = m.parAndExists(f1, g1, rest, depth+1) },
+		)
+		r = m.parIte(r0, One, r1, depth)
+	} else {
+		var lo, hi Ref
+		m.shared.fork.Do(
+			func() { lo = m.parAndExists(f0, g0, cube, depth+1) },
+			func() { hi = m.parAndExists(f1, g1, cube, depth+1) },
+		)
+		r = m.mk(top, lo, hi)
+	}
+	m.cacheStore(opAndExists, f, g, cube, r)
+	return r
+}

@@ -1,0 +1,435 @@
+package bdd
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// Deterministic byte programs (see fuzzFormula) used to populate
+// managers with moderately interesting functions.
+var sharedPrograms = [][]byte{
+	{0, 8, 3, 16, 4},
+	{0, 8, 4, 16, 5, 24, 3},
+	{7, 15, 3, 0, 6, 32, 4},
+	{1, 9, 17, 4, 4, 25, 5},
+	{2, 10, 5, 18, 3, 26, 4, 34, 5},
+	{0, 16, 5, 8, 6, 3},
+	{33, 25, 4, 17, 3, 9, 5},
+	{4, 12, 20, 3, 3, 28, 4},
+}
+
+// TestSharedMatchesSequential replays every program pair on a sequential
+// and a concurrent manager and compares truth tables, plus the Ref-level
+// canonicity between sequential and parallel recursions on the shared
+// side.
+func TestSharedMatchesSequential(t *testing.T) {
+	for i, pa := range sharedPrograms {
+		for j, pb := range sharedPrograms {
+			m, vars := fuzzManager()
+			fa, ta := fuzzFormula(m, vars, pa)
+			fb, tb := fuzzFormula(m, vars, pb)
+			want := fuzzEvalTable(m, m.And(fa, fb))
+			if want != ta&tb {
+				t.Fatalf("oracle self-check failed")
+			}
+
+			sm, svars := fuzzSharedManager()
+			sa, _ := fuzzFormula(sm, svars, pa)
+			sb, _ := fuzzFormula(sm, svars, pb)
+			seq := sm.And(sa, sb)
+			par := sm.ParAnd(sa, sb)
+			if seq != par {
+				t.Fatalf("programs %d,%d: ParAnd Ref %v != And Ref %v", i, j, par, seq)
+			}
+			if got := fuzzEvalTable(sm, seq); got != want {
+				t.Fatalf("programs %d,%d: table %08x, want %08x", i, j, got, want)
+			}
+			if err := sm.CheckInvariants(); err != nil {
+				t.Fatalf("programs %d,%d: %v", i, j, err)
+			}
+		}
+	}
+}
+
+// TestSharedParOpsRefIdentity checks, on one shared manager, that every
+// Par* entry point returns the exact Ref of its sequential counterpart —
+// the canonicity property the whole SharedManager mode rests on — at
+// several fork cutoffs including 0 (forking disabled).
+func TestSharedParOpsRefIdentity(t *testing.T) {
+	for _, depth := range []int{0, 1, 3, 8} {
+		t.Run(fmt.Sprintf("forkDepth=%d", depth), func(t *testing.T) {
+			m := NewShared(4, 12)
+			m.SetForkDepth(depth)
+			vars := m.NewVars("x", fuzzVars)
+
+			var fs []Ref
+			for _, p := range sharedPrograms {
+				f, _ := fuzzFormula(m, vars, p)
+				fs = append(fs, f)
+			}
+
+			for i := 0; i < len(fs); i++ {
+				for j := i + 1; j < len(fs); j++ {
+					f, g := fs[i], fs[j]
+					if got, want := m.ParITE(f, g, fs[0]), m.ITE(f, g, fs[0]); got != want {
+						t.Fatalf("ParITE %v != ITE %v", got, want)
+					}
+					cube := m.MkCube([]Var{vars[1], vars[3]})
+					if got, want := m.ParAndExists(f, g, cube), m.AndExists(f, g, cube); got != want {
+						t.Fatalf("ParAndExists %v != AndExists %v", got, want)
+					}
+				}
+			}
+			if got, want := m.ParAndN(fs...), m.AndN(fs...); got != want {
+				t.Fatalf("ParAndN %v != AndN %v", got, want)
+			}
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSharedConcurrentClients hammers one shared manager from many
+// goroutines at once — the usage mode the sequential manager forbids —
+// and then checks every result against a per-goroutine sequential
+// oracle. Under -race this is the primary data-structure stress test.
+func TestSharedConcurrentClients(t *testing.T) {
+	const goroutines = 8
+	sm := NewShared(goroutines, 12)
+	sm.SetForkDepth(3)
+	svars := sm.NewVars("x", fuzzVars)
+
+	results := make([]Ref, goroutines)
+	tables := make([]uint32, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			pa := sharedPrograms[g%len(sharedPrograms)]
+			pb := sharedPrograms[(g+3)%len(sharedPrograms)]
+			fa, ta := fuzzFormula(sm, svars, pa)
+			fb, tb := fuzzFormula(sm, svars, pb)
+			var r Ref
+			if g%2 == 0 {
+				r = sm.ParAnd(fa, fb)
+			} else {
+				r = sm.ParITE(fa, One, fb) // Or
+			}
+			results[g] = r
+			if g%2 == 0 {
+				tables[g] = ta & tb
+			} else {
+				tables[g] = ta | tb
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	for g := 0; g < goroutines; g++ {
+		if got := fuzzEvalTable(sm, results[g]); got != tables[g] {
+			t.Fatalf("goroutine %d: table %08x, want %08x", g, got, tables[g])
+		}
+	}
+	if err := sm.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSharedGC checks mark/sweep on the sharded table: protected roots
+// survive with their functions intact, garbage is reclaimed onto the
+// shard free lists, and freed slots are reused by later operations.
+func TestSharedGC(t *testing.T) {
+	m := NewShared(2, 12)
+	vars := m.NewVars("x", fuzzVars)
+
+	keep, keepTable := fuzzFormula(m, vars, sharedPrograms[0])
+	m.Protect(keep)
+	for _, p := range sharedPrograms[1:] {
+		f, _ := fuzzFormula(m, vars, p) // garbage
+		_ = f
+	}
+	before := m.NumNodes()
+	freed := m.GC()
+	if freed <= 0 {
+		t.Fatalf("GC freed nothing (had %d nodes)", before)
+	}
+	if got := m.NumNodes(); got != before-freed {
+		t.Fatalf("NumNodes %d after freeing %d of %d", got, freed, before)
+	}
+	if got := fuzzEvalTable(m, keep); got != keepTable {
+		t.Fatalf("protected function damaged by GC: %08x want %08x", got, keepTable)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Freed slots must be reusable: rebuild the garbage and re-verify.
+	f2, t2 := fuzzFormula(m, vars, sharedPrograms[1])
+	if got := fuzzEvalTable(m, f2); got != t2 {
+		t.Fatalf("post-GC rebuild wrong: %08x want %08x", got, t2)
+	}
+	st := m.Stats()
+	if st.GCs != 1 || st.FreedNodes != freed {
+		t.Fatalf("stats GCs=%d FreedNodes=%d, want 1/%d", st.GCs, st.FreedNodes, freed)
+	}
+}
+
+// TestSharedGCDefersUnderOps checks the stop-the-world guard: while a
+// parallel entry point is in flight, GC refuses to run and counts the
+// deferral; at quiescence it proceeds.
+func TestSharedGCDefersUnderOps(t *testing.T) {
+	m := NewShared(2, 10)
+	vars := m.NewVars("x", fuzzVars)
+	f, _ := fuzzFormula(m, vars, sharedPrograms[0])
+	_ = f
+
+	m.shared.beginOp() // simulate an in-flight ParITE
+	if freed := m.GC(); freed != 0 {
+		t.Fatalf("GC ran under in-flight op (freed %d)", freed)
+	}
+	if m.GCDeferred() != 1 {
+		t.Fatalf("GCDeferred = %d, want 1", m.GCDeferred())
+	}
+	m.shared.endOp()
+	m.GC() // must not defer now
+	if m.GCDeferred() != 1 {
+		t.Fatalf("GCDeferred moved at quiescence: %d", m.GCDeferred())
+	}
+}
+
+// TestSharedNodeLimit checks that the concurrent allocator honors the
+// node limit with the same typed panic/Guard contract as sequential.
+func TestSharedNodeLimit(t *testing.T) {
+	m := NewShared(2, 10)
+	vars := m.NewVars("x", fuzzVars)
+	m.SetNodeLimit(4)
+	err := Guard(func() {
+		for _, p := range sharedPrograms {
+			fuzzFormula(m, vars, p)
+		}
+	})
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("err = %v, want *LimitError", err)
+	}
+	m.SetNodeLimit(0)
+	if _, tt := fuzzFormula(m, vars, sharedPrograms[0]); tt == 0 && false {
+		t.Fatal("unreachable")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("manager unusable after limit abort: %v", err)
+	}
+}
+
+// TestSharedShardGrowth pushes enough distinct nodes through one manager
+// to force per-shard bucket growth and multiple arena chunks, then
+// validates structure. fuzzVars functions are too small for that, so
+// build wide disjunctions over many variables.
+func TestSharedShardGrowth(t *testing.T) {
+	m := NewShared(2, 14)
+	const n = 64
+	vars := m.NewVars("y", n)
+	// Build all prefix ORs and suffix ANDs: O(n^2) distinct nodes spread
+	// across levels, comfortably above the 128-bucket/shard initial size.
+	var fs []Ref
+	for i := 0; i < n; i++ {
+		acc := Zero
+		for j := i; j < n; j++ {
+			acc = m.Or(acc, m.And(m.VarRef(vars[j]), m.VarRef(vars[(j+7)%n])))
+		}
+		fs = append(fs, acc)
+	}
+	if got := m.ParAndN(fs...); got != m.AndN(fs...) {
+		t.Fatal("ParAndN diverged from AndN after growth")
+	}
+	if m.NumNodes() < 1000 {
+		t.Fatalf("growth test underpowered: %d nodes", m.NumNodes())
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVarMismatchError (satellite fix): a worker snapshots the parent's
+// variables at creation; transferring a function whose support includes
+// a variable declared afterwards must fail with the typed error, not
+// silently diverge.
+func TestVarMismatchError(t *testing.T) {
+	m := New()
+	a := m.NewVar("a")
+	w := m.NewWorker() // snapshot: {a}
+	b := m.NewVar("b") // parent diverges
+	f := m.And(m.VarRef(a), m.VarRef(b))
+
+	defer func() {
+		r := recover()
+		ve, ok := r.(*VarMismatchError)
+		if !ok {
+			t.Fatalf("panic value %v (%T), want *VarMismatchError", r, r)
+		}
+		if ve.Var != b || ve.DstVars != 1 || ve.SrcVars != 2 {
+			t.Fatalf("error fields %+v, want Var=%d DstVars=1 SrcVars=2", ve, b)
+		}
+		if ve.Error() == "" {
+			t.Fatal("empty error string")
+		}
+	}()
+	Transfer(w, m, f, nil)
+	t.Fatal("Transfer succeeded past the worker's variable snapshot")
+}
+
+// TestVarMismatchOKOnOldSupport: the check is support-precise — a
+// function untouched by post-snapshot variables still transfers.
+func TestVarMismatchOKOnOldSupport(t *testing.T) {
+	m := New()
+	a := m.NewVar("a")
+	w := m.NewWorker()
+	m.NewVar("b")
+	f := m.VarRef(a)
+	if got := Transfer(w, m, f, nil); got != w.VarRef(a) {
+		t.Fatalf("Transfer of old-support function wrong: %v", got)
+	}
+}
+
+// TestTransferMemoReuse: repeated transfers into one destination reuse
+// the generation-stamped scratch and stay correct (the bug mode would be
+// a stale memo entry surviving a generation bump).
+func TestTransferMemoReuse(t *testing.T) {
+	m, vars := fuzzManager()
+	w := m.NewWorker()
+	for i, p := range sharedPrograms {
+		f, table := fuzzFormula(m, vars, p)
+		got := Transfer(w, m, f, nil)
+		if gt := fuzzEvalTable(w, got); gt != table {
+			t.Fatalf("transfer %d: table %08x want %08x", i, gt, table)
+		}
+		if back := Transfer(m, w, got, nil); back != f {
+			t.Fatalf("transfer %d: round trip moved Ref", i)
+		}
+	}
+}
+
+// TestCacheEpochClear (satellite): clear is an epoch bump that
+// invalidates hits, and the uint32 wraparound falls back to a sweep
+// rather than resurrecting entries stamped 2^32 clears ago.
+func TestCacheEpochClear(t *testing.T) {
+	var c computedCache
+	c.init(8)
+	c.entries[5] = cacheEntry{op: opITE, f: 2, g: 4, h: 6, res: 8, epoch: c.cur}
+	c.clear()
+	if e := &c.entries[5]; e.epoch == c.cur {
+		t.Fatal("entry survived clear")
+	}
+
+	// Wraparound: an ancient entry stamped with what will become the
+	// current epoch again must be swept away.
+	c.cur = ^uint32(0) - 1
+	c.entries[7] = cacheEntry{op: opITE, f: 1, g: 3, h: 5, res: 7, epoch: 1}
+	c.clear() // cur -> MaxUint32
+	c.clear() // wraps -> sweep -> cur 1
+	if c.cur != 1 {
+		t.Fatalf("post-wrap epoch %d, want 1", c.cur)
+	}
+	if e := &c.entries[7]; e.epoch == c.cur || e.op != opNone {
+		t.Fatal("ancient entry resurrected by epoch wraparound")
+	}
+}
+
+// TestSequentialCacheStillHits guards the epoch refactor against the
+// trivial regression: stores made before any clear must still hit.
+func TestSequentialCacheStillHits(t *testing.T) {
+	m, vars := fuzzManager()
+	f, _ := fuzzFormula(m, vars, sharedPrograms[0])
+	g, _ := fuzzFormula(m, vars, sharedPrograms[1])
+	m.And(f, g)
+	before := m.Stats().CacheHits
+	m.And(f, g)
+	if m.Stats().CacheHits == before {
+		t.Fatal("no cache hit on repeated And: epoch tagging broke stores")
+	}
+}
+
+// BenchmarkCacheClear (satellite): epoch-bump clear versus the old full
+// sweep, at the adaptive cache's maximum size.
+func BenchmarkCacheClear(b *testing.B) {
+	var c computedCache
+	c.init(maxCacheBits)
+	b.Run("epoch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.clear()
+			if c.cur == 0 {
+				b.Fatal("unreachable")
+			}
+		}
+	})
+	b.Run("sweep", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.sweep()
+		}
+	})
+}
+
+// mapTransfer is the pre-satellite map-memo Transfer, kept here as the
+// benchmark baseline.
+func mapTransfer(dst, src *Manager, f Ref) Ref {
+	memo := make(map[Ref]Ref)
+	var cp func(f Ref) Ref
+	cp = func(f Ref) Ref {
+		if f == One || f == Zero {
+			return f
+		}
+		reg := f &^ 1
+		if r, ok := memo[reg]; ok {
+			return r ^ (f & 1)
+		}
+		v := Var(src.Level(reg))
+		lo := cp(src.Low(reg))
+		hi := cp(src.High(reg))
+		r := dst.ite(dst.VarRef(v), hi, lo)
+		memo[reg] = r
+		return r ^ (f & 1)
+	}
+	return cp(f)
+}
+
+// benchTransferSource builds a source manager with a moderately large
+// function (a disjunction of variable pairs over 24 variables).
+func benchTransferSource() (*Manager, Ref) {
+	m := New()
+	vars := m.NewVars("x", 24)
+	f := Zero
+	for i := 0; i < len(vars); i++ {
+		f = m.Or(f, m.And(m.VarRef(vars[i]), m.VarRef(vars[(i+5)%len(vars)])))
+	}
+	return m, f
+}
+
+// BenchmarkTransfer (satellite): generation-stamped slice memo versus
+// the old per-call map memo. The "slice" case is the production path.
+func BenchmarkTransfer(b *testing.B) {
+	src, f := benchTransferSource()
+	b.Run("slice", func(b *testing.B) {
+		dst := src.NewWorker()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if Transfer(dst, src, f, nil) == Zero {
+				b.Fatal("unreachable")
+			}
+		}
+	})
+	b.Run("map", func(b *testing.B) {
+		dst := src.NewWorker()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if mapTransfer(dst, src, f) == Zero {
+				b.Fatal("unreachable")
+			}
+		}
+	})
+}

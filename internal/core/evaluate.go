@@ -73,6 +73,17 @@ type Options struct {
 	// bit-identical (pointwise-equal Refs) to the sequential one; see
 	// the determinism note on EvaluateGreedy.
 	Workers int
+
+	// SharedManager selects the zero-hand-off parallel scoring path:
+	// workers score and merge pairs directly against the list's own
+	// Manager, with no per-worker mirrors and no bdd.Transfer (see
+	// greedy_shared.go). It takes effect only when Workers != 0, the
+	// list's Manager is in shared-memory concurrent mode (bdd.NewShared),
+	// and PairBudgetFactor is 0 (bdd.AndBounded mutates the manager-wide
+	// node limit and so cannot run concurrently); otherwise evaluation
+	// falls back to the per-worker-manager path, which remains fully
+	// supported — the differential fuzzer cross-checks the two.
+	SharedManager bool
 }
 
 func (o Options) threshold() float64 {
@@ -178,9 +189,12 @@ func EvaluateGreedy(l List, opt Options) List {
 		return NewList(m, cs...)
 	}
 	var sc pairScorer
-	if opt.Workers != 0 {
+	switch {
+	case opt.Workers != 0 && opt.SharedManager && m.IsShared() && opt.PairBudgetFactor == 0:
+		sc = newSharedScorer(m, cs, opt)
+	case opt.Workers != 0:
 		sc = newParScorer(m, cs, opt)
-	} else {
+	default:
 		sc = newSeqScorer(m, cs, opt)
 	}
 	return greedyMerge(m, cs, opt, sc)

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"repro/internal/bdd"
+	"repro/internal/par"
+)
+
+// Shared-manager pair scoring: the zero-hand-off counterpart of
+// greedy_par.go. When the list's Manager is in shared-memory concurrent
+// mode (bdd.NewShared), worker goroutines can build and size the
+// candidate conjunctions P_ij directly against it — no per-worker mirror
+// Managers to populate (the TransferAll that dominated small parallel
+// evaluations), no per-merge Transfer back, no applyMerge fan-out. The
+// winning conjunction is already in the main unique table the moment it
+// is scored.
+//
+// Determinism is stronger than the per-worker path's, not weaker: all
+// scoring happens on one manager, where canonicity makes every P_ij Ref
+// independent of scheduling, so sizes, ratios, merge order, and the
+// final conjunct Refs are identical to the sequential scorer's on the
+// same manager. (Statistics like cache hit counts do vary run to run.)
+//
+// The budget caveat of the per-worker path does not arise here — but a
+// positive PairBudgetFactor is incompatible with this scorer, because
+// bdd.AndBounded works by temporarily lowering the manager's node limit,
+// which under concurrent scoring would bound (and abort) other workers'
+// operations too. EvaluateGreedy therefore falls back to the per-worker
+// path when a pair budget is set.
+
+// sharedScorer scores pairs concurrently against the one shared Manager.
+type sharedScorer struct {
+	m    *bdd.Manager
+	cs   []bdd.Ref // aliases greedyMerge's working slice
+	pool *par.Pool
+	ref  []bdd.Ref // ref[i*n+j] (i < j): last scored P_ij
+}
+
+func newSharedScorer(m *bdd.Manager, cs []bdd.Ref, opt Options) *sharedScorer {
+	return &sharedScorer{
+		m:    m,
+		cs:   cs,
+		pool: par.NewPool(opt.Workers),
+		ref:  make([]bdd.Ref, len(cs)*len(cs)),
+	}
+}
+
+func (s *sharedScorer) scoreAll(pairs [][2]int) []pairScore {
+	n := len(s.cs)
+	out := make([]pairScore, len(pairs))
+	// Tasks write to disjoint indices of out/ref; the Manager itself is
+	// concurrent-mode, so no per-worker state is needed at all. ParAnd
+	// additionally forks inside a single conjunction, which keeps the
+	// pool busy when a round has fewer pairs than workers (the common
+	// case late in a merge sequence).
+	s.pool.ForEach(len(pairs), func(_, t int) {
+		i, j := pairs[t][0], pairs[t][1]
+		den := pairDenominator(s.m.SharedSize(s.cs[i], s.cs[j]))
+		pr := s.m.ParAnd(s.cs[i], s.cs[j])
+		s.ref[i*n+j] = pr
+		out[t] = pairScore{ratio: float64(s.m.Size(pr)) / float64(den), ok: true}
+	})
+	return out
+}
+
+func (s *sharedScorer) merged(i, j int) bdd.Ref { return s.ref[i*len(s.cs)+j] }
+
+func (s *sharedScorer) applyMerge(int, int) {} // one manager; nothing to mirror

@@ -68,6 +68,29 @@ func TestCorpus(t *testing.T) {
 					t.Errorf("Forward trace does not replay: %v", err)
 				}
 			}
+
+			// Replay the same seed on the shared-memory concurrent
+			// manager: every engine's verdict (outcome, depth, cause,
+			// trace shape) must be identical to the sequential run's —
+			// the acceptance contract of the concurrent mode.
+			sp := sf.Params
+			sp.Shared = true
+			sinst, err := Generate(sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srep := RunInstance(sinst, Config{})
+			if srep.Divergent() {
+				t.Fatalf("seed diverges on the concurrent manager:\n%s", srep.NDJSON())
+			}
+			if len(srep.Verdicts) != len(rep.Verdicts) {
+				t.Fatalf("verdict count %d != sequential %d", len(srep.Verdicts), len(rep.Verdicts))
+			}
+			for i, v := range rep.Verdicts {
+				if srep.Verdicts[i] != v {
+					t.Errorf("concurrent-manager verdict differs: %+v != %+v", srep.Verdicts[i], v)
+				}
+			}
 		})
 	}
 }

@@ -66,6 +66,8 @@ func DefaultEngines() []EngineSpec {
 			Tune: func(o *verify.Options) { o.TermVarChoice = core.VarMostCommonTop }},
 		{Name: "XICI/workers2", Method: verify.XICI,
 			Tune: func(o *verify.Options) { o.Workers = 2 }},
+		{Name: "XICI/sharedscore", Method: verify.XICI,
+			Tune: func(o *verify.Options) { o.Workers = 2; o.SharedManager = true }},
 		{Name: "XICI/pairbudget", Method: verify.XICI,
 			Tune: func(o *verify.Options) { o.Core.PairBudgetFactor = 4 }},
 		{Name: "XICI/implication", Method: verify.XICI,

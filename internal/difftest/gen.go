@@ -56,6 +56,15 @@ type Params struct {
 	Width  int  `json:"width,omitempty"`  // fifo item bits / filter sample bits / pipeline datapath bits
 	Bug    bool `json:"bug,omitempty"`    // seed the model's bug
 	Assist bool `json:"assist,omitempty"` // user assisting partition
+
+	// Shared builds the instance on a shared-memory concurrent manager
+	// (bdd.NewShared), so every engine's run — images through the Par*
+	// entry points, the sharedscore ablation's concurrent pair scoring —
+	// exercises the sharded table and striped cache under the same
+	// differential cross-check as the sequential manager (any Kind).
+	// Verdict-level determinism is preserved: canonicity makes the
+	// traversal's functions identical, and reports carry no Refs.
+	Shared bool `json:"shared,omitempty"`
 }
 
 // Instance is one generated verification task. The Problem and Machine
@@ -70,7 +79,15 @@ type Instance struct {
 // deterministic: equal Params yield structurally identical instances
 // (same variables in the same order, same Refs).
 func Generate(p Params) (Instance, error) {
-	m := bdd.New()
+	// Two workers is enough to make the shared manager actually fork
+	// inside Par* operations while keeping per-instance overhead small
+	// at fuzzing sizes.
+	var m *bdd.Manager
+	if p.Shared {
+		m = bdd.NewShared(2, 14)
+	} else {
+		m = bdd.New()
+	}
 	var prob verify.Problem
 	switch p.Kind {
 	case KindRandom:
@@ -270,5 +287,9 @@ func RandomParams(rng *rand.Rand) Params {
 		p.Constraint = rng.Intn(4) == 0
 		p.ConstGood = rng.Intn(8) == 0
 	}
+	// A quarter of every kind runs on the shared-memory concurrent
+	// manager, cross-checking it against the sequential one and the
+	// oracle throughout the campaign.
+	p.Shared = rng.Intn(4) == 0
 	return p
 }

@@ -84,6 +84,11 @@ func shrinkStep(p Params) []Params {
 		q.Assist = false
 		try(q)
 	}
+	if p.Shared {
+		q := p
+		q.Shared = false
+		try(q)
+	}
 	return out
 }
 

@@ -1,0 +1,85 @@
+package par
+
+import "runtime"
+
+// Forker is the bounded fork/join primitive behind the shared-memory
+// parallel BDD operations (bdd.ParITE and friends). A recursion forks its
+// two independent sub-calls through Do; whether the first branch actually
+// runs on another goroutine is decided per call by a token budget, so the
+// total number of extra goroutines a Forker can have in flight is bounded
+// by its size regardless of recursion depth or width.
+//
+// Do never blocks acquiring a token — when none is free both branches run
+// inline — so a forked branch that itself forks cannot deadlock: every
+// goroutine always has an inline path to make progress on. This is the
+// classical bounded fork/join discipline (cf. Sylvan's work-stealing
+// framework); tokens here play the role of idle workers.
+type Forker struct {
+	// tokens has capacity size-1: the calling goroutine is itself one
+	// worker. A nil channel (size <= 1) disables forking entirely, which
+	// keeps single-CPU configurations on the zero-overhead inline path.
+	tokens chan struct{}
+}
+
+// NewForker returns a Forker that keeps at most n goroutines (including
+// the caller) working on one operation; n <= 0 selects GOMAXPROCS.
+func NewForker(n int) *Forker {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	f := &Forker{}
+	if n > 1 {
+		f.tokens = make(chan struct{}, n-1)
+	}
+	return f
+}
+
+// Size returns the worker bound (including the calling goroutine).
+func (f *Forker) Size() int {
+	if f.tokens == nil {
+		return 1
+	}
+	return cap(f.tokens) + 1
+}
+
+// Do runs a and b, concurrently when a worker token is free and inline
+// otherwise, and returns once both have finished. A panic in either
+// branch is re-raised on the calling goroutine after both branches have
+// completed (a's panic value wins if both panicked), so resource-overrun
+// panics from the bdd package (*LimitError, *DeadlineError) propagate to
+// the caller's Guard boundary exactly as in sequential code and no
+// goroutine is ever abandoned mid-join.
+func (f *Forker) Do(a, b func()) {
+	if f.tokens != nil {
+		select {
+		case f.tokens <- struct{}{}:
+			join := make(chan any, 1)
+			go func() {
+				defer func() {
+					join <- recover()
+					<-f.tokens
+				}()
+				a()
+			}()
+			bPanic := runRecover(b)
+			if aPanic := <-join; aPanic != nil {
+				panic(aPanic)
+			}
+			if bPanic != nil {
+				panic(bPanic)
+			}
+			return
+		default:
+		}
+	}
+	a()
+	b()
+}
+
+// runRecover runs fn, converting a panic into a returned value so the
+// caller can finish joining its sibling branch before re-raising.
+func runRecover(fn func()) (p any) {
+	defer func() { p = recover() }()
+	fn()
+	return nil
+}

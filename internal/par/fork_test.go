@@ -1,0 +1,76 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForkerInline(t *testing.T) {
+	f := NewForker(1)
+	if f.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", f.Size())
+	}
+	order := []int{}
+	f.Do(func() { order = append(order, 1) }, func() { order = append(order, 2) })
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("inline order %v, want [1 2]", order)
+	}
+}
+
+func TestForkerRunsBoth(t *testing.T) {
+	f := NewForker(4)
+	var n atomic.Int64
+	// Recursive fan-out well past the token budget: every branch must run
+	// exactly once whether forked or inlined.
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == 0 {
+			n.Add(1)
+			return
+		}
+		f.Do(func() { rec(depth - 1) }, func() { rec(depth - 1) })
+	}
+	rec(10)
+	if n.Load() != 1024 {
+		t.Fatalf("ran %d leaves, want 1024", n.Load())
+	}
+}
+
+func TestForkerPanicPropagation(t *testing.T) {
+	f := NewForker(4)
+	cases := []struct {
+		name string
+		a, b func()
+		want any
+	}{
+		{"a-panics", func() { panic("pa") }, func() {}, "pa"},
+		{"b-panics", func() {}, func() { panic("pb") }, "pb"},
+		{"both-panic", func() { panic("pa") }, func() { panic("pb") }, "pa"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != tc.want {
+					t.Fatalf("recovered %v, want %v", r, tc.want)
+				}
+			}()
+			f.Do(tc.a, tc.b)
+			t.Fatal("no panic propagated")
+		})
+	}
+}
+
+// TestForkerTokensRecycled: a panicking forked branch must still return
+// its token, or the Forker silently degrades to sequential forever.
+func TestForkerTokensRecycled(t *testing.T) {
+	f := NewForker(2)
+	for i := 0; i < 100; i++ {
+		func() {
+			defer func() { recover() }()
+			f.Do(func() { panic("x") }, func() {})
+		}()
+	}
+	if len(f.tokens) != 0 {
+		t.Fatalf("%d tokens leaked", len(f.tokens))
+	}
+}

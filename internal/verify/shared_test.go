@@ -1,0 +1,140 @@
+// Shared-manager crosschecks on the paper models: the zero-hand-off
+// concurrent scoring path (Options.SharedManager on a bdd.NewShared
+// manager) must produce the same verdicts, iteration counts, and effort
+// statistics as the sequential engine. This file lives in package
+// verify_test for the same reason parallel_test.go does.
+package verify_test
+
+import (
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/verify"
+)
+
+// sharedProblems builds the paper models against shared-memory
+// concurrent managers, fresh per call.
+func sharedProblems(workers int) []verify.Problem {
+	return []verify.Problem{
+		models.NewFIFO(bdd.NewShared(workers, 16), models.DefaultFIFO(3)),
+		models.NewNetwork(bdd.NewShared(workers, 16), models.NetworkConfig{Procs: 2}),
+		models.NewFilter(bdd.NewShared(workers, 16), models.FilterConfig{Depth: 4, SampleWidth: 4}),
+		models.NewPipeline(bdd.NewShared(workers, 16), models.PipelineConfig{Regs: 2, Width: 1, Assist: true}),
+	}
+}
+
+// TestXICISharedMatchesSequential: the XICI engine scoring pairs
+// concurrently against one shared manager must report the same verdict
+// and traversal statistics as the sequential engine on a plain manager.
+// Canonicity within each manager makes the iterates Ref-identical to a
+// sequential run on the same manager, so Iterations, PeakStateNodes,
+// the peak profile, and the effort counters all match exactly even
+// though the two runs use different manager implementations.
+func TestXICISharedMatchesSequential(t *testing.T) {
+	seqProblems := paperProblems()
+	shrProblems := sharedProblems(3)
+	for i := range seqProblems {
+		seq := verify.Run(seqProblems[i], verify.XICI, verify.Options{})
+		shr := verify.Run(shrProblems[i], verify.XICI, verify.Options{Workers: 3, SharedManager: true})
+		p := seqProblems[i]
+		if shr.Outcome != seq.Outcome || shr.Why != seq.Why {
+			t.Fatalf("%s: outcome %v (%s) != sequential %v (%s)",
+				p.Name, shr.Outcome, shr.Why, seq.Outcome, seq.Why)
+		}
+		if shr.Iterations != seq.Iterations {
+			t.Errorf("%s: iterations %d != %d", p.Name, shr.Iterations, seq.Iterations)
+		}
+		if shr.PeakStateNodes != seq.PeakStateNodes {
+			t.Errorf("%s: peak nodes %d != %d", p.Name, shr.PeakStateNodes, seq.PeakStateNodes)
+		}
+		if shr.Eval != seq.Eval {
+			t.Errorf("%s: eval stats %+v != sequential %+v", p.Name, shr.Eval, seq.Eval)
+		}
+		if shr.Term != seq.Term {
+			t.Errorf("%s: term stats %+v != sequential %+v", p.Name, shr.Term, seq.Term)
+		}
+		if len(shr.SizeTrajectory) != len(seq.SizeTrajectory) {
+			t.Errorf("%s: trajectory %v != %v", p.Name, shr.SizeTrajectory, seq.SizeTrajectory)
+		} else {
+			for k := range seq.SizeTrajectory {
+				if shr.SizeTrajectory[k] != seq.SizeTrajectory[k] {
+					t.Errorf("%s: trajectory %v != %v", p.Name, shr.SizeTrajectory, seq.SizeTrajectory)
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestXICISharedFlagHarmlessOnSequentialManager: SharedManager is
+// documented as safe to set unconditionally — on a plain manager it has
+// no effect beyond selecting the ordinary per-worker scorer.
+func TestXICISharedFlagHarmlessOnSequentialManager(t *testing.T) {
+	a := verify.Run(models.NewFIFO(bdd.New(), models.DefaultFIFO(3)),
+		verify.XICI, verify.Options{Workers: 2})
+	b := verify.Run(models.NewFIFO(bdd.New(), models.DefaultFIFO(3)),
+		verify.XICI, verify.Options{Workers: 2, SharedManager: true})
+	if a.Outcome != b.Outcome || a.Iterations != b.Iterations || a.PeakStateNodes != b.PeakStateNodes {
+		t.Fatalf("SharedManager on sequential manager changed the run: %+v vs %+v", a, b)
+	}
+}
+
+// TestEvaluateGreedySharedScorerRefIdentity rebuilds the filter-model
+// first-iterate list (the TestEvaluateGreedyParallelOnPaperList recipe)
+// on a shared manager, and checks that the shared scorer's output is
+// pointwise Ref-equal to sequential evaluation on the SAME manager —
+// the strongest identity the concurrent mode claims, since within one
+// manager equal functions have equal Refs regardless of scheduling.
+func TestEvaluateGreedySharedScorerRefIdentity(t *testing.T) {
+	m := bdd.NewShared(4, 16)
+	p := models.NewFilter(m, models.FilterConfig{Depth: 4, SampleWidth: 4})
+	ma := p.Machine
+
+	g0 := []bdd.Ref{p.Good}
+	l := core.NewList(m, g0...)
+	back := ma.BackImageList(l.Conjuncts)
+	raw := core.NewList(m, append(g0, back...)...)
+	raw = core.CrossSimplify(raw, bdd.UseRestrict)
+
+	seq := core.EvaluateGreedy(raw, core.Options{})
+	for _, workers := range []int{1, 2, 4} {
+		shr := core.EvaluateGreedy(raw, core.Options{Workers: workers, SharedManager: true})
+		if len(shr.Conjuncts) != len(seq.Conjuncts) {
+			t.Fatalf("workers=%d: arity %d != %d", workers, len(shr.Conjuncts), len(seq.Conjuncts))
+		}
+		for i := range seq.Conjuncts {
+			if shr.Conjuncts[i] != seq.Conjuncts[i] {
+				t.Fatalf("workers=%d: conjunct %d differs: %v != %v",
+					workers, i, shr.Conjuncts[i], seq.Conjuncts[i])
+			}
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after concurrent scoring: %v", err)
+	}
+}
+
+// TestEvaluateGreedySharedBudgetFallback: a positive pair budget is
+// incompatible with the shared scorer (AndBounded lowers the manager's
+// node limit, which would bound other workers' operations too), so
+// EvaluateGreedy must fall back to the per-worker path and still agree
+// with the budgeted sequential run.
+func TestEvaluateGreedySharedBudgetFallback(t *testing.T) {
+	build := func() core.List {
+		m := bdd.NewShared(2, 16)
+		p := models.NewFilter(m, models.FilterConfig{Depth: 4, SampleWidth: 4})
+		g0 := []bdd.Ref{p.Good}
+		back := p.Machine.BackImageList(core.NewList(m, g0...).Conjuncts)
+		raw := core.NewList(m, append(g0, back...)...)
+		return core.CrossSimplify(raw, bdd.UseRestrict)
+	}
+	// Budgeted runs mutate manager state (node-limit fencing), so use
+	// separate managers and compare sizes, not Refs.
+	seq := core.EvaluateGreedy(build(), core.Options{PairBudgetFactor: 8})
+	shr := core.EvaluateGreedy(build(), core.Options{Workers: 2, SharedManager: true, PairBudgetFactor: 8})
+	if len(shr.Conjuncts) != len(seq.Conjuncts) {
+		t.Fatalf("budget fallback: arity %d != %d", len(shr.Conjuncts), len(seq.Conjuncts))
+	}
+}

@@ -136,6 +136,15 @@ type Options struct {
 	// is zero.
 	Workers int
 
+	// SharedManager opts the run into the shared-memory parallel path
+	// when the problem's Manager is in concurrent mode (bdd.NewShared):
+	// pair scoring and image computation run against the one manager
+	// with no per-worker mirrors or Transfer hand-off (it is copied to
+	// Core.SharedManager; see core.Options.SharedManager for the exact
+	// applicability conditions). On a sequential manager it is a no-op,
+	// so it is safe to set unconditionally from flag plumbing.
+	SharedManager bool
+
 	// Termination selects the convergence test for ICI-family engines.
 	Termination TerminationMode
 
@@ -322,6 +331,9 @@ func RunContext(ctx context.Context, p Problem, method Method, opt Options) Resu
 	m := p.Machine.M
 	if opt.Workers != 0 && opt.Core.Workers == 0 {
 		opt.Core.Workers = opt.Workers
+	}
+	if opt.SharedManager {
+		opt.Core.SharedManager = true
 	}
 	// Stats sinks are per-run: a caller reusing one Options value across
 	// runs must see each run's counters alone, not a silent accumulation
