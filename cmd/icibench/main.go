@@ -13,6 +13,12 @@
 //	icibench -pprof localhost:6060  # serve net/http/pprof while running
 //	icibench -workers 8 -shared  # cells score pairs concurrently on one shared manager
 //	icibench -speedup BENCH.json # run the speedup grid, write its JSON, and exit
+//	icibench -zoo -quick    # the model-zoo grid: every registry entry at its smallest size
+//
+// The -zoo grid replaces the paper tables with one group per (zoo
+// entry, size) pair — the parameterized families plus every imported
+// `.fsm` machine — under Forward and XICI. Entries whose property is
+// violated by design report VIOLATED rows, so the grid normally exits 1.
 //
 // The -speedup grid compares sequential, per-worker-manager, and
 // shared-manager XICI runs cell by cell (schema "icibench-speedup/v1");
@@ -76,6 +82,7 @@ func main() {
 		shared    = flag.Bool("shared", false, "run every cell on a shared-memory concurrent manager (implies -workers 8 unless set)")
 		speedup   = flag.String("speedup", "", "run the parallel-vs-sequential speedup grid instead of the tables and write its JSON here")
 		reps      = flag.Int("reps", 3, "speedup grid: repetitions per configuration (best-of)")
+		zooGrid   = flag.Bool("zoo", false, "run the model-zoo grid (every zoo registry entry, including imported .fsm machines) instead of the paper tables")
 	)
 	flag.Parse()
 
@@ -164,15 +171,19 @@ func main() {
 		all = append(all, results...)
 	}
 
-	if *table == 0 || *table == 1 {
-		run(bench.Table1(*quick))
-	}
-	if *table == 0 || *table == 2 {
-		run(bench.Table2(*quick))
-	}
-	if *table == 0 || *table == 3 {
-		t, b := bench.Table3(*quick, *assisted)
-		run(t, b)
+	if *zooGrid {
+		run(bench.ZooTable(*quick))
+	} else {
+		if *table == 0 || *table == 1 {
+			run(bench.Table1(*quick))
+		}
+		if *table == 0 || *table == 2 {
+			run(bench.Table2(*quick))
+		}
+		if *table == 0 || *table == 3 {
+			t, b := bench.Table3(*quick, *assisted)
+			run(t, b)
+		}
 	}
 
 	if *jsonPath != "" {

@@ -15,6 +15,7 @@
 //	GET    /jobs/{id}         job status and result
 //	DELETE /jobs/{id}         cancel a job
 //	GET    /jobs/{id}/events  NDJSON progress stream (follows until done)
+//	GET    /models            model-zoo registry with parameter surfaces
 //	GET    /healthz           liveness + engines/builtins
 //	GET    /metrics           expvar counters
 //

@@ -10,10 +10,18 @@
 //	iciverify -model network -size 4 -method FD
 //	iciverify -model fifo -size 3 -bug -method Fwd -trace
 //	iciverify -model fifo -size 4 -engines Fwd,Bkwd,XICI
+//	iciverify -model elevator -params floors=5
+//	iciverify -model fsm/turnstile -method Fwd -trace
+//	iciverify -fsm machine.fsm -method XICI
 //	iciverify -engines list
 //
-// Models: fifo (size = depth), network (size = processors), filter
-// (size = window depth, power of two), pipeline (-regs/-bits).
+// Built-in models resolve through the zoo registry (every entry `icid`
+// serves and `icibench -zoo` grids): the paper families take the flat
+// flags (fifo size = depth, network size = processors, filter size =
+// window depth, pipeline -regs/-bits), and every entry takes named
+// -params name=value pairs, which win over the flat flags. -fsm imports
+// an FSM-toolkit .fsm machine from disk (see internal/fsmtk); -file
+// verifies a textual model (see internal/lang).
 // Ctrl-C cancels a running traversal cleanly (reported as exhausted).
 //
 // Exit codes (multi-engine runs report the worst outcome, where
@@ -32,21 +40,24 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/bdd"
 	"repro/internal/core"
 	"repro/internal/fsm"
+	"repro/internal/fsmtk"
 	"repro/internal/lang"
-	"repro/internal/models"
 	"repro/internal/resource"
 	"repro/internal/verify"
+	"repro/internal/zoo"
 )
 
 func main() {
 	var (
-		model     = flag.String("model", "fifo", "model: fifo, network, filter, pipeline, coherence, link")
+		model     = flag.String("model", "fifo", "zoo model name (fifo, network, filter, pipeline, coherence, link, elevator, traffic, protostack, fsm/..., ...)")
+		params    = flag.String("params", "", "comma-separated name=value zoo parameters (e.g. floors=5,bug=1); these win over the flat size flags")
 		size      = flag.Int("size", 5, "model size (fifo depth, network processors, filter depth, coherence caches, link data bits)")
 		regs      = flag.Int("regs", 2, "pipeline: number of registers")
 		bits      = flag.Int("bits", 1, "pipeline: datapath width")
@@ -63,6 +74,7 @@ func main() {
 		termMode  = flag.String("term", "exact", "XICI termination test: exact, implication, fast")
 		dotOut    = flag.String("dot", "", "write the property BDD(s) as Graphviz DOT to this file")
 		file      = flag.String("file", "", "verify a textual model file instead of a built-in model (see internal/lang)")
+		fsmFile   = flag.String("fsm", "", "import and verify an FSM-toolkit .fsm machine file (see internal/fsmtk)")
 		stats     = flag.Bool("stats", false, "print per-phase timings and effort counters after each run")
 		events    = flag.String("events", "", "append an NDJSON event log (iteration/merge/termination events) to this file")
 	)
@@ -82,7 +94,8 @@ func main() {
 
 	m := bdd.NewWithSize(1<<16, 20)
 	var p verify.Problem
-	if *file != "" {
+	switch {
+	case *file != "":
 		src, err := os.ReadFile(*file)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "iciverify: %v\n", err)
@@ -93,33 +106,38 @@ func main() {
 			fmt.Fprintf(os.Stderr, "iciverify: %v\n", err)
 			os.Exit(2)
 		}
-		*model = "file"
-	}
-	switch *model {
-	case "file":
-		// parsed above
-	case "fifo":
-		cfg := models.DefaultFIFO(*size)
-		cfg.Bug = *bug
-		p = models.NewFIFO(m, cfg)
-	case "network":
-		p = models.NewNetwork(m, models.NetworkConfig{Procs: *size, Bug: *bug})
-	case "filter":
-		cfg := models.DefaultFilter(*size, *assist)
-		cfg.Bug = *bug
-		p = models.NewFilter(m, cfg)
-	case "pipeline":
-		cfg := models.DefaultPipeline(*regs, *bits)
-		cfg.Assist = *assist
-		cfg.Bug = *bug
-		p = models.NewPipeline(m, cfg)
-	case "coherence":
-		p = models.NewCoherence(m, models.CoherenceConfig{Caches: *size, Bug: *bug})
-	case "link":
-		p = models.NewLink(m, models.LinkConfig{DataBits: *size, Bug: *bug})
+	case *fsmFile != "":
+		src, err := os.ReadFile(*fsmFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iciverify: %v\n", err)
+			os.Exit(2)
+		}
+		mo, err := fsmtk.Import(src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iciverify: %s: %v\n", *fsmFile, err)
+			os.Exit(2)
+		}
+		p, err = mo.Instantiate(m)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iciverify: %v\n", err)
+			os.Exit(2)
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "iciverify: unknown model %q\n", *model)
-		os.Exit(2)
+		sz, err := modelSize(*model, *size, *regs, *bits, *assist, *bug, *params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iciverify: %v\n", err)
+			os.Exit(2)
+		}
+		mo, err := zoo.Build(*model, sz)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iciverify: %v\n", err)
+			os.Exit(2)
+		}
+		p, err = mo.Instantiate(m)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iciverify: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	if *compose {
 		p.Machine.PreImageMode = fsm.PreCompose
@@ -245,4 +263,47 @@ func main() {
 		}
 	}
 	os.Exit(exit)
+}
+
+// legacySizeKey maps the flat -size flag onto the zoo parameter it has
+// always meant, for the original six families.
+var legacySizeKey = map[string]string{
+	"fifo":      "depth",
+	"network":   "procs",
+	"filter":    "depth",
+	"coherence": "caches",
+	"link":      "data-bits",
+}
+
+// modelSize resolves the flat flags and the -params list into the zoo
+// size overrides for the named entry.
+func modelSize(model string, size, regs, bits int, assist, bug bool, params string) (zoo.Size, error) {
+	sz := zoo.Size{}
+	if key, ok := legacySizeKey[model]; ok {
+		sz[key] = size
+	}
+	if model == "pipeline" {
+		sz["regs"], sz["width"] = regs, bits
+	}
+	if assist {
+		sz["assist"] = 1
+	}
+	if bug {
+		sz["bug"] = 1
+	}
+	for _, kv := range strings.Split(params, ",") {
+		if kv = strings.TrimSpace(kv); kv == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -params entry %q (want name=value)", kv)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil {
+			return nil, fmt.Errorf("bad -params value in %q: %v", kv, err)
+		}
+		sz[strings.TrimSpace(name)] = n
+	}
+	return sz, nil
 }

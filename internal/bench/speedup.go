@@ -157,14 +157,14 @@ func RunSpeedup(ctx context.Context, w io.Writer, workers, reps int, quick bool,
 			results[0].Iterations == results[1].Iterations &&
 			results[1].Iterations == results[2].Iterations
 		cr := SpeedupCellReport{
-			Group:             c.Group,
-			Method:            string(verify.XICI),
-			SeqMS:             float64(best[0].Microseconds()) / 1000,
-			PerWorkerMS:       float64(best[1].Microseconds()) / 1000,
-			SharedMS:          float64(best[2].Microseconds()) / 1000,
-			VerdictsAgree:     agree,
-			Outcome:           results[0].Outcome.String(),
-			Iterations:        results[0].Iterations,
+			Group:         c.Group,
+			Method:        string(verify.XICI),
+			SeqMS:         float64(best[0].Microseconds()) / 1000,
+			PerWorkerMS:   float64(best[1].Microseconds()) / 1000,
+			SharedMS:      float64(best[2].Microseconds()) / 1000,
+			VerdictsAgree: agree,
+			Outcome:       results[0].Outcome.String(),
+			Iterations:    results[0].Iterations,
 		}
 		if cr.SharedMS > 0 {
 			cr.SharedVsSeq = cr.SeqMS / cr.SharedMS

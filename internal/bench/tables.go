@@ -1,19 +1,26 @@
 package bench
 
 import (
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/bdd"
 	"repro/internal/core"
 	"repro/internal/fsm"
-	"repro/internal/models"
 	"repro/internal/verify"
+	"repro/internal/zoo"
 )
 
 // Table and budget definitions for the paper's three tables. Within a
 // row group every method runs under the identical budget; budgets differ
 // across workloads only to keep total runtime sane on a laptop while
 // preserving each group's complete/fail split (see EXPERIMENTS.md).
+//
+// Every row builds its model through the zoo registry — the same entries
+// the icid builtin endpoint serves and the CI smoke job instantiates —
+// so a table row, a server submission, and a fuzzer replay of the same
+// (entry, size) pair are the identical IR model.
 
 // fourMethods is the method column of most groups, in table order.
 var fourMethods = []verify.Method{verify.Forward, verify.Backward, verify.ICI, verify.XICI}
@@ -34,6 +41,19 @@ var filterBudget = Budget{NodeLimit: 12_000_000, Timeout: 3 * time.Minute}
 // while the implicit-conjunction run completes.
 var pipelineBudget = Budget{NodeLimit: 3_500_000, Timeout: 2 * time.Minute}
 
+// zooBuild resolves a registry entry at a size into a Cell build
+// function. Table definitions are static, so a size the entry rejects is
+// a programmer error, not a runtime condition.
+func zooBuild(entry string, size zoo.Size) func(m *bdd.Manager) verify.Problem {
+	return func(m *bdd.Manager) verify.Problem {
+		mo, err := zoo.Build(entry, size)
+		if err != nil {
+			panic("bench: " + err.Error())
+		}
+		return mo.MustInstantiate(m)
+	}
+}
+
 // fifoCells builds one FIFO row group.
 func fifoCells(depth int) []Cell {
 	cells := make([]Cell, 0, len(fourMethods))
@@ -41,9 +61,7 @@ func fifoCells(depth int) []Cell {
 		cells = append(cells, Cell{
 			Group:  groupLabel("8-Bit Wide Typed FIFO Buffer", "depth", depth),
 			Method: meth,
-			Build: func(m *bdd.Manager) verify.Problem {
-				return models.NewFIFO(m, models.DefaultFIFO(depth))
-			},
+			Build:  zooBuild("fifo", zoo.Size{"width": 8, "depth": depth, "bound": 128}),
 		})
 	}
 	return cells
@@ -56,9 +74,7 @@ func networkCells(procs int) []Cell {
 		cells = append(cells, Cell{
 			Group:  groupLabel("Processors Sending Messages Through Network", "processors", procs),
 			Method: meth,
-			Build: func(m *bdd.Manager) verify.Problem {
-				return models.NewNetwork(m, models.NetworkConfig{Procs: procs})
-			},
+			Build:  zooBuild("network", zoo.Size{"procs": procs}),
 		})
 	}
 	return cells
@@ -67,7 +83,10 @@ func networkCells(procs int) []Cell {
 // filterCells builds one moving-average-filter row group.
 func filterCells(depth int, assist bool, sampleWidth int) []Cell {
 	label := groupLabel("8-Bit Wide Moving Average Filter", "depth", depth)
-	if !assist {
+	size := zoo.Size{"depth": depth, "width": sampleWidth}
+	if assist {
+		size["assist"] = 1
+	} else {
 		label += " (no assisting invariants)"
 	}
 	cells := make([]Cell, 0, len(fourMethods))
@@ -75,10 +94,7 @@ func filterCells(depth int, assist bool, sampleWidth int) []Cell {
 		cells = append(cells, Cell{
 			Group:  label,
 			Method: meth,
-			Build: func(m *bdd.Manager) verify.Problem {
-				cfg := models.FilterConfig{Depth: depth, SampleWidth: sampleWidth, Assist: assist}
-				return models.NewFilter(m, cfg)
-			},
+			Build:  zooBuild("filter", size),
 		})
 	}
 	return cells
@@ -126,14 +142,18 @@ func pipelineCells(regs, bits int, assist bool) []Cell {
 		if row.noMerge {
 			lbl = "XICI*"
 		}
+		size := zoo.Size{"regs": regs, "width": bits}
+		if row.partition {
+			size["assist"] = 1
+		}
+		build := zooBuild("pipeline", size)
 		cells = append(cells, Cell{
 			Group:  label,
 			Method: row.method,
 			Label:  lbl,
 			Opt:    opt,
 			Build: func(mgr *bdd.Manager) verify.Problem {
-				cfg := models.PipelineConfig{Regs: regs, Width: bits, Assist: row.partition}
-				p := models.NewPipeline(mgr, cfg)
+				p := build(mgr)
 				if row.method != verify.Forward {
 					p.Machine.PreImageMode = fsm.PreCompose
 				}
@@ -221,4 +241,52 @@ func Table3(quick, assisted bool) (Table, Budget) {
 		t.Cells = append(t.Cells, pipelineCells(2, 3, true)...)
 	}
 	return t, pipelineBudget
+}
+
+// ZooTable is the model-zoo grid: every registered entry — the paper
+// families, the new parameterized families, and the imported `.fsm`
+// machines — at its listed sizes (quick: smallest size only), under
+// Forward and XICI. Machines whose property is violated by design (the
+// seeded-bug `.fsm` imports) print as VIOLATED rows; icibench's exit
+// code reports that faithfully.
+func ZooTable(quick bool) (Table, Budget) {
+	t := Table{Title: "Model Zoo: every registry entry"}
+	for _, name := range zoo.Names() {
+		e, _ := zoo.Get(name)
+		sizes := e.Sizes
+		if quick {
+			sizes = sizes[:1]
+		}
+		for _, size := range sizes {
+			for _, meth := range []verify.Method{verify.Forward, verify.XICI} {
+				t.Cells = append(t.Cells, Cell{
+					Group:  "zoo/" + name + sizeLabel(size),
+					Method: meth,
+					Build:  zooBuild(name, size),
+				})
+			}
+		}
+	}
+	if quick {
+		t.Title = "Model Zoo (quick): every registry entry at its smallest size"
+		return t, QuickBudget
+	}
+	return t, DefaultBudget
+}
+
+// sizeLabel renders a size map deterministically (sorted keys).
+func sizeLabel(s zoo.Size) string {
+	if len(s) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + itoa(s[k])
+	}
+	return " " + strings.Join(parts, " ")
 }

@@ -17,6 +17,8 @@ import (
 
 	"repro/internal/bdd"
 	"repro/internal/fsm"
+	"repro/internal/fsmtk"
+	"repro/internal/ir"
 	"repro/internal/models"
 	"repro/internal/verify"
 )
@@ -24,12 +26,14 @@ import (
 // Instance kinds. Random machines probe the engine algebra broadly;
 // the model mutations probe the paper's benchmark circuits (datapath
 // constraints, assisting invariants, seeded bugs) at oracle-checkable
-// sizes.
+// sizes; fsm instances replay imported FSM-toolkit machines through
+// the same differential driver.
 const (
 	KindRandom   = "random"
 	KindFIFO     = "fifo"
 	KindFilter   = "filter"
 	KindPipeline = "pipeline"
+	KindFSM      = "fsm"
 )
 
 // Params is the complete, JSON-serializable recipe for one instance.
@@ -57,6 +61,10 @@ type Params struct {
 	Bug    bool `json:"bug,omitempty"`    // seed the model's bug
 	Assist bool `json:"assist,omitempty"` // user assisting partition
 
+	// FSM is the inline FSM-toolkit `.fsm` JSON source (KindFSM): the
+	// seed file carries the whole machine, so it replays anywhere.
+	FSM string `json:"fsm,omitempty"`
+
 	// Shared builds the instance on a shared-memory concurrent manager
 	// (bdd.NewShared), so every engine's run — images through the Par*
 	// entry points, the sharedscore ablation's concurrent pair scoring —
@@ -68,17 +76,125 @@ type Params struct {
 }
 
 // Instance is one generated verification task. The Problem and Machine
-// live on their own fresh Manager.
+// live on their own fresh Manager; Model is the manager-independent IR
+// it was instantiated from, so the same instance can replay on any
+// manager mode.
 type Instance struct {
 	Params  Params
+	Model   *ir.Model
 	Problem verify.Problem
 	Machine *fsm.Machine
+}
+
+// BuildModel is the pure half of Generate: it lowers Params to the
+// manager-independent IR without touching any manager. The IR already
+// reflects the ConstGood normalization and the partition-derived goal,
+// so instantiating it on any manager poses the identical question.
+func BuildModel(p Params) (*ir.Model, error) {
+	var mo *ir.Model
+	switch p.Kind {
+	case KindRandom:
+		if p.StateBits < 1 || p.InputBits < 0 {
+			return nil, fmt.Errorf("difftest: random machine needs state_bits >= 1 (got %+v)", p)
+		}
+		mo = genRandom(p)
+	case KindFIFO:
+		if p.Width < 1 || p.Depth < 1 {
+			return nil, fmt.Errorf("difftest: fifo needs width, depth >= 1 (got %+v)", p)
+		}
+		mo = models.BuildFIFO(models.FIFOConfig{
+			Width: p.Width,
+			Depth: p.Depth,
+			// Half-range bound keeps the type constraint non-trivial at
+			// any width (the paper's 8-bit/128 shape, scaled down; at
+			// width 1 items must be 0, and the bug lets 1 in).
+			Bound: 1<<(uint(p.Width)-1) - 1,
+			Bug:   p.Bug,
+		})
+	case KindFilter:
+		d := p.Depth
+		if d < 2 || d&(d-1) != 0 {
+			return nil, fmt.Errorf("difftest: filter depth must be a power of two >= 2 (got %d)", d)
+		}
+		if p.Width < 1 {
+			return nil, fmt.Errorf("difftest: filter needs width >= 1 (got %+v)", p)
+		}
+		mo = models.BuildFilter(models.FilterConfig{
+			Depth: d, SampleWidth: p.Width, Assist: p.Assist, Bug: p.Bug,
+		})
+	case KindPipeline:
+		if p.Depth < 1 || p.Width < 1 {
+			return nil, fmt.Errorf("difftest: pipeline needs depth (regs), width >= 1 (got %+v)", p)
+		}
+		mo = models.BuildPipeline(models.PipelineConfig{
+			Regs: p.Depth, Width: p.Width, Assist: p.Assist, Bug: p.Bug,
+		})
+	case KindFSM:
+		if p.FSM == "" {
+			return nil, fmt.Errorf("difftest: fsm kind needs inline .fsm source")
+		}
+		var err error
+		mo, err = fsmtk.Import([]byte(p.FSM))
+		if err != nil {
+			return nil, fmt.Errorf("difftest: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("difftest: unknown kind %q", p.Kind)
+	}
+	finishModel(mo, p)
+	mo.Name = fmt.Sprintf("%s/seed=%d", p.Kind, p.Seed)
+	return mo, nil
+}
+
+// finishModel applies the instance-level property normalizations in IR:
+// the optional constant-True conjunct, and the re-derivation of the
+// monolithic goal from the partition. A differential instance must pose
+// the same question to every engine: the assisted models supply a
+// partition strictly stronger than the monolithic property, so on a
+// bugged model the implicit engines would legitimately find a shallower
+// violation than the monolithic ones. With the goal re-derived as the
+// conjunction of the partition (cheap at these sizes), verdict and
+// depth must agree.
+func finishModel(mo *ir.Model, p Params) {
+	var goods []*ir.Node
+	goalIdx := -1
+	var goal *ir.Node
+	for i, d := range mo.Decls {
+		switch d := d.(type) {
+		case *ir.Good:
+			goods = append(goods, d.Expr)
+		case *ir.Goal:
+			goalIdx, goal = i, d.Expr
+		}
+	}
+	if p.ConstGood {
+		if len(goods) == 0 && goal != nil {
+			// Promote the monolithic goal to a singleton partition so
+			// the constant lands in a list, as the engines consume it.
+			mo.Decls = append(mo.Decls, &ir.Good{Expr: goal})
+			goods = append(goods, goal)
+		}
+		mo.Decls = append(mo.Decls, &ir.Good{Expr: ir.Bool(true)})
+		goods = append(goods, ir.Bool(true))
+	}
+	if len(goods) > 0 {
+		g := ir.And(goods...)
+		if goalIdx >= 0 {
+			mo.Decls[goalIdx] = &ir.Goal{Expr: g}
+		} else {
+			mo.Decls = append(mo.Decls, &ir.Goal{Expr: g})
+		}
+	}
 }
 
 // Generate builds the instance described by p on a fresh manager. It is
 // deterministic: equal Params yield structurally identical instances
 // (same variables in the same order, same Refs).
 func Generate(p Params) (Instance, error) {
+	mo, err := BuildModel(p)
+	if err != nil {
+		return Instance{}, err
+	}
 	// Two workers is enough to make the shared manager actually fork
 	// inside Par* operations while keeping per-instance overhead small
 	// at fuzzing sizes.
@@ -88,68 +204,11 @@ func Generate(p Params) (Instance, error) {
 	} else {
 		m = bdd.New()
 	}
-	var prob verify.Problem
-	switch p.Kind {
-	case KindRandom:
-		if p.StateBits < 1 || p.InputBits < 0 {
-			return Instance{}, fmt.Errorf("difftest: random machine needs state_bits >= 1 (got %+v)", p)
-		}
-		prob = genRandom(m, p)
-	case KindFIFO:
-		if p.Width < 1 || p.Depth < 1 {
-			return Instance{}, fmt.Errorf("difftest: fifo needs width, depth >= 1 (got %+v)", p)
-		}
-		cfg := models.FIFOConfig{
-			Width: p.Width,
-			Depth: p.Depth,
-			// Half-range bound keeps the type constraint non-trivial at
-			// any width (the paper's 8-bit/128 shape, scaled down; at
-			// width 1 items must be 0, and the bug lets 1 in).
-			Bound: 1<<(uint(p.Width)-1) - 1,
-			Bug:   p.Bug,
-		}
-		prob = models.NewFIFO(m, cfg)
-	case KindFilter:
-		d := p.Depth
-		if d < 2 || d&(d-1) != 0 {
-			return Instance{}, fmt.Errorf("difftest: filter depth must be a power of two >= 2 (got %d)", d)
-		}
-		if p.Width < 1 {
-			return Instance{}, fmt.Errorf("difftest: filter needs width >= 1 (got %+v)", p)
-		}
-		prob = models.NewFilter(m, models.FilterConfig{
-			Depth: d, SampleWidth: p.Width, Assist: p.Assist, Bug: p.Bug,
-		})
-	case KindPipeline:
-		if p.Depth < 1 || p.Width < 1 {
-			return Instance{}, fmt.Errorf("difftest: pipeline needs depth (regs), width >= 1 (got %+v)", p)
-		}
-		prob = models.NewPipeline(m, models.PipelineConfig{
-			Regs: p.Depth, Width: p.Width, Assist: p.Assist, Bug: p.Bug,
-		})
-	default:
-		return Instance{}, fmt.Errorf("difftest: unknown kind %q", p.Kind)
+	prob, err := mo.Instantiate(m)
+	if err != nil {
+		return Instance{}, fmt.Errorf("difftest: instantiating %s: %w", mo.Name, err)
 	}
-	if p.ConstGood {
-		gl := prob.GoodList
-		if len(gl) == 0 {
-			gl = []bdd.Ref{prob.Good}
-		}
-		// Copy, never alias a model's shared slice.
-		prob.GoodList = append(append([]bdd.Ref(nil), gl...), bdd.One)
-	}
-	if len(prob.GoodList) > 0 {
-		// A differential instance must pose the same question to every
-		// engine. The assisted models supply a partition strictly
-		// stronger than the monolithic property (the assisting
-		// invariants), so on a bugged model the implicit engines would
-		// legitimately find a shallower violation than the monolithic
-		// ones. Re-derive Good from the partition; at these sizes the
-		// conjunction the implicit methods avoid is cheap to build.
-		prob.Good = m.AndN(prob.GoodList...)
-	}
-	prob.Name = fmt.Sprintf("%s/seed=%d", p.Kind, p.Seed)
-	return Instance{Params: p, Problem: prob, Machine: prob.Machine}, nil
+	return Instance{Params: p, Model: mo, Problem: prob, Machine: prob.Machine}, nil
 }
 
 // goodList returns the instance's property partition, falling back to
@@ -165,43 +224,46 @@ func (i Instance) goodList() []bdd.Ref {
 // next-state functions are random k-term DNFs over all bits, the initial
 // state is a single random state, and the property is the complement of
 // a sparse random cube, partitioned into Parts conjuncts whose
-// conjunction is exactly the property.
-func genRandom(m *bdd.Manager, p Params) verify.Problem {
+// conjunction is exactly the property. The draw order (and therefore
+// every instance any historical seed reproduces) is unchanged from the
+// manager-based generator this replaces — the rng stream is part of the
+// seed-file contract.
+func genRandom(p Params) *ir.Model {
 	rng := rand.New(rand.NewSource(p.Seed))
-	ma := fsm.New(m)
+	b := ir.NewBuilder(KindRandom)
 
-	state := make([]bdd.Var, p.StateBits)
-	inputs := make([]bdd.Var, p.InputBits)
+	state := make([]*ir.Node, p.StateBits)
+	inputs := make([]*ir.Node, p.InputBits)
 	for i := range state {
-		state[i] = ma.NewStateBit("")
+		state[i] = b.State(fmt.Sprintf("s%d", i), false)
 	}
 	for i := range inputs {
-		inputs[i] = ma.NewInputBit("")
+		inputs[i] = b.Input(fmt.Sprintf("x%d", i))
 	}
-	all := append(append([]bdd.Var(nil), state...), inputs...)
+	all := append(append([]*ir.Node(nil), state...), inputs...)
 
 	terms := p.Terms
 	if terms < 1 {
 		terms = 3
 	}
-	randFn := func() bdd.Ref {
-		f := bdd.Zero
+	randFn := func() *ir.Node {
+		f := ir.Bool(false)
 		for t := 0; t < terms; t++ {
-			cube := bdd.One
+			cube := ir.Bool(true)
 			for _, v := range all {
 				switch rng.Intn(3) {
 				case 0:
-					cube = m.And(cube, m.VarRef(v))
+					cube = ir.And(cube, v)
 				case 1:
-					cube = m.And(cube, m.NVarRef(v))
+					cube = ir.And(cube, ir.Not(v))
 				}
 			}
-			f = m.Or(f, cube)
+			f = ir.Or(f, cube)
 		}
 		return f
 	}
 	for _, s := range state {
-		ma.SetNext(s, randFn())
+		b.SetNext(s, randFn())
 	}
 
 	if p.Constraint && len(inputs) > 0 {
@@ -209,49 +271,45 @@ func genRandom(m *bdd.Manager, p Params) verify.Problem {
 		// deadlocks; it halves the enabled input space.
 		v := inputs[rng.Intn(len(inputs))]
 		if rng.Intn(2) == 0 {
-			ma.AddInputConstraint(m.VarRef(v))
+			b.Constrain(v)
 		} else {
-			ma.AddInputConstraint(m.NVarRef(v))
+			b.Constrain(ir.Not(v))
 		}
 	}
 
-	initLits := make([]bdd.Lit, len(state))
-	for i, s := range state {
-		initLits[i] = bdd.Lit{Var: s, Val: rng.Intn(2) == 1}
+	for _, s := range state {
+		b.SetInit(s, rng.Intn(2) == 1)
 	}
-	ma.SetInit(m.CubeRef(initLits))
-	ma.MustSeal()
 
 	// Property: complement of a sparse random set, so it holds on most
 	// states and both verdicts occur across seeds.
-	badCube := bdd.One
+	badCube := ir.Bool(true)
 	for _, s := range state {
 		switch rng.Intn(3) {
 		case 0:
-			badCube = m.And(badCube, m.VarRef(s))
+			badCube = ir.And(badCube, s)
 		case 1:
-			badCube = m.And(badCube, m.NVarRef(s))
+			badCube = ir.And(badCube, ir.Not(s))
 		}
 	}
-	good := badCube.Not()
+	good := ir.Not(badCube)
 
 	parts := p.Parts
 	if parts < 1 {
 		parts = 1
 	}
-	goodList := []bdd.Ref{good}
+	b.Good(good)
 	for k := 1; k < parts; k++ {
 		// Each extra conjunct is implied by good, so the conjunction of
 		// the partition is exactly good.
-		v := state[rng.Intn(len(state))]
-		lit := m.VarRef(v)
+		lit := state[rng.Intn(len(state))]
 		if rng.Intn(2) == 0 {
-			lit = lit.Not()
+			lit = ir.Not(lit)
 		}
-		goodList = append(goodList, m.Or(good, lit))
+		b.Good(ir.Or(good, lit))
 	}
 
-	return verify.Problem{Machine: ma, Good: good, GoodList: goodList}
+	return b.Build()
 }
 
 // RandomParams draws a random instance recipe: mostly random machines at

@@ -1,0 +1,197 @@
+package fsmtk
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// bits returns the number of bits needed to encode n distinct codes
+// (0 for n <= 1).
+func bits(n int) int {
+	b := 0
+	for 1<<uint(b) < n {
+		b++
+	}
+	return b
+}
+
+// Compile lowers a validated File to the model IR. Variable order:
+// input-symbol bits, NFA choice bits, state bits, then output
+// observation bits. It panics only on internal inconsistency (a File
+// that passed validate always compiles); use Import for end-to-end
+// error handling.
+func (f *File) Compile() *ir.Model {
+	nStates, nSyms := len(f.States), len(f.Inputs)
+	sb := bits(nStates)
+	if sb == 0 {
+		sb = 1 // the IR needs at least one state bit
+	}
+	ib := bits(nSyms)
+
+	stateIdx := map[string]uint64{}
+	for i, s := range f.States {
+		stateIdx[s] = uint64(i)
+	}
+	symIdx := map[string]uint64{}
+	for i, s := range f.Inputs {
+		symIdx[s] = uint64(i)
+	}
+
+	// Group transitions by (from, on) in first-appearance order; only an
+	// NFA has groups with more than one alternative.
+	type group struct {
+		from, on uint64
+		alts     []Transition
+	}
+	var groups []*group
+	byKey := map[[2]string]*group{}
+	for _, t := range f.Trans {
+		key := [2]string{t.From, t.On}
+		g := byKey[key]
+		if g == nil {
+			g = &group{from: stateIdx[t.From], on: symIdx[t.On]}
+			byKey[key] = g
+			groups = append(groups, g)
+		}
+		g.alts = append(g.alts, t)
+	}
+	maxAlt := 1
+	for _, g := range groups {
+		if len(g.alts) > maxAlt {
+			maxAlt = len(g.alts)
+		}
+	}
+	cb := bits(maxAlt)
+
+	name := f.Name
+	if name == "" {
+		name = "fsm"
+	}
+	b := ir.NewBuilder(name)
+	b.Param("type", f.Type)
+	b.ParamInt("fsm-states", nStates)
+	b.ParamInt("fsm-symbols", nSyms)
+
+	var inW, chW ir.Word
+	if ib > 0 {
+		inW = ir.FromNodes(b.Inputs("in", ib))
+	}
+	if cb > 0 {
+		chW = ir.FromNodes(b.Inputs("ch", cb))
+	}
+
+	encInit := stateIdx[f.Initial]
+	qBits := make([]*ir.Node, sb)
+	for i := range qBits {
+		qBits[i] = b.State(fmt.Sprintf("q%d", i), encInit&(1<<uint(i)) != 0)
+	}
+	cur := ir.FromNodes(qBits)
+
+	// Exclude the unused input codes when the alphabet is not a power
+	// of two — the log encoding's type constraint.
+	if ib > 0 && nSyms != 1<<uint(ib) {
+		b.Constrain(ir.LtW(inW, ir.ConstWord(uint64(nSyms), ib)))
+	}
+
+	symEq := func(code uint64) *ir.Node {
+		if ib == 0 {
+			return ir.Bool(true) // single-symbol alphabet
+		}
+		return ir.EqConstW(inW, code)
+	}
+
+	// Next-state word: unspecified (state, symbol) pairs stutter; an
+	// NFA's choice bits select among alternatives, clamping out-of-range
+	// codes to the last one.
+	next := cur
+	for _, g := range groups {
+		tgt := ir.ConstWord(stateIdx[g.alts[len(g.alts)-1].To], sb)
+		for j := len(g.alts) - 2; j >= 0; j-- {
+			tgt = ir.MuxW(ir.EqConstW(chW, uint64(j)), ir.ConstWord(stateIdx[g.alts[j].To], sb), tgt)
+		}
+		cond := ir.And(ir.EqConstW(cur, g.from), symEq(g.on))
+		next = ir.MuxW(cond, tgt, next)
+	}
+	for i, q := range qBits {
+		b.SetNext(q, next.Bit(i))
+	}
+
+	// stateSetEq builds "word encodes a member of set" predicates.
+	stateSetEq := func(w ir.Word, set []string) *ir.Node {
+		in := ir.Bool(false)
+		for _, s := range set {
+			in = ir.Or(in, ir.EqConstW(w, stateIdx[s]))
+		}
+		return in
+	}
+	member := func(set []string, s string) bool {
+		for _, x := range set {
+			if x == s {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Outputs become observation state variables `out.<name>`. A Moore
+	// output (and the synthetic "accept" output) is a function of the
+	// control state — declared as a functional dependency, the paper's
+	// FD optimization. A Mealy output latches the edge taken, so it
+	// depends on the inputs and carries no dependency.
+	outNode := map[string]*ir.Node{}
+	type mooreOut struct {
+		name string
+		set  []string
+	}
+	var pending []mooreOut
+	for _, o := range f.Outputs {
+		if f.Type == TypeMealy {
+			v := b.State("out."+o, false)
+			outNode[o] = v
+			fire := ir.Bool(false)
+			for _, t := range f.Trans {
+				if member(t.Out, o) {
+					fire = ir.Or(fire, ir.And(ir.EqConstW(cur, stateIdx[t.From]), symEq(symIdx[t.On])))
+				}
+			}
+			b.SetNext(v, fire)
+			continue
+		}
+		var set []string
+		for _, s := range f.States {
+			if member(f.Moore[s], o) {
+				set = append(set, s)
+			}
+		}
+		pending = append(pending, mooreOut{o, set})
+	}
+	if len(f.Accepting) > 0 {
+		pending = append(pending, mooreOut{"accept", f.Accepting})
+	}
+	for _, mo := range pending {
+		v := b.State("out."+mo.name, member(mo.set, f.Initial))
+		outNode[mo.name] = v
+		b.SetNext(v, stateSetEq(next, mo.set))
+		b.Dep(v, stateSetEq(cur, mo.set))
+	}
+
+	// Safety templates: one good conjunct per named state and output —
+	// the implicit conjunction the engines verify. No property at all
+	// compiles to the trivial goal.
+	goods := 0
+	if f.Property != nil {
+		for _, s := range f.Property.Never {
+			b.Good(ir.Not(ir.EqConstW(cur, stateIdx[s])))
+			goods++
+		}
+		for _, o := range f.Property.NeverOutput {
+			b.Good(ir.Not(outNode[o]))
+			goods++
+		}
+	}
+	if goods == 0 {
+		b.Goal(ir.Bool(true))
+	}
+	return b.Build()
+}

@@ -1,0 +1,265 @@
+// Package fsmtk imports FSM-toolkit machine descriptions — the compact
+// `.fsm` JSON format for DFA/NFA/Moore/Mealy machines — and compiles
+// them into the manager-independent model IR (internal/ir), opening the
+// verifier to externally-authored automata (ROADMAP item 3).
+//
+// A `.fsm` file is a single JSON object:
+//
+//	{
+//	  "name":   "turnstile",
+//	  "type":   "dfa",                  // dfa | nfa | moore | mealy
+//	  "states": ["locked", "unlocked"],
+//	  "inputs": ["coin", "push"],       // the input alphabet
+//	  "initial": "locked",
+//	  "accepting": ["unlocked"],        // optional: becomes output "accept"
+//	  "outputs": ["open"],              // optional observation outputs
+//	  "moore":  {"unlocked": ["open"]}, // moore: outputs asserted per state
+//	  "transitions": [
+//	    {"from": "locked", "on": "coin", "to": "unlocked"},
+//	    {"from": "unlocked", "on": "push", "to": "locked", "out": ["open"]}
+//	  ],
+//	  "property": {                     // optional safety templates
+//	    "never": ["error"],             // control states never reached
+//	    "never_output": ["alarm"]       // outputs never asserted
+//	  }
+//	}
+//
+// Compilation log-encodes both the state set and the input alphabet:
+// ceil(log2(n)) input bits (with a type constraint excluding the unused
+// codes when n is not a power of two), ceil(log2(k)) state bits. An NFA
+// additionally gets choice input bits that select among the
+// alternatives of a nondeterministic (state, symbol) pair; choice codes
+// beyond the alternative count select the last alternative, so every
+// input valuation resolves to a successor. Unspecified (state, symbol)
+// pairs stutter (the machine holds its state). Outputs are observation
+// variables: extra state bits that latch the machine's output, with a
+// declared functional dependency for Moore outputs (a Moore output is a
+// function of the control state, which is exactly the paper's
+// functional-dependency optimization).
+//
+// Property templates lower to the implicit conjunction the engines
+// verify: one good conjunct per "never" state and per "never_output"
+// output. A file with no property compiles to the trivial goal (useful
+// for importer smoke tests and reachability-only runs).
+package fsmtk
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// MaxStates mirrors the FSM-toolkit format limit.
+const MaxStates = 65536
+
+// File is the decoded form of a `.fsm` JSON document.
+type File struct {
+	Name      string              `json:"name"`
+	Type      string              `json:"type"`
+	States    []string            `json:"states"`
+	Inputs    []string            `json:"inputs"`
+	Initial   string              `json:"initial"`
+	Accepting []string            `json:"accepting,omitempty"`
+	Outputs   []string            `json:"outputs,omitempty"`
+	Moore     map[string][]string `json:"moore,omitempty"`
+	Trans     []Transition        `json:"transitions"`
+	Property  *Property           `json:"property,omitempty"`
+}
+
+// Transition is one edge of the machine.
+type Transition struct {
+	From string   `json:"from"`
+	On   string   `json:"on"`
+	To   string   `json:"to"`
+	Out  []string `json:"out,omitempty"` // mealy: outputs asserted on this edge
+}
+
+// Property holds the safety-property templates.
+type Property struct {
+	Never       []string `json:"never,omitempty"`
+	NeverOutput []string `json:"never_output,omitempty"`
+}
+
+// Machine types.
+const (
+	TypeDFA   = "dfa"
+	TypeNFA   = "nfa"
+	TypeMoore = "moore"
+	TypeMealy = "mealy"
+)
+
+// Parse decodes and statically validates a `.fsm` document. Errors
+// carry context: the line/column of a JSON syntax error, or the field
+// path of a semantic one (e.g. `transitions[3].to`).
+func Parse(src []byte) (*File, error) {
+	var f File
+	if err := json.Unmarshal(src, &f); err != nil {
+		switch e := err.(type) {
+		case *json.SyntaxError:
+			line, col := lineCol(src, e.Offset)
+			return nil, fmt.Errorf("fsm: line %d, column %d: %v", line, col, e)
+		case *json.UnmarshalTypeError:
+			line, col := lineCol(src, e.Offset)
+			field := e.Field
+			if field == "" {
+				field = "document"
+			}
+			return nil, fmt.Errorf("fsm: line %d, column %d: field %s: cannot decode %s", line, col, field, e.Value)
+		}
+		return nil, fmt.Errorf("fsm: %v", err)
+	}
+	if err := f.validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// Import parses src and compiles it to IR in one step.
+func Import(src []byte) (*ir.Model, error) {
+	f, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return f.Compile(), nil
+}
+
+func lineCol(src []byte, off int64) (int, int) {
+	line, col := 1, 1
+	for i := int64(0); i < off && i < int64(len(src)); i++ {
+		if src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
+}
+
+// outputName checks that an output label survives as an IR variable
+// name (outputs become `out.<name>` observation variables).
+func outputName(name string) bool {
+	return name != "" && !strings.ContainsAny(name, " \t\n\r();") && !strings.HasPrefix(name, "$")
+}
+
+func (f *File) validate() error {
+	switch f.Type {
+	case TypeDFA, TypeNFA, TypeMoore, TypeMealy:
+	default:
+		return fmt.Errorf("fsm: type: unknown machine type %q (want dfa, nfa, moore or mealy)", f.Type)
+	}
+
+	if len(f.States) == 0 {
+		return fmt.Errorf("fsm: states: machine has no states")
+	}
+	if len(f.States) > MaxStates {
+		return fmt.Errorf("fsm: states: %d states exceed the format limit of %d", len(f.States), MaxStates)
+	}
+	states := map[string]bool{}
+	for i, s := range f.States {
+		if s == "" {
+			return fmt.Errorf("fsm: states[%d]: empty state name", i)
+		}
+		if states[s] {
+			return fmt.Errorf("fsm: states[%d]: duplicate state %q", i, s)
+		}
+		states[s] = true
+	}
+
+	if len(f.Inputs) == 0 {
+		return fmt.Errorf("fsm: inputs: machine has no input symbols")
+	}
+	symbols := map[string]bool{}
+	for i, s := range f.Inputs {
+		if s == "" {
+			return fmt.Errorf("fsm: inputs[%d]: empty input symbol", i)
+		}
+		if symbols[s] {
+			return fmt.Errorf("fsm: inputs[%d]: duplicate symbol %q", i, s)
+		}
+		symbols[s] = true
+	}
+
+	if f.Initial == "" {
+		return fmt.Errorf("fsm: initial: no initial state")
+	}
+	if !states[f.Initial] {
+		return fmt.Errorf("fsm: initial: unknown state %q", f.Initial)
+	}
+
+	outputs := map[string]bool{}
+	for i, o := range f.Outputs {
+		if !outputName(o) {
+			return fmt.Errorf("fsm: outputs[%d]: %q is not a legal output name", i, o)
+		}
+		if outputs[o] {
+			return fmt.Errorf("fsm: outputs[%d]: duplicate output %q", i, o)
+		}
+		outputs[o] = true
+	}
+	for i, s := range f.Accepting {
+		if !states[s] {
+			return fmt.Errorf("fsm: accepting[%d]: unknown state %q", i, s)
+		}
+	}
+	if len(f.Accepting) > 0 && outputs["accept"] {
+		return fmt.Errorf(`fsm: accepting: output name "accept" is already declared`)
+	}
+
+	if len(f.Moore) > 0 && f.Type != TypeMoore {
+		return fmt.Errorf("fsm: moore: per-state output map is only valid for moore machines")
+	}
+	for s, outs := range f.Moore {
+		if !states[s] {
+			return fmt.Errorf("fsm: moore.%s: unknown state", s)
+		}
+		for _, o := range outs {
+			if !outputs[o] {
+				return fmt.Errorf("fsm: moore.%s: unknown output %q", s, o)
+			}
+		}
+	}
+
+	seen := map[[2]string]bool{}
+	for i, t := range f.Trans {
+		if !states[t.From] {
+			return fmt.Errorf("fsm: transitions[%d].from: unknown state %q", i, t.From)
+		}
+		if !states[t.To] {
+			return fmt.Errorf("fsm: transitions[%d].to: unknown state %q", i, t.To)
+		}
+		if !symbols[t.On] {
+			return fmt.Errorf("fsm: transitions[%d].on: unknown input symbol %q", i, t.On)
+		}
+		key := [2]string{t.From, t.On}
+		if seen[key] && f.Type != TypeNFA {
+			return fmt.Errorf("fsm: transitions[%d]: duplicate transition from %q on %q (%s machines are deterministic)",
+				i, t.From, t.On, f.Type)
+		}
+		seen[key] = true
+		if len(t.Out) > 0 && f.Type != TypeMealy {
+			return fmt.Errorf("fsm: transitions[%d].out: edge outputs are only valid for mealy machines", i)
+		}
+		for _, o := range t.Out {
+			if !outputs[o] {
+				return fmt.Errorf("fsm: transitions[%d].out: unknown output %q", i, o)
+			}
+		}
+	}
+
+	if f.Property != nil {
+		for i, s := range f.Property.Never {
+			if !states[s] {
+				return fmt.Errorf("fsm: property.never[%d]: unknown state %q", i, s)
+			}
+		}
+		for i, o := range f.Property.NeverOutput {
+			if !outputs[o] && !(o == "accept" && len(f.Accepting) > 0) {
+				return fmt.Errorf("fsm: property.never_output[%d]: unknown output %q", i, o)
+			}
+		}
+	}
+	return nil
+}

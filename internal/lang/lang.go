@@ -35,7 +35,6 @@ import (
 	"strings"
 
 	"repro/internal/bdd"
-	"repro/internal/fsm"
 	"repro/internal/verify"
 )
 
@@ -105,10 +104,46 @@ type GoodDecl struct {
 	Expr Expr
 }
 
+// ParamDecl records a named model parameter: (param NAME VALUE). It is
+// carried through to the IR's canonical form but does not affect
+// compilation.
+type ParamDecl struct {
+	Name  string
+	Value string
+}
+
+// DefDecl binds a name to a subexpression: (def NAME EXPR). Later
+// expressions may reference NAME; the binding is inlined (as a shared
+// subgraph) during lowering, so defs are pure serialization — the
+// device the canonical form uses to print expression DAGs linearly.
+type DefDecl struct {
+	Name string
+	Expr Expr
+}
+
+// GoalDecl is the optional monolithic property: (goal EXPR). At most
+// one per model; it compiles to verify.Problem.Good, distinct from the
+// good-conjunct partition.
+type GoalDecl struct {
+	Expr Expr
+}
+
+// DepDecl declares a functional dependency: (dep STATE EXPR), meaning
+// the state bit always equals EXPR on reachable states — the FD
+// engine's input.
+type DepDecl struct {
+	Name string
+	Expr Expr
+}
+
 func (*InputDecl) isDecl()      {}
 func (*StateDecl) isDecl()      {}
 func (*ConstraintDecl) isDecl() {}
 func (*GoodDecl) isDecl()       {}
+func (*ParamDecl) isDecl()      {}
+func (*DefDecl) isDecl()        {}
+func (*GoalDecl) isDecl()       {}
+func (*DepDecl) isDecl()        {}
 
 // Expr is a boolean expression: an Atom (variable or constant) or a
 // List (operator application).
@@ -145,6 +180,20 @@ func ParseModel(src string) (*Model, error) {
 
 	mo := &Model{}
 	declared := map[string]bool{}
+	states := map[string]bool{}
+	defPos := map[string]int{}
+	params := map[string]bool{}
+	goals := 0
+	declareVar := func(name string) error {
+		if strings.HasPrefix(name, "$") {
+			return fmt.Errorf("lang: variable names beginning with '$' are reserved for defs")
+		}
+		if declared[name] {
+			return fmt.Errorf("lang: duplicate variable %q", name)
+		}
+		declared[name] = true
+		return nil
+	}
 	for _, f := range forms {
 		form, ok := f.(List)
 		if !ok || len(form) == 0 {
@@ -162,10 +211,9 @@ func ParseModel(src string) (*Model, error) {
 				if !ok {
 					return nil, fmt.Errorf("lang: input names must be symbols")
 				}
-				if declared[string(name)] {
-					return nil, fmt.Errorf("lang: duplicate variable %q", name)
+				if err := declareVar(string(name)); err != nil {
+					return nil, err
 				}
-				declared[string(name)] = true
 				in.Names = append(in.Names, string(name))
 			}
 			mo.Decls = append(mo.Decls, in)
@@ -176,9 +224,6 @@ func ParseModel(src string) (*Model, error) {
 			name, ok := form[1].(Atom)
 			if !ok {
 				return nil, fmt.Errorf("lang: state name must be a symbol")
-			}
-			if declared[string(name)] {
-				return nil, fmt.Errorf("lang: duplicate variable %q", name)
 			}
 			if k, _ := form[2].(Atom); string(k) != ":init" {
 				return nil, fmt.Errorf("lang: state %q: expected :init", name)
@@ -196,7 +241,10 @@ func ParseModel(src string) (*Model, error) {
 			if k, _ := form[4].(Atom); string(k) != ":next" {
 				return nil, fmt.Errorf("lang: state %q: expected :next", name)
 			}
-			declared[string(name)] = true
+			if err := declareVar(string(name)); err != nil {
+				return nil, err
+			}
+			states[string(name)] = true
 			mo.Decls = append(mo.Decls, &StateDecl{Name: string(name), Init: initVal, Next: form[5]})
 		case "constraint":
 			if len(form) != 2 {
@@ -208,18 +256,79 @@ func ParseModel(src string) (*Model, error) {
 				return nil, fmt.Errorf("lang: good takes one expression")
 			}
 			mo.Decls = append(mo.Decls, &GoodDecl{Expr: form[1]})
+		case "goal":
+			if len(form) != 2 {
+				return nil, fmt.Errorf("lang: goal takes one expression")
+			}
+			goals++
+			if goals > 1 {
+				return nil, fmt.Errorf("lang: at most one (goal ...) form is allowed")
+			}
+			mo.Decls = append(mo.Decls, &GoalDecl{Expr: form[1]})
+		case "param":
+			if len(form) != 3 {
+				return nil, fmt.Errorf("lang: param form is (param NAME VALUE)")
+			}
+			name, ok1 := form[1].(Atom)
+			val, ok2 := form[2].(Atom)
+			if !ok1 || !ok2 {
+				return nil, fmt.Errorf("lang: param name and value must be symbols")
+			}
+			if params[string(name)] {
+				return nil, fmt.Errorf("lang: duplicate param %q", name)
+			}
+			params[string(name)] = true
+			mo.Decls = append(mo.Decls, &ParamDecl{Name: string(name), Value: string(val)})
+		case "def":
+			if len(form) != 3 {
+				return nil, fmt.Errorf("lang: def form is (def NAME EXPR)")
+			}
+			name, ok := form[1].(Atom)
+			if !ok {
+				return nil, fmt.Errorf("lang: def name must be a symbol")
+			}
+			switch string(name) {
+			case "true", "false":
+				return nil, fmt.Errorf("lang: def cannot rebind constant %q", name)
+			}
+			if declared[string(name)] {
+				return nil, fmt.Errorf("lang: duplicate variable %q", name)
+			}
+			if _, dup := defPos[string(name)]; dup {
+				return nil, fmt.Errorf("lang: duplicate def %q", name)
+			}
+			defPos[string(name)] = len(mo.Decls)
+			mo.Decls = append(mo.Decls, &DefDecl{Name: string(name), Expr: form[2]})
+		case "dep":
+			if len(form) != 3 {
+				return nil, fmt.Errorf("lang: dep form is (dep STATE EXPR)")
+			}
+			name, ok := form[1].(Atom)
+			if !ok {
+				return nil, fmt.Errorf("lang: dep state name must be a symbol")
+			}
+			mo.Decls = append(mo.Decls, &DepDecl{Name: string(name), Expr: form[2]})
 		default:
 			return nil, fmt.Errorf("lang: unknown form %q", head)
 		}
 	}
 
-	if mo.Goods() == 0 {
+	if mo.Goods()+goals == 0 {
 		return nil, fmt.Errorf("lang: model has no (good ...) property")
+	}
+	// A def name must not collide with a variable declared after it
+	// either — defs and variables share one namespace.
+	for name := range defPos {
+		if declared[name] {
+			return nil, fmt.Errorf("lang: duplicate variable %q", name)
+		}
 	}
 	// Expressions may reference any variable, including ones declared
 	// later (the two-phase Compile supports forward references), so the
-	// static check runs after all declarations are collected.
-	for _, d := range mo.Decls {
+	// static check runs after all declarations are collected. Defs, by
+	// contrast, must be defined before use — the canonical printer
+	// emits them that way, and it keeps lowering single-pass.
+	for i, d := range mo.Decls {
 		var e Expr
 		switch d := d.(type) {
 		case *StateDecl:
@@ -228,10 +337,19 @@ func ParseModel(src string) (*Model, error) {
 			e = d.Expr
 		case *GoodDecl:
 			e = d.Expr
+		case *GoalDecl:
+			e = d.Expr
+		case *DefDecl:
+			e = d.Expr
+		case *DepDecl:
+			if !states[d.Name] {
+				return nil, fmt.Errorf("lang: dep of undeclared state %q", d.Name)
+			}
+			e = d.Expr
 		default:
 			continue
 		}
-		if err := checkExpr(declared, e); err != nil {
+		if err := checkExpr(declared, defPos, i, e); err != nil {
 			return nil, err
 		}
 	}
@@ -239,12 +357,19 @@ func ParseModel(src string) (*Model, error) {
 }
 
 // checkExpr validates variables, operators, and arities against the
-// declared-name set.
-func checkExpr(declared map[string]bool, e Expr) error {
+// declared-name set. pos is the declaration index of the expression's
+// form: a def reference is legal only when the def appears earlier.
+func checkExpr(declared map[string]bool, defPos map[string]int, pos int, e Expr) error {
 	switch e := e.(type) {
 	case Atom:
 		switch string(e) {
 		case "true", "false":
+			return nil
+		}
+		if p, isDef := defPos[string(e)]; isDef {
+			if p >= pos {
+				return fmt.Errorf("lang: def %q used before its definition", e)
+			}
 			return nil
 		}
 		if !declared[string(e)] {
@@ -267,7 +392,7 @@ func checkExpr(declared map[string]bool, e Expr) error {
 			return fmt.Errorf("lang: %s takes %d arguments, got %d", head, n, len(e)-1)
 		}
 		for _, a := range e[1:] {
-			if err := checkExpr(declared, a); err != nil {
+			if err := checkExpr(declared, defPos, pos, a); err != nil {
 				return err
 			}
 		}
@@ -276,73 +401,17 @@ func checkExpr(declared map[string]bool, e Expr) error {
 	return fmt.Errorf("lang: malformed expression")
 }
 
-// Compile builds the verification problem on the given manager: declares
-// the variables in AST order, builds the transition functions, initial
-// set, constraints, and property conjuncts, and seals the machine.
+// Compile builds the verification problem on the given manager by
+// lowering the AST to the manager-independent IR and instantiating it:
+// ir.Instantiate is the single place any frontend turns models into
+// BDDs, so a text model and the equivalent Go-built model produce
+// Ref-identical functions on the same manager.
 func Compile(m *bdd.Manager, mo *Model, name string) (verify.Problem, error) {
-	ma := fsm.New(m)
-	vars := make(map[string]bdd.Var)
-	var states []*StateDecl
-
-	for _, d := range mo.Decls {
-		switch d := d.(type) {
-		case *InputDecl:
-			for _, n := range d.Names {
-				if _, dup := vars[n]; dup {
-					return verify.Problem{}, fmt.Errorf("lang: duplicate variable %q", n)
-				}
-				vars[n] = ma.NewInputBit(n)
-			}
-		case *StateDecl:
-			if _, dup := vars[d.Name]; dup {
-				return verify.Problem{}, fmt.Errorf("lang: duplicate variable %q", d.Name)
-			}
-			vars[d.Name] = ma.NewStateBit(d.Name)
-			states = append(states, d)
-		}
-	}
-
-	eval := func(e Expr) (bdd.Ref, error) { return evalExpr(m, vars, e) }
-
-	initSet := bdd.One
-	for _, s := range states {
-		f, err := eval(s.Next)
-		if err != nil {
-			return verify.Problem{}, err
-		}
-		ma.SetNext(vars[s.Name], f)
-		lit := m.VarRef(vars[s.Name])
-		if !s.Init {
-			lit = lit.Not()
-		}
-		initSet = m.And(initSet, lit)
-	}
-	ma.SetInit(initSet)
-
-	var goodList []bdd.Ref
-	for _, d := range mo.Decls {
-		switch d := d.(type) {
-		case *ConstraintDecl:
-			f, err := eval(d.Expr)
-			if err != nil {
-				return verify.Problem{}, err
-			}
-			ma.AddInputConstraint(f)
-		case *GoodDecl:
-			f, err := eval(d.Expr)
-			if err != nil {
-				return verify.Problem{}, err
-			}
-			goodList = append(goodList, f)
-		}
-	}
-	if len(goodList) == 0 {
-		return verify.Problem{}, fmt.Errorf("lang: model has no (good ...) property")
-	}
-	if err := ma.Seal(); err != nil {
+	imo, err := mo.ToIR(name)
+	if err != nil {
 		return verify.Problem{}, err
 	}
-	return verify.Problem{Machine: ma, GoodList: goodList, Name: name}, nil
+	return imo.Instantiate(m)
 }
 
 // Parse compiles source text into a verification problem on the given
@@ -353,93 +422,6 @@ func Parse(m *bdd.Manager, src, name string) (verify.Problem, error) {
 		return verify.Problem{}, err
 	}
 	return Compile(m, mo, name)
-}
-
-// evalExpr compiles a boolean expression over the declared variables.
-func evalExpr(m *bdd.Manager, vars map[string]bdd.Var, e Expr) (bdd.Ref, error) {
-	switch e := e.(type) {
-	case Atom:
-		switch string(e) {
-		case "true":
-			return bdd.One, nil
-		case "false":
-			return bdd.Zero, nil
-		}
-		v, ok := vars[string(e)]
-		if !ok {
-			return 0, fmt.Errorf("lang: undeclared variable %q", e)
-		}
-		return m.VarRef(v), nil
-	case List:
-		if len(e) == 0 {
-			return 0, fmt.Errorf("lang: empty expression")
-		}
-		head, ok := e[0].(Atom)
-		if !ok {
-			return 0, fmt.Errorf("lang: operator must be a symbol")
-		}
-		args := make([]bdd.Ref, len(e)-1)
-		for i, a := range e[1:] {
-			f, err := evalExpr(m, vars, a)
-			if err != nil {
-				return 0, err
-			}
-			args[i] = f
-		}
-		return applyOp(m, string(head), args)
-	}
-	return 0, fmt.Errorf("lang: malformed expression")
-}
-
-func applyOp(m *bdd.Manager, op string, args []bdd.Ref) (bdd.Ref, error) {
-	need := func(n int) error {
-		if len(args) != n {
-			return fmt.Errorf("lang: %s takes %d arguments, got %d", op, n, len(args))
-		}
-		return nil
-	}
-	switch op {
-	case "and":
-		return m.AndN(args...), nil
-	case "or":
-		return m.OrN(args...), nil
-	case "not":
-		if err := need(1); err != nil {
-			return 0, err
-		}
-		return args[0].Not(), nil
-	case "xor":
-		if err := need(2); err != nil {
-			return 0, err
-		}
-		return m.Xor(args[0], args[1]), nil
-	case "xnor", "eq":
-		if err := need(2); err != nil {
-			return 0, err
-		}
-		return m.Xnor(args[0], args[1]), nil
-	case "imp":
-		if err := need(2); err != nil {
-			return 0, err
-		}
-		return m.Imp(args[0], args[1]), nil
-	case "nand":
-		if err := need(2); err != nil {
-			return 0, err
-		}
-		return m.Nand(args[0], args[1]), nil
-	case "nor":
-		if err := need(2); err != nil {
-			return 0, err
-		}
-		return m.Nor(args[0], args[1]), nil
-	case "ite":
-		if err := need(3); err != nil {
-			return 0, err
-		}
-		return m.ITE(args[0], args[1], args[2]), nil
-	}
-	return 0, fmt.Errorf("lang: unknown operator %q", op)
 }
 
 // --- s-expression reader -------------------------------------------------

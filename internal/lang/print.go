@@ -31,6 +31,14 @@ func (mo *Model) Format() string {
 			fmt.Fprintf(&b, "(constraint %s)\n", formatExpr(d.Expr))
 		case *GoodDecl:
 			fmt.Fprintf(&b, "(good %s)\n", formatExpr(d.Expr))
+		case *ParamDecl:
+			fmt.Fprintf(&b, "(param %s %s)\n", d.Name, d.Value)
+		case *DefDecl:
+			fmt.Fprintf(&b, "(def %s %s)\n", d.Name, formatExpr(d.Expr))
+		case *GoalDecl:
+			fmt.Fprintf(&b, "(goal %s)\n", formatExpr(d.Expr))
+		case *DepDecl:
+			fmt.Fprintf(&b, "(dep %s %s)\n", d.Name, formatExpr(d.Expr))
 		}
 	}
 	return b.String()
@@ -56,14 +64,21 @@ func formatExpr(e Expr) string {
 	return "<?>"
 }
 
-// Canon parses source text and returns its canonical form — comments
-// and layout stripped, one declaration per line. Two sources with the
-// same canonical form denote the same model bit for bit, which is what
-// the icid result cache hashes.
+// Canon parses source text and returns its canonical form: the model is
+// lowered to the fold-normal IR and re-serialized, so comments, layout,
+// constant subexpressions, def naming, and the eq/xnor spelling all
+// normalize away. Two sources with the same canonical form denote the
+// same model bit for bit, and because the IR serializer is shared with
+// the Go-built model registry, text submissions and builtin models hash
+// to the same content address (the icid result-cache key).
 func Canon(src string) (string, error) {
 	mo, err := ParseModel(src)
 	if err != nil {
 		return "", err
 	}
-	return mo.Format(), nil
+	imo, err := mo.ToIR("")
+	if err != nil {
+		return "", err
+	}
+	return imo.Format(), nil
 }

@@ -1,0 +1,127 @@
+package lang
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// ToIR lowers the parsed AST to the manager-independent IR. Lowering
+// inlines def bindings as shared subgraph pointers (defs are a
+// serialization device, not an IR construct), maps eq onto xnor, and
+// runs every expression through the IR's folding constructors, so the
+// result is fold-normal and its ir.Format is the canonical form of the
+// model. Declaration order is preserved exactly — it is the variable
+// order.
+func (mo *Model) ToIR(name string) (*ir.Model, error) {
+	out := &ir.Model{Name: name}
+	vars := map[string]*ir.Node{} // one node per variable, shared
+	defs := map[string]*ir.Node{} // def name → lowered (shared) subgraph
+
+	var lower func(e Expr) (*ir.Node, error)
+	lower = func(e Expr) (*ir.Node, error) {
+		switch e := e.(type) {
+		case Atom:
+			s := string(e)
+			switch s {
+			case "true":
+				return ir.Bool(true), nil
+			case "false":
+				return ir.Bool(false), nil
+			}
+			if n, ok := defs[s]; ok {
+				return n, nil
+			}
+			n, ok := vars[s]
+			if !ok {
+				n = ir.Var(s)
+				vars[s] = n
+			}
+			return n, nil
+		case List:
+			if len(e) == 0 {
+				return nil, fmt.Errorf("lang: empty expression")
+			}
+			head, ok := e[0].(Atom)
+			if !ok {
+				return nil, fmt.Errorf("lang: operator must be a symbol")
+			}
+			args := make([]*ir.Node, len(e)-1)
+			for i, a := range e[1:] {
+				n, err := lower(a)
+				if err != nil {
+					return nil, err
+				}
+				args[i] = n
+			}
+			switch string(head) {
+			case "and":
+				return ir.And(args...), nil
+			case "or":
+				return ir.Or(args...), nil
+			case "not":
+				return ir.Not(args[0]), nil
+			case "xor":
+				return ir.Xor(args[0], args[1]), nil
+			case "xnor", "eq":
+				return ir.Xnor(args[0], args[1]), nil
+			case "imp":
+				return ir.Imp(args[0], args[1]), nil
+			case "nand":
+				return ir.Nand(args[0], args[1]), nil
+			case "nor":
+				return ir.Nor(args[0], args[1]), nil
+			case "ite":
+				return ir.ITE(args[0], args[1], args[2]), nil
+			}
+			return nil, fmt.Errorf("lang: unknown operator %q", head)
+		}
+		return nil, fmt.Errorf("lang: malformed expression")
+	}
+
+	for _, d := range mo.Decls {
+		switch d := d.(type) {
+		case *ParamDecl:
+			out.Decls = append(out.Decls, &ir.Param{Name: d.Name, Value: d.Value})
+		case *InputDecl:
+			out.Decls = append(out.Decls, &ir.Input{Names: append([]string(nil), d.Names...)})
+		case *StateDecl:
+			next, err := lower(d.Next)
+			if err != nil {
+				return nil, err
+			}
+			out.Decls = append(out.Decls, &ir.State{Name: d.Name, Init: d.Init, Next: next})
+		case *ConstraintDecl:
+			n, err := lower(d.Expr)
+			if err != nil {
+				return nil, err
+			}
+			out.Decls = append(out.Decls, &ir.Constraint{Expr: n})
+		case *GoodDecl:
+			n, err := lower(d.Expr)
+			if err != nil {
+				return nil, err
+			}
+			out.Decls = append(out.Decls, &ir.Good{Expr: n})
+		case *GoalDecl:
+			n, err := lower(d.Expr)
+			if err != nil {
+				return nil, err
+			}
+			out.Decls = append(out.Decls, &ir.Goal{Expr: n})
+		case *DepDecl:
+			n, err := lower(d.Expr)
+			if err != nil {
+				return nil, err
+			}
+			out.Decls = append(out.Decls, &ir.Dep{Name: d.Name, Def: n})
+		case *DefDecl:
+			n, err := lower(d.Expr)
+			if err != nil {
+				return nil, err
+			}
+			defs[d.Name] = n // inlined at use sites; no IR declaration
+		}
+	}
+	return out, nil
+}

@@ -4,8 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/bdd"
-	"repro/internal/expr"
-	"repro/internal/fsm"
+	"repro/internal/ir"
 	"repro/internal/verify"
 )
 
@@ -40,7 +39,8 @@ const (
 	cohEvict   = 3 // requester silently drops its copy
 )
 
-// NewCoherence builds the MSI protocol problem on a fresh manager.
+// BuildCoherence builds the MSI protocol model as manager-independent
+// IR.
 //
 // The safety property is the conjunction of, per cache p:
 //
@@ -53,136 +53,130 @@ const (
 // directory-consistency half also doubles as a functional dependency
 // (the directory state is a function of the cache states), exercising
 // the FD engine on a protocol.
-func NewCoherence(m *bdd.Manager, cfg CoherenceConfig) verify.Problem {
+func BuildCoherence(cfg CoherenceConfig) *ir.Model {
 	n := cfg.Caches
 	if n < 2 || n > 8 {
 		panic("models: coherence needs 2 <= Caches <= 8")
 	}
 
-	ma := fsm.New(m)
+	b := ir.NewBuilder(fmt.Sprintf("msi-n%d", n))
+	b.ParamInt("caches", n)
+	b.ParamBool("bug", cfg.Bug)
 
-	act := ma.NewInputBits("act", 2)
-	sel := ma.NewInputBits("csel", 3)
+	act := b.Inputs("act", 2)
+	sel := b.Inputs("csel", 3)
 
 	// Cache states first, then the directory (whose bits are functions
 	// of the cache states — good for both ordering and the FD engine).
-	caches := make([][]bdd.Var, n)
+	caches := make([][]*ir.Node, n)
 	for p := 0; p < n; p++ {
-		caches[p] = ma.NewStateBits(fmt.Sprintf("c%d.s", p), 2)
+		caches[p] = b.States(fmt.Sprintf("c%d.s", p), 2, false)
 	}
-	sharer := make([]bdd.Var, n)
+	sharer := make([]*ir.Node, n)
 	for p := 0; p < n; p++ {
-		sharer[p] = ma.NewStateBit(fmt.Sprintf("dir.sh%d", p))
+		sharer[p] = b.State(fmt.Sprintf("dir.sh%d", p), false)
 	}
-	dirty := ma.NewStateBit("dir.dirty")
+	dirty := b.State("dir.dirty", false)
 
-	action := expr.FromVars(m, act)
-	chosen := expr.FromVars(m, sel)
-	ma.AddInputConstraint(expr.Lt(chosen, expr.Const(m, uint64(n), 3)))
+	action := ir.FromNodes(act)
+	chosen := ir.FromNodes(sel)
+	b.Constrain(ir.LtW(chosen, ir.ConstWord(uint64(n), 3)))
 
-	isRead := expr.EqConst(action, cohRead)
-	isUpgrade := expr.EqConst(action, cohUpgrade)
-	isEvict := expr.EqConst(action, cohEvict)
+	isRead := ir.EqConstW(action, cohRead)
+	isUpgrade := ir.EqConstW(action, cohUpgrade)
+	isEvict := ir.EqConstW(action, cohEvict)
 
-	st := func(p int) expr.Word { return expr.FromVars(m, caches[p]) }
-	inState := func(p int, s uint64) bdd.Ref { return expr.EqConst(st(p), s) }
+	st := func(p int) ir.Word { return ir.FromNodes(caches[p]) }
+	inState := func(p int, s uint64) *ir.Node { return ir.EqConstW(st(p), s) }
 
 	for p := 0; p < n; p++ {
-		selP := expr.EqConst(chosen, uint64(p))
+		selP := ir.EqConstW(chosen, uint64(p))
 
 		// Read: an Invalid requester becomes Shared (a Modified owner,
 		// if any, is downgraded to Shared by the same atomic
 		// transaction). Reads by non-Invalid caches are hits: no change.
-		readHere := m.AndN(isRead, selP, inState(p, msiInvalid))
+		readHere := ir.And(isRead, selP, inState(p, msiInvalid))
 		// A remote read downgrades a Modified copy.
-		remoteRead := m.AndN(isRead, selP.Not(), inState(p, msiModified))
+		remoteRead := ir.And(isRead, ir.Not(selP), inState(p, msiModified))
 
 		// Upgrade: the requester becomes Modified; everyone else is
 		// invalidated (unless the seeded bug skips the invalidation of
 		// Shared copies).
-		upHere := m.AndN(isUpgrade, selP, inState(p, msiModified).Not())
-		remoteUp := m.AndN(isUpgrade, selP.Not())
+		upHere := ir.And(isUpgrade, selP, ir.Not(inState(p, msiModified)))
+		remoteUp := ir.And(isUpgrade, ir.Not(selP))
 		if cfg.Bug {
 			// The bug: remote SHARED copies survive an upgrade. Remote
 			// Modified owners are still invalidated (otherwise even the
 			// buggy protocol's designers would have noticed).
-			remoteUp = m.And(remoteUp, inState(p, msiModified))
+			remoteUp = ir.And(remoteUp, inState(p, msiModified))
 		}
 
 		// Evict: the requester drops to Invalid (silently; the
 		// directory is updated in the same transaction).
-		evictHere := m.AndN(isEvict, selP, inState(p, msiInvalid).Not())
+		evictHere := ir.And(isEvict, selP, ir.Not(inState(p, msiInvalid)))
 
 		next := st(p)
-		next = expr.Mux(readHere, expr.Const(m, msiShared, 2), next)
-		next = expr.Mux(remoteRead, expr.Const(m, msiShared, 2), next)
-		next = expr.Mux(upHere, expr.Const(m, msiModified, 2), next)
-		next = expr.Mux(m.And(remoteUp, upgradeHappens(m, isUpgrade, chosen, st, n)), expr.Const(m, msiInvalid, 2), next)
-		next = expr.Mux(evictHere, expr.Const(m, msiInvalid, 2), next)
-		setWord(ma, caches[p], next)
+		next = ir.MuxW(readHere, ir.ConstWord(msiShared, 2), next)
+		next = ir.MuxW(remoteRead, ir.ConstWord(msiShared, 2), next)
+		next = ir.MuxW(upHere, ir.ConstWord(msiModified, 2), next)
+		next = ir.MuxW(ir.And(remoteUp, upgradeHappens(isUpgrade, chosen, st, n)), ir.ConstWord(msiInvalid, 2), next)
+		next = ir.MuxW(evictHere, ir.ConstWord(msiInvalid, 2), next)
+		setWord(b, caches[p], next)
 	}
 
 	// Directory: sharer bit p set iff cache p holds a copy after the
 	// transaction; dirty iff some cache is Modified. Built directly from
 	// the caches' next-state functions to model an atomic directory.
 	for p := 0; p < n; p++ {
-		nextSt := expr.Word{M: m, Bits: []bdd.Ref{ma.NextFn(caches[p][0]), ma.NextFn(caches[p][1])}}
-		holds := expr.EqConst(nextSt, msiInvalid).Not()
-		ma.SetNext(sharer[p], holds)
+		nextSt := ir.WordOf(b.NextFn(caches[p][0]), b.NextFn(caches[p][1]))
+		holds := ir.Not(ir.EqConstW(nextSt, msiInvalid))
+		b.SetNext(sharer[p], holds)
 	}
-	anyDirty := bdd.Zero
+	anyDirty := ir.Bool(false)
 	for p := 0; p < n; p++ {
-		nextSt := expr.Word{M: m, Bits: []bdd.Ref{ma.NextFn(caches[p][0]), ma.NextFn(caches[p][1])}}
-		anyDirty = m.Or(anyDirty, expr.EqConst(nextSt, msiModified))
+		nextSt := ir.WordOf(b.NextFn(caches[p][0]), b.NextFn(caches[p][1]))
+		anyDirty = ir.Or(anyDirty, ir.EqConstW(nextSt, msiModified))
 	}
-	ma.SetNext(dirty, anyDirty)
-
-	initSet := bdd.One
-	for _, v := range ma.CurVars() {
-		initSet = m.And(initSet, m.NVarRef(v))
-	}
-	ma.SetInit(initSet)
-	ma.MustSeal()
+	b.SetNext(dirty, anyDirty)
 
 	// Property conjuncts and the directory functional dependency.
-	var goodList []bdd.Ref
-	var deps []verify.Dependency
 	for p := 0; p < n; p++ {
-		othersInvalid := bdd.One
+		othersInvalid := ir.Bool(true)
 		for q := 0; q < n; q++ {
 			if q != p {
-				othersInvalid = m.And(othersInvalid, inState(q, msiInvalid))
+				othersInvalid = ir.And(othersInvalid, inState(q, msiInvalid))
 			}
 		}
-		swmr := m.Imp(inState(p, msiModified), othersInvalid)
-		dirOK := m.Xnor(m.VarRef(sharer[p]), inState(p, msiInvalid).Not())
-		goodList = append(goodList, m.And(swmr, dirOK))
-		deps = append(deps, verify.Dependency{Var: sharer[p], Def: inState(p, msiInvalid).Not()})
+		swmr := ir.Imp(inState(p, msiModified), othersInvalid)
+		dirOK := ir.Xnor(sharer[p], ir.Not(inState(p, msiInvalid)))
+		b.Good(ir.And(swmr, dirOK))
+		b.Dep(sharer[p], ir.Not(inState(p, msiInvalid)))
 	}
-	anyMod := bdd.Zero
+	anyMod := ir.Bool(false)
 	for p := 0; p < n; p++ {
-		anyMod = m.Or(anyMod, inState(p, msiModified))
+		anyMod = ir.Or(anyMod, inState(p, msiModified))
 	}
-	goodList = append(goodList, m.Xnor(m.VarRef(dirty), anyMod))
-	deps = append(deps, verify.Dependency{Var: dirty, Def: anyMod})
+	b.Good(ir.Xnor(dirty, anyMod))
+	b.Dep(dirty, anyMod)
 
-	return verify.Problem{
-		Machine:  ma,
-		GoodList: goodList,
-		Deps:     deps,
-		Name:     fmt.Sprintf("msi-n%d", n),
-	}
+	return b.Build()
 }
 
 // upgradeHappens is the guard that the selected requester really
 // performs an upgrade this cycle (it is not already Modified), so remote
 // invalidations fire exactly when ownership changes hands.
-func upgradeHappens(m *bdd.Manager, isUpgrade bdd.Ref, chosen expr.Word, st func(int) expr.Word, n int) bdd.Ref {
-	fires := bdd.Zero
+func upgradeHappens(isUpgrade *ir.Node, chosen ir.Word, st func(int) ir.Word, n int) *ir.Node {
+	fires := ir.Bool(false)
 	for p := 0; p < n; p++ {
-		selP := expr.EqConst(chosen, uint64(p))
-		notOwner := expr.EqConst(st(p), msiModified).Not()
-		fires = m.Or(fires, m.And(selP, notOwner))
+		selP := ir.EqConstW(chosen, uint64(p))
+		notOwner := ir.Not(ir.EqConstW(st(p), msiModified))
+		fires = ir.Or(fires, ir.And(selP, notOwner))
 	}
-	return m.And(isUpgrade, fires)
+	return ir.And(isUpgrade, fires)
+}
+
+// NewCoherence builds the MSI protocol problem on the given manager — a
+// thin shim over BuildCoherence + ir.Instantiate.
+func NewCoherence(m *bdd.Manager, cfg CoherenceConfig) verify.Problem {
+	return BuildCoherence(cfg).MustInstantiate(m)
 }

@@ -4,8 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/bdd"
-	"repro/internal/expr"
-	"repro/internal/fsm"
+	"repro/internal/ir"
 	"repro/internal/verify"
 )
 
@@ -36,71 +35,67 @@ func DefaultFIFO(depth int) FIFOConfig {
 	return FIFOConfig{Width: 8, Depth: depth, Bound: 128}
 }
 
-// NewFIFO builds the typed FIFO problem on a fresh manager. The variable
-// order interleaves the bit-slices of all slots (input bit b, then bit b
-// of every slot), the standard datapath ordering heuristic.
+// BuildFIFO builds the typed FIFO model as manager-independent IR. The
+// variable order interleaves the bit-slices of all slots (input bit b,
+// then bit b of every slot), the standard datapath ordering heuristic.
 //
-// The property — every slot obeys the type constraint — is supplied both
-// monolithically (Good) and as the natural per-slot implicit conjunction
-// (GoodList), which is the partition the ICI method needs.
-func NewFIFO(m *bdd.Manager, cfg FIFOConfig) verify.Problem {
+// The property — every slot obeys the type constraint — is the natural
+// per-slot implicit conjunction (the good list), which is the partition
+// the ICI method needs.
+func BuildFIFO(cfg FIFOConfig) *ir.Model {
 	if cfg.Width <= 0 || cfg.Depth <= 0 {
 		panic("models: FIFO needs positive width and depth")
 	}
-	ma := fsm.New(m)
+	b := ir.NewBuilder(fmt.Sprintf("fifo-w%d-d%d", cfg.Width, cfg.Depth))
+	b.ParamInt("width", cfg.Width)
+	b.ParamInt("depth", cfg.Depth)
+	b.Param("bound", fmt.Sprintf("%d", cfg.Bound))
+	b.ParamBool("bug", cfg.Bug)
+	b.ParamBool("slot-major", cfg.SlotMajor)
 
-	in := make([]bdd.Var, cfg.Width)
-	slots := make([][]bdd.Var, cfg.Depth)
+	in := make([]*ir.Node, cfg.Width)
+	slots := make([][]*ir.Node, cfg.Depth)
 	for d := range slots {
-		slots[d] = make([]bdd.Var, cfg.Width)
+		slots[d] = make([]*ir.Node, cfg.Width)
 	}
 	if cfg.SlotMajor {
-		for b := 0; b < cfg.Width; b++ {
-			in[b] = ma.NewInputBit(fmt.Sprintf("in%d", b))
+		for i := 0; i < cfg.Width; i++ {
+			in[i] = b.Input(fmt.Sprintf("in%d", i))
 		}
 		for d := 0; d < cfg.Depth; d++ {
-			for b := 0; b < cfg.Width; b++ {
-				slots[d][b] = ma.NewStateBit(fmt.Sprintf("q%d.%d", d, b))
+			for i := 0; i < cfg.Width; i++ {
+				slots[d][i] = b.State(fmt.Sprintf("q%d.%d", d, i), false)
 			}
 		}
 	} else {
-		for b := 0; b < cfg.Width; b++ {
-			in[b] = ma.NewInputBit(fmt.Sprintf("in%d", b))
+		for i := 0; i < cfg.Width; i++ {
+			in[i] = b.Input(fmt.Sprintf("in%d", i))
 			for d := 0; d < cfg.Depth; d++ {
-				slots[d][b] = ma.NewStateBit(fmt.Sprintf("q%d.%d", d, b))
+				slots[d][i] = b.State(fmt.Sprintf("q%d.%d", d, i), false)
 			}
 		}
 	}
 
 	if !cfg.Bug {
-		ma.AddInputConstraint(expr.LeConst(expr.FromVars(m, in), cfg.Bound))
+		b.Constrain(ir.LeConstW(ir.FromNodes(in), cfg.Bound))
 	}
 
 	// Shift register: slot 0 takes the input, slot d takes slot d-1.
-	for b := 0; b < cfg.Width; b++ {
-		ma.SetNext(slots[0][b], m.VarRef(in[b]))
+	for i := 0; i < cfg.Width; i++ {
+		b.SetNext(slots[0][i], in[i])
 		for d := 1; d < cfg.Depth; d++ {
-			ma.SetNext(slots[d][b], m.VarRef(slots[d-1][b]))
+			b.SetNext(slots[d][i], slots[d-1][i])
 		}
 	}
 
-	initSet := bdd.One
 	for d := 0; d < cfg.Depth; d++ {
-		for b := 0; b < cfg.Width; b++ {
-			initSet = m.And(initSet, m.NVarRef(slots[d][b]))
-		}
+		b.Good(ir.LeConstW(ir.FromNodes(slots[d]), cfg.Bound))
 	}
-	ma.SetInit(initSet)
-	ma.MustSeal()
+	return b.Build()
+}
 
-	goodList := make([]bdd.Ref, cfg.Depth)
-	for d := 0; d < cfg.Depth; d++ {
-		goodList[d] = expr.LeConst(expr.FromVars(m, slots[d]), cfg.Bound)
-	}
-
-	return verify.Problem{
-		Machine:  ma,
-		GoodList: goodList,
-		Name:     fmt.Sprintf("fifo-w%d-d%d", cfg.Width, cfg.Depth),
-	}
+// NewFIFO builds the typed FIFO problem on the given manager — a thin
+// shim over BuildFIFO + ir.Instantiate.
+func NewFIFO(m *bdd.Manager, cfg FIFOConfig) verify.Problem {
+	return BuildFIFO(cfg).MustInstantiate(m)
 }

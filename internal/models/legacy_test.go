@@ -1,0 +1,772 @@
+package models
+
+// This file preserves the pre-IR, manager-mutating constructors verbatim
+// (modulo legacy* renames). They are the reference implementations the
+// crosscheck suite compares against: the IR builders must produce
+// Ref-identical BDDs on the same manager for every component of every
+// problem. They live in a test file so no production path can construct
+// BDDs outside ir.Instantiate.
+
+import (
+	"fmt"
+
+	"repro/internal/bdd"
+	"repro/internal/expr"
+	"repro/internal/fsm"
+	"repro/internal/verify"
+)
+
+func legacyFIFO(m *bdd.Manager, cfg FIFOConfig) verify.Problem {
+	if cfg.Width <= 0 || cfg.Depth <= 0 {
+		panic("models: FIFO needs positive width and depth")
+	}
+	ma := fsm.New(m)
+
+	in := make([]bdd.Var, cfg.Width)
+	slots := make([][]bdd.Var, cfg.Depth)
+	for d := range slots {
+		slots[d] = make([]bdd.Var, cfg.Width)
+	}
+	if cfg.SlotMajor {
+		for b := 0; b < cfg.Width; b++ {
+			in[b] = ma.NewInputBit(fmt.Sprintf("in%d", b))
+		}
+		for d := 0; d < cfg.Depth; d++ {
+			for b := 0; b < cfg.Width; b++ {
+				slots[d][b] = ma.NewStateBit(fmt.Sprintf("q%d.%d", d, b))
+			}
+		}
+	} else {
+		for b := 0; b < cfg.Width; b++ {
+			in[b] = ma.NewInputBit(fmt.Sprintf("in%d", b))
+			for d := 0; d < cfg.Depth; d++ {
+				slots[d][b] = ma.NewStateBit(fmt.Sprintf("q%d.%d", d, b))
+			}
+		}
+	}
+
+	if !cfg.Bug {
+		ma.AddInputConstraint(expr.LeConst(expr.FromVars(m, in), cfg.Bound))
+	}
+
+	// Shift register: slot 0 takes the input, slot d takes slot d-1.
+	for b := 0; b < cfg.Width; b++ {
+		ma.SetNext(slots[0][b], m.VarRef(in[b]))
+		for d := 1; d < cfg.Depth; d++ {
+			ma.SetNext(slots[d][b], m.VarRef(slots[d-1][b]))
+		}
+	}
+
+	initSet := bdd.One
+	for d := 0; d < cfg.Depth; d++ {
+		for b := 0; b < cfg.Width; b++ {
+			initSet = m.And(initSet, m.NVarRef(slots[d][b]))
+		}
+	}
+	ma.SetInit(initSet)
+	ma.MustSeal()
+
+	goodList := make([]bdd.Ref, cfg.Depth)
+	for d := 0; d < cfg.Depth; d++ {
+		goodList[d] = expr.LeConst(expr.FromVars(m, slots[d]), cfg.Bound)
+	}
+
+	return verify.Problem{
+		Machine:  ma,
+		GoodList: goodList,
+		Name:     fmt.Sprintf("fifo-w%d-d%d", cfg.Width, cfg.Depth),
+	}
+}
+
+func legacyNetwork(m *bdd.Manager, cfg NetworkConfig) verify.Problem {
+	n := cfg.Procs
+	if n < 1 || n >= 16 {
+		panic("models: network needs 1 <= Procs < 16")
+	}
+	slots := n // the paper models the network as an n-element array
+	cw := 1
+	for (1<<uint(cw))-1 < slots {
+		cw++ // counter must hold up to `slots` outstanding messages
+	}
+
+	ma := fsm.New(m)
+
+	// Inputs: action selector, processor selector, slot selector.
+	actV := ma.NewInputBits("act", 2)
+	procV := ma.NewInputBits("psel", netAddrBits)
+	slotV := ma.NewInputBits("ssel", netAddrBits)
+
+	// State, network first (the counters' defining functions read it):
+	// per slot a valid bit, an ack flag, and the return address.
+	valid := make([]bdd.Var, slots)
+	ack := make([]bdd.Var, slots)
+	addr := make([][]bdd.Var, slots)
+	for s := 0; s < slots; s++ {
+		valid[s] = ma.NewStateBit(fmt.Sprintf("net%d.v", s))
+		ack[s] = ma.NewStateBit(fmt.Sprintf("net%d.a", s))
+		addr[s] = ma.NewStateBits(fmt.Sprintf("net%d.id", s), netAddrBits)
+	}
+	counters := make([][]bdd.Var, n)
+	for p := 0; p < n; p++ {
+		counters[p] = ma.NewStateBits(fmt.Sprintf("cnt%d.", p), cw)
+	}
+
+	action := expr.FromVars(m, actV)
+	procSel := expr.FromVars(m, procV)
+	slotSel := expr.FromVars(m, slotV)
+
+	// Selectors must address real processors and slots.
+	ma.AddInputConstraint(expr.Lt(procSel, expr.Const(m, uint64(n), netAddrBits)))
+	ma.AddInputConstraint(expr.Lt(slotSel, expr.Const(m, uint64(slots), netAddrBits)))
+
+	isIssue := expr.EqConst(action, actIssue)
+	isServe := expr.EqConst(action, actServe)
+	isRecv := expr.EqConst(action, actReceive)
+
+	// Per-slot enables.
+	issueOK := bdd.Zero // chosen slot is free
+	recvOK := bdd.Zero  // chosen slot holds an ack for procSel (or, with
+	// the seeded bug, any ack at all)
+	for s := 0; s < slots; s++ {
+		selS := expr.EqConst(slotSel, uint64(s))
+		slotAddr := expr.FromVars(m, addr[s])
+		issueOK = m.Or(issueOK, m.And(selS, m.NVarRef(valid[s])))
+		match := expr.Eq(slotAddr, procSel)
+		if cfg.Bug {
+			match = bdd.One // consume anyone's acknowledgment
+		}
+		recvOK = m.Or(recvOK, m.AndN(selS, m.VarRef(valid[s]), m.VarRef(ack[s]), match))
+	}
+	doIssue := m.And(isIssue, issueOK)
+	doRecv := m.And(isRecv, recvOK)
+
+	for s := 0; s < slots; s++ {
+		selS := expr.EqConst(slotSel, uint64(s))
+		v, a := m.VarRef(valid[s]), m.VarRef(ack[s])
+		slotAddr := expr.FromVars(m, addr[s])
+		match := expr.Eq(slotAddr, procSel)
+		if cfg.Bug {
+			match = bdd.One
+		}
+
+		issueHere := m.AndN(doIssue, selS, v.Not())
+		serveHere := m.AndN(isServe, selS, v, a.Not())
+		recvHere := m.AndN(doRecv, selS, v, a, match)
+
+		ma.SetNext(valid[s], m.ITE(issueHere, bdd.One, m.ITE(recvHere, bdd.Zero, v)))
+		ma.SetNext(ack[s], m.ITE(issueHere, bdd.Zero, m.ITE(serveHere, bdd.One, a)))
+		for b := 0; b < netAddrBits; b++ {
+			ma.SetNext(addr[s][b], m.ITE(issueHere, procSel.Bit(b), m.VarRef(addr[s][b])))
+		}
+	}
+
+	for p := 0; p < n; p++ {
+		cnt := expr.FromVars(m, counters[p])
+		selP := expr.EqConst(procSel, uint64(p))
+		up := m.And(doIssue, selP)
+		down := m.And(doRecv, selP)
+		next := expr.Mux(up, expr.Inc(cnt), expr.Mux(down, expr.Dec(cnt), cnt))
+		for b := 0; b < cw; b++ {
+			ma.SetNext(counters[p][b], next.Bit(b))
+		}
+	}
+
+	initSet := bdd.One
+	for s := 0; s < slots; s++ {
+		initSet = m.AndN(initSet, m.NVarRef(valid[s]), m.NVarRef(ack[s]))
+		for b := 0; b < netAddrBits; b++ {
+			initSet = m.And(initSet, m.NVarRef(addr[s][b]))
+		}
+	}
+	for p := 0; p < n; p++ {
+		for b := 0; b < cw; b++ {
+			initSet = m.And(initSet, m.NVarRef(counters[p][b]))
+		}
+	}
+	ma.SetInit(initSet)
+	ma.MustSeal()
+
+	// Property: counter_p == |{s : valid_s ∧ addr_s == p}| for each p —
+	// one conjunct per processor, and simultaneously the functional
+	// dependency defining the counter bits from the network state.
+	goodList := make([]bdd.Ref, n)
+	var deps []verify.Dependency
+	for p := 0; p < n; p++ {
+		flags := make([]bdd.Ref, slots)
+		for s := 0; s < slots; s++ {
+			flags[s] = m.And(m.VarRef(valid[s]), expr.EqConst(expr.FromVars(m, addr[s]), uint64(p)))
+		}
+		outstanding := expr.PopCount(m, flags)
+		if outstanding.Width() < cw {
+			outstanding = outstanding.Extend(cw)
+		} else if outstanding.Width() > cw {
+			outstanding = outstanding.Truncate(cw) // cw chosen to fit; no loss
+		}
+		cnt := expr.FromVars(m, counters[p])
+		goodList[p] = expr.Eq(cnt, outstanding)
+		for b := 0; b < cw; b++ {
+			deps = append(deps, verify.Dependency{Var: counters[p][b], Def: outstanding.Bit(b)})
+		}
+	}
+
+	return verify.Problem{
+		Machine:  ma,
+		GoodList: goodList,
+		Deps:     deps,
+		Name:     fmt.Sprintf("network-n%d", n),
+	}
+}
+
+func legacyFilter(m *bdd.Manager, cfg FilterConfig) verify.Problem {
+	n, w := cfg.Depth, cfg.SampleWidth
+	if w <= 0 {
+		panic("models: filter needs positive sample width")
+	}
+	levels := 0
+	for 1<<uint(levels) < n {
+		levels++
+	}
+	if 1<<uint(levels) != n || n < 2 {
+		panic("models: filter depth must be a power of two >= 2")
+	}
+
+	ma := fsm.New(m)
+
+	// Declare all words bit-slice interleaved: for each bit position,
+	// the sample input, then the window, the pipeline layers, and the
+	// spec FIFO. Widths differ per word; narrower words simply stop
+	// contributing slices.
+	sample := make([]bdd.Var, w)          // input
+	window := legacyMakeWordVars(n, w)    // shared sample shift register
+	layers := make([][][]bdd.Var, levels) // layers[k-1][j] = P_k[j], width w+k
+	for k := 1; k <= levels; k++ {
+		layers[k-1] = legacyMakeWordVars(n>>uint(k), w+k)
+	}
+	fifo := legacyMakeWordVars(levels, w) // fifo[j-1] = F_j, width w
+
+	maxW := w + levels
+	for b := 0; b < maxW; b++ {
+		if b < w {
+			sample[b] = ma.NewInputBit(fmt.Sprintf("smp%d", b))
+			for i := 0; i < n; i++ {
+				window[i][b] = ma.NewStateBit(fmt.Sprintf("w%d.%d", i, b))
+			}
+		}
+		for k := 1; k <= levels; k++ {
+			if b < w+k {
+				for j := range layers[k-1] {
+					layers[k-1][j][b] = ma.NewStateBit(fmt.Sprintf("p%d_%d.%d", k, j, b))
+				}
+			}
+		}
+		if b < w {
+			for j := 0; j < levels; j++ {
+				fifo[j][b] = ma.NewStateBit(fmt.Sprintf("f%d.%d", j+1, b))
+			}
+		}
+	}
+
+	words := func(vv [][]bdd.Var) []expr.Word {
+		out := make([]expr.Word, len(vv))
+		for i, v := range vv {
+			out[i] = expr.FromVars(m, v)
+		}
+		return out
+	}
+
+	winW := words(window)
+	layerW := make([][]expr.Word, levels)
+	for k := range layers {
+		layerW[k] = words(layers[k])
+	}
+	fifoW := words(fifo)
+
+	// Window shift register.
+	legacySetWord(ma, window[0], expr.FromVars(m, sample))
+	for i := 1; i < n; i++ {
+		legacySetWord(ma, window[i], winW[i-1])
+	}
+
+	// Pipelined adder tree: layer k registers latch sums of the previous
+	// layer's (or the window's) current contents.
+	for j := range layers[0] {
+		a, b := winW[2*j], winW[2*j+1]
+		if cfg.Bug && j == 0 {
+			b = a // seeded bug: adds the same sample twice
+		}
+		legacySetWord(ma, layers[0][j], expr.AddExpand(a, b))
+	}
+	for k := 2; k <= levels; k++ {
+		for j := range layers[k-1] {
+			legacySetWord(ma, layers[k-1][j], expr.AddExpand(layerW[k-2][2*j], layerW[k-2][2*j+1]))
+		}
+	}
+
+	// Specification: combinational average of the window, delayed in the
+	// FIFO to match the pipeline depth.
+	specAvg := legacyAverage(legacySumTree(winW), levels, w)
+	legacySetWord(ma, fifo[0], specAvg)
+	for j := 1; j < levels; j++ {
+		legacySetWord(ma, fifo[j], fifoW[j-1])
+	}
+
+	initSet := bdd.One
+	for _, v := range ma.CurVars() {
+		initSet = m.And(initSet, m.NVarRef(v))
+	}
+	ma.SetInit(initSet)
+	ma.MustSeal()
+
+	// Output equality: the pipelined tree's (discarded-bits) average
+	// equals the fully delayed spec average.
+	implAvg := legacyAverage(layerW[levels-1][0], levels, w)
+	output := expr.Eq(implAvg, fifoW[levels-1])
+
+	p := verify.Problem{
+		Machine: ma,
+		Good:    output,
+		Name:    fmt.Sprintf("mafilter-d%d-w%d", n, w),
+	}
+	if cfg.Assist {
+		// One invariant per layer: the average of layer k equals FIFO
+		// entry k (the last one is the output property itself).
+		goodList := make([]bdd.Ref, levels)
+		for k := 1; k <= levels; k++ {
+			layerSum := legacySumTree(layerW[k-1])
+			goodList[k-1] = expr.Eq(legacyAverage(layerSum, levels, w), fifoW[k-1])
+		}
+		p.GoodList = goodList
+		p.Name += "-assist"
+	}
+	return p
+}
+
+func legacyMakeWordVars(count, width int) [][]bdd.Var {
+	out := make([][]bdd.Var, count)
+	for i := range out {
+		out[i] = make([]bdd.Var, width)
+	}
+	return out
+}
+
+func legacySetWord(ma *fsm.Machine, vars []bdd.Var, next expr.Word) {
+	if len(vars) != next.Width() {
+		panic(fmt.Sprintf("models: setWord width mismatch: %d vars, %d bits", len(vars), next.Width()))
+	}
+	for b, v := range vars {
+		ma.SetNext(v, next.Bit(b))
+	}
+}
+
+func legacySumTree(ws []expr.Word) expr.Word {
+	if len(ws) == 1 {
+		return ws[0]
+	}
+	next := make([]expr.Word, len(ws)/2)
+	for i := range next {
+		next[i] = expr.AddExpand(ws[2*i], ws[2*i+1])
+	}
+	return legacySumTree(next)
+}
+
+func legacyAverage(sum expr.Word, levels, width int) expr.Word {
+	return expr.Shr(sum, levels).Truncate(width)
+}
+
+func legacyPipeline(m *bdd.Manager, cfg PipelineConfig) verify.Problem {
+	r, bw := cfg.Regs, cfg.Width
+	rb := 0
+	for 1<<uint(rb) < r {
+		rb++
+	}
+	if 1<<uint(rb) != r || r < 2 {
+		panic("models: pipeline needs a power-of-two register count >= 2")
+	}
+	if bw < 1 {
+		panic("models: pipeline needs a positive datapath width")
+	}
+	ilen := 3 + 2*rb + bw
+
+	ma := fsm.New(m)
+
+	// Instruction stream input, then the instruction-holding registers
+	// interleaved: the fetched instruction (pipeline) and the first delay
+	// register (spec) always carry equal values, so adjacent ordering
+	// keeps their relation small.
+	instrV := make([]bdd.Var, ilen)
+	frV := make([]bdd.Var, ilen) // pipeline: decode/execute stage instr
+	d1V := make([]bdd.Var, ilen) // spec: first delay register
+	d2V := make([]bdd.Var, ilen) // spec: second delay register
+	for b := 0; b < ilen; b++ {
+		instrV[b] = ma.NewInputBit(fmt.Sprintf("ins%d", b))
+		frV[b] = ma.NewStateBit(fmt.Sprintf("fr%d", b))
+		d1V[b] = ma.NewStateBit(fmt.Sprintf("d1_%d", b))
+	}
+	for b := 0; b < ilen; b++ {
+		d2V[b] = ma.NewStateBit(fmt.Sprintf("d2_%d", b))
+	}
+
+	// Execute/writeback latch: result, destination, write enable, and
+	// the branch-in-writeback marker driving the stall.
+	exResV := ma.NewStateBits("exr.", bw)
+	exDstV := ma.NewStateBits("exd.", rb)
+	exWE := ma.NewStateBit("exw")
+	brWB := ma.NewStateBit("brw")
+
+	// Register files: interleaved implementation/specification per bit
+	// (default) or as two separate blocks (SeparateRegFiles).
+	implRF := legacyMakeWordVars(r, bw)
+	specRF := legacyMakeWordVars(r, bw)
+	if cfg.SeparateRegFiles {
+		for i := 0; i < r; i++ {
+			for b := 0; b < bw; b++ {
+				implRF[i][b] = ma.NewStateBit(fmt.Sprintf("ri%d.%d", i, b))
+			}
+		}
+		for i := 0; i < r; i++ {
+			for b := 0; b < bw; b++ {
+				specRF[i][b] = ma.NewStateBit(fmt.Sprintf("rs%d.%d", i, b))
+			}
+		}
+	} else {
+		for i := 0; i < r; i++ {
+			for b := 0; b < bw; b++ {
+				implRF[i][b] = ma.NewStateBit(fmt.Sprintf("ri%d.%d", i, b))
+				specRF[i][b] = ma.NewStateBit(fmt.Sprintf("rs%d.%d", i, b))
+			}
+		}
+	}
+
+	type decoded struct {
+		op       expr.Word
+		src, dst expr.Word
+		imm      expr.Word
+	}
+	decode := func(vars []bdd.Var) decoded {
+		w := expr.FromVars(m, vars)
+		return decoded{
+			op:  w.Truncate(3),
+			src: expr.Word{M: m, Bits: w.Bits[3 : 3+rb]},
+			dst: expr.Word{M: m, Bits: w.Bits[3+rb : 3+2*rb]},
+			imm: expr.Word{M: m, Bits: w.Bits[3+2*rb:]},
+		}
+	}
+	isOp := func(d decoded, code uint64) bdd.Ref { return expr.EqConst(d.op, code) }
+
+	fr := decode(frV)
+	d2 := decode(d2V)
+
+	// Branch stall: while a BR sits in decode/execute or writeback, the
+	// fetch unit receives NOPs (and the spec's intake sees the same
+	// NOPs, stalling it identically).
+	stall := m.Or(isOp(fr, opBR), m.VarRef(brWB))
+	fetched := expr.Mux(stall, expr.Const(m, opNOP, ilen), expr.FromVars(m, instrV))
+	legacySetWord(ma, frV, fetched)
+	legacySetWord(ma, d1V, fetched)
+	legacySetWord(ma, d2V, expr.FromVars(m, d1V))
+
+	// Execute stage (pipeline): operand fetch with bypass from the
+	// writeback latch, then compute.
+	exRes := expr.FromVars(m, exResV)
+	exDst := expr.FromVars(m, exDstV)
+	weNow := m.VarRef(exWE)
+
+	readImpl := func(sel expr.Word, bypass bool) expr.Word {
+		val := expr.Const(m, 0, bw)
+		for i := r - 1; i >= 0; i-- {
+			val = expr.Mux(expr.EqConst(sel, uint64(i)), expr.FromVars(m, implRF[i]), val)
+		}
+		if bypass {
+			hit := m.And(weNow, expr.Eq(exDst, sel))
+			val = expr.Mux(hit, exRes, val)
+		}
+		return val
+	}
+	rs := readImpl(fr.src, !cfg.Bug) // seeded bug: no bypass on rs
+	rd := readImpl(fr.dst, true)
+
+	execute := func(d decoded, rsV, rdV expr.Word) (expr.Word, bdd.Ref) {
+		res := expr.Const(m, 0, bw)
+		res = expr.Mux(isOp(d, opLD), d.imm, res)
+		res = expr.Mux(isOp(d, opADD), expr.Add(rdV, rsV), res)
+		res = expr.Mux(isOp(d, opSUB), expr.Sub(rdV, rsV), res)
+		res = expr.Mux(isOp(d, opMOV), rsV, res)
+		res = expr.Mux(isOp(d, opSR), expr.Shr(rdV, 1), res)
+		we := m.OrN(isOp(d, opLD), isOp(d, opADD), isOp(d, opSUB), isOp(d, opMOV), isOp(d, opSR))
+		return res, we
+	}
+
+	resNow, weNext := execute(fr, rs, rd)
+	legacySetWord(ma, exResV, resNow)
+	legacySetWord(ma, exDstV, fr.dst)
+	ma.SetNext(exWE, weNext)
+	ma.SetNext(brWB, isOp(fr, opBR))
+
+	// Writeback stage: the latch contents retire into the register file.
+	for i := 0; i < r; i++ {
+		hit := m.AndN(weNow, expr.EqConst(exDst, uint64(i)))
+		legacySetWord(ma, implRF[i], expr.Mux(hit, exRes, expr.FromVars(m, implRF[i])))
+	}
+
+	// Specification: fetch-execute-writeback in one cycle on D2.
+	specRd := expr.Const(m, 0, bw)
+	specRs := expr.Const(m, 0, bw)
+	for i := r - 1; i >= 0; i-- {
+		w := expr.FromVars(m, specRF[i])
+		specRs = expr.Mux(expr.EqConst(d2.src, uint64(i)), w, specRs)
+		specRd = expr.Mux(expr.EqConst(d2.dst, uint64(i)), w, specRd)
+	}
+	specRes, specWE := execute(d2, specRs, specRd)
+	for i := 0; i < r; i++ {
+		hit := m.AndN(specWE, expr.EqConst(d2.dst, uint64(i)))
+		legacySetWord(ma, specRF[i], expr.Mux(hit, specRes, expr.FromVars(m, specRF[i])))
+	}
+
+	// Everything starts zeroed: NOPs in flight, empty latch, equal
+	// register files.
+	initSet := bdd.One
+	for _, v := range ma.CurVars() {
+		initSet = m.And(initSet, m.NVarRef(v))
+	}
+	ma.SetInit(initSet)
+	ma.MustSeal()
+
+	// Property: the register files always agree.
+	perReg := make([]bdd.Ref, r)
+	good := bdd.One
+	for i := 0; i < r; i++ {
+		perReg[i] = expr.Eq(expr.FromVars(m, implRF[i]), expr.FromVars(m, specRF[i]))
+		good = m.And(good, perReg[i])
+	}
+
+	p := verify.Problem{
+		Machine: ma,
+		Good:    good,
+		Name:    fmt.Sprintf("pipeline-r%d-b%d", r, bw),
+	}
+	if cfg.Assist {
+		p.GoodList = perReg
+		p.Name += "-assist"
+	}
+	return p
+}
+
+func legacyCoherence(m *bdd.Manager, cfg CoherenceConfig) verify.Problem {
+	n := cfg.Caches
+	if n < 2 || n > 8 {
+		panic("models: coherence needs 2 <= Caches <= 8")
+	}
+
+	ma := fsm.New(m)
+
+	act := ma.NewInputBits("act", 2)
+	sel := ma.NewInputBits("csel", 3)
+
+	// Cache states first, then the directory (whose bits are functions
+	// of the cache states — good for both ordering and the FD engine).
+	caches := make([][]bdd.Var, n)
+	for p := 0; p < n; p++ {
+		caches[p] = ma.NewStateBits(fmt.Sprintf("c%d.s", p), 2)
+	}
+	sharer := make([]bdd.Var, n)
+	for p := 0; p < n; p++ {
+		sharer[p] = ma.NewStateBit(fmt.Sprintf("dir.sh%d", p))
+	}
+	dirty := ma.NewStateBit("dir.dirty")
+
+	action := expr.FromVars(m, act)
+	chosen := expr.FromVars(m, sel)
+	ma.AddInputConstraint(expr.Lt(chosen, expr.Const(m, uint64(n), 3)))
+
+	isRead := expr.EqConst(action, cohRead)
+	isUpgrade := expr.EqConst(action, cohUpgrade)
+	isEvict := expr.EqConst(action, cohEvict)
+
+	st := func(p int) expr.Word { return expr.FromVars(m, caches[p]) }
+	inState := func(p int, s uint64) bdd.Ref { return expr.EqConst(st(p), s) }
+
+	for p := 0; p < n; p++ {
+		selP := expr.EqConst(chosen, uint64(p))
+
+		readHere := m.AndN(isRead, selP, inState(p, msiInvalid))
+		remoteRead := m.AndN(isRead, selP.Not(), inState(p, msiModified))
+
+		upHere := m.AndN(isUpgrade, selP, inState(p, msiModified).Not())
+		remoteUp := m.AndN(isUpgrade, selP.Not())
+		if cfg.Bug {
+			remoteUp = m.And(remoteUp, inState(p, msiModified))
+		}
+
+		evictHere := m.AndN(isEvict, selP, inState(p, msiInvalid).Not())
+
+		next := st(p)
+		next = expr.Mux(readHere, expr.Const(m, msiShared, 2), next)
+		next = expr.Mux(remoteRead, expr.Const(m, msiShared, 2), next)
+		next = expr.Mux(upHere, expr.Const(m, msiModified, 2), next)
+		next = expr.Mux(m.And(remoteUp, legacyUpgradeHappens(m, isUpgrade, chosen, st, n)), expr.Const(m, msiInvalid, 2), next)
+		next = expr.Mux(evictHere, expr.Const(m, msiInvalid, 2), next)
+		legacySetWord(ma, caches[p], next)
+	}
+
+	for p := 0; p < n; p++ {
+		nextSt := expr.Word{M: m, Bits: []bdd.Ref{ma.NextFn(caches[p][0]), ma.NextFn(caches[p][1])}}
+		holds := expr.EqConst(nextSt, msiInvalid).Not()
+		ma.SetNext(sharer[p], holds)
+	}
+	anyDirty := bdd.Zero
+	for p := 0; p < n; p++ {
+		nextSt := expr.Word{M: m, Bits: []bdd.Ref{ma.NextFn(caches[p][0]), ma.NextFn(caches[p][1])}}
+		anyDirty = m.Or(anyDirty, expr.EqConst(nextSt, msiModified))
+	}
+	ma.SetNext(dirty, anyDirty)
+
+	initSet := bdd.One
+	for _, v := range ma.CurVars() {
+		initSet = m.And(initSet, m.NVarRef(v))
+	}
+	ma.SetInit(initSet)
+	ma.MustSeal()
+
+	var goodList []bdd.Ref
+	var deps []verify.Dependency
+	for p := 0; p < n; p++ {
+		othersInvalid := bdd.One
+		for q := 0; q < n; q++ {
+			if q != p {
+				othersInvalid = m.And(othersInvalid, inState(q, msiInvalid))
+			}
+		}
+		swmr := m.Imp(inState(p, msiModified), othersInvalid)
+		dirOK := m.Xnor(m.VarRef(sharer[p]), inState(p, msiInvalid).Not())
+		goodList = append(goodList, m.And(swmr, dirOK))
+		deps = append(deps, verify.Dependency{Var: sharer[p], Def: inState(p, msiInvalid).Not()})
+	}
+	anyMod := bdd.Zero
+	for p := 0; p < n; p++ {
+		anyMod = m.Or(anyMod, inState(p, msiModified))
+	}
+	goodList = append(goodList, m.Xnor(m.VarRef(dirty), anyMod))
+	deps = append(deps, verify.Dependency{Var: dirty, Def: anyMod})
+
+	return verify.Problem{
+		Machine:  ma,
+		GoodList: goodList,
+		Deps:     deps,
+		Name:     fmt.Sprintf("msi-n%d", n),
+	}
+}
+
+func legacyUpgradeHappens(m *bdd.Manager, isUpgrade bdd.Ref, chosen expr.Word, st func(int) expr.Word, n int) bdd.Ref {
+	fires := bdd.Zero
+	for p := 0; p < n; p++ {
+		selP := expr.EqConst(chosen, uint64(p))
+		notOwner := expr.EqConst(st(p), msiModified).Not()
+		fires = m.Or(fires, m.And(selP, notOwner))
+	}
+	return m.And(isUpgrade, fires)
+}
+
+func legacyLink(m *bdd.Manager, cfg LinkConfig) verify.Problem {
+	w := cfg.DataBits
+	if w < 1 || w > 16 {
+		panic("models: link needs 1 <= DataBits <= 16")
+	}
+
+	ma := fsm.New(m)
+
+	act := ma.NewInputBits("act", 3)
+	freshData := ma.NewInputBits("fresh", w)
+
+	// Sender.
+	seqS := ma.NewStateBit("snd.seq")
+	payload := ma.NewStateBits("snd.data", w)
+	// Forward channel (capacity 1).
+	fFull := ma.NewStateBit("fwd.full")
+	fSeq := ma.NewStateBit("fwd.seq")
+	fData := ma.NewStateBits("fwd.data", w)
+	// Receiver.
+	seqR := ma.NewStateBit("rcv.expect")
+	delivered := ma.NewStateBits("rcv.data", w)
+	justDelivered := ma.NewStateBit("rcv.fresh")
+	// Reverse channel (capacity 1).
+	rFull := ma.NewStateBit("rev.full")
+	rSeq := ma.NewStateBit("rev.seq")
+
+	action := expr.FromVars(m, act)
+	const (
+		actSend = iota
+		actDropF
+		actRecv
+		actDropR
+		actAck
+		lnkIdle
+	)
+	_ = lnkIdle
+	ma.AddInputConstraint(expr.Lt(action, expr.Const(m, 6, 3)))
+
+	is := func(a uint64) bdd.Ref { return expr.EqConst(action, a) }
+
+	vSeqS, vSeqR := m.VarRef(seqS), m.VarRef(seqR)
+	vFFull, vFSeq := m.VarRef(fFull), m.VarRef(fSeq)
+	vRFull, vRSeq := m.VarRef(rFull), m.VarRef(rSeq)
+
+	send := m.And(is(actSend), vFFull.Not())
+	dropF := m.And(is(actDropF), vFFull)
+	recv := m.AndN(is(actRecv), vFFull, vRFull.Not())
+	dropR := m.And(is(actDropR), vRFull)
+	ackOK := m.AndN(is(actAck), vRFull, m.Xnor(vRSeq, vSeqS))
+	ackStale := m.AndN(is(actAck), vRFull, m.Xor(vRSeq, vSeqS))
+
+	frameNew := m.Xnor(vFSeq, vSeqR)
+	if cfg.Bug {
+		frameNew = bdd.One
+	}
+	deliver := m.And(recv, frameNew)
+
+	// Forward channel.
+	ma.SetNext(fFull, m.ITE(send, bdd.One, m.ITE(m.Or(dropF, recv), bdd.Zero, vFFull)))
+	ma.SetNext(fSeq, m.ITE(send, vSeqS, vFSeq))
+	for b := 0; b < w; b++ {
+		ma.SetNext(fData[b], m.ITE(send, m.VarRef(payload[b]), m.VarRef(fData[b])))
+	}
+
+	// Receiver: deliver new frames, always ack with the frame's seq.
+	ma.SetNext(seqR, m.ITE(deliver, vSeqR.Not(), vSeqR))
+	for b := 0; b < w; b++ {
+		ma.SetNext(delivered[b], m.ITE(deliver, m.VarRef(fData[b]), m.VarRef(delivered[b])))
+	}
+	ma.SetNext(justDelivered, deliver)
+
+	// Reverse channel.
+	ma.SetNext(rFull, m.ITE(recv, bdd.One, m.ITE(m.OrN(dropR, ackOK, ackStale), bdd.Zero, vRFull)))
+	ma.SetNext(rSeq, m.ITE(recv, vFSeq, vRSeq))
+
+	// Sender: on a matching ack, flip the sequence bit and latch a new
+	// nondeterministic payload.
+	ma.SetNext(seqS, m.ITE(ackOK, vSeqS.Not(), vSeqS))
+	for b := 0; b < w; b++ {
+		ma.SetNext(payload[b], m.ITE(ackOK, m.VarRef(freshData[b]), m.VarRef(payload[b])))
+	}
+
+	initSet := bdd.One
+	for _, v := range ma.CurVars() {
+		initSet = m.And(initSet, m.NVarRef(v))
+	}
+	ma.SetInit(initSet)
+	ma.MustSeal()
+
+	senderStillOn := m.Xor(vSeqR, vSeqS)
+	var goodList []bdd.Ref
+	for b := 0; b < w; b++ {
+		eq := m.Xnor(m.VarRef(delivered[b]), m.VarRef(payload[b]))
+		goodList = append(goodList, m.Imp(m.And(m.VarRef(justDelivered), senderStillOn), eq))
+	}
+	frameCoherent := m.Imp(vFFull, m.Or(m.Xnor(vFSeq, vSeqS), m.Xor(vSeqR, vFSeq)))
+	goodList = append(goodList, frameCoherent)
+
+	return verify.Problem{
+		Machine:  ma,
+		GoodList: goodList,
+		Name:     fmt.Sprintf("abp-w%d", w),
+	}
+}

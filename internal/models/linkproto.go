@@ -4,8 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/bdd"
-	"repro/internal/expr"
-	"repro/internal/fsm"
+	"repro/internal/ir"
 	"repro/internal/verify"
 )
 
@@ -23,8 +22,8 @@ type LinkConfig struct {
 	Bug bool
 }
 
-// NewLink builds the alternating-bit protocol problem on a fresh
-// manager.
+// BuildLink builds the alternating-bit protocol model as
+// manager-independent IR.
 //
 // Model structure (one frame in flight, as in the classical ABP
 // treatment):
@@ -42,95 +41,85 @@ type LinkConfig struct {
 // sequence number, and the protocol's control invariant (the
 // seq/ack/expected bits form a coherent configuration) holds. Both
 // decompose into small conjuncts.
-func NewLink(m *bdd.Manager, cfg LinkConfig) verify.Problem {
+func BuildLink(cfg LinkConfig) *ir.Model {
 	w := cfg.DataBits
 	if w < 1 || w > 16 {
 		panic("models: link needs 1 <= DataBits <= 16")
 	}
 
-	ma := fsm.New(m)
+	b := ir.NewBuilder(fmt.Sprintf("abp-w%d", w))
+	b.ParamInt("data-bits", w)
+	b.ParamBool("bug", cfg.Bug)
 
-	act := ma.NewInputBits("act", 3)
-	freshData := ma.NewInputBits("fresh", w)
+	act := b.Inputs("act", 3)
+	freshData := b.Inputs("fresh", w)
 
 	// Sender.
-	seqS := ma.NewStateBit("snd.seq")
-	payload := ma.NewStateBits("snd.data", w)
+	seqS := b.State("snd.seq", false)
+	payload := b.States("snd.data", w, false)
 	// Forward channel (capacity 1).
-	fFull := ma.NewStateBit("fwd.full")
-	fSeq := ma.NewStateBit("fwd.seq")
-	fData := ma.NewStateBits("fwd.data", w)
+	fFull := b.State("fwd.full", false)
+	fSeq := b.State("fwd.seq", false)
+	fData := b.States("fwd.data", w, false)
 	// Receiver.
-	seqR := ma.NewStateBit("rcv.expect")
-	delivered := ma.NewStateBits("rcv.data", w)
-	justDelivered := ma.NewStateBit("rcv.fresh")
+	seqR := b.State("rcv.expect", false)
+	delivered := b.States("rcv.data", w, false)
+	justDelivered := b.State("rcv.fresh", false)
 	// Reverse channel (capacity 1).
-	rFull := ma.NewStateBit("rev.full")
-	rSeq := ma.NewStateBit("rev.seq")
+	rFull := b.State("rev.full", false)
+	rSeq := b.State("rev.seq", false)
 
-	action := expr.FromVars(m, act)
+	action := ir.FromNodes(act)
 	const (
 		actSend = iota // sender (re)transmits its current frame
 		actDropF
 		actRecv // receiver consumes the frame, acks
 		actDropR
 		actAck // sender consumes a matching ack, advances
-		actIdle
 	)
-	ma.AddInputConstraint(expr.Lt(action, expr.Const(m, 6, 3)))
+	b.Constrain(ir.LtW(action, ir.ConstWord(6, 3)))
 
-	is := func(a uint64) bdd.Ref { return expr.EqConst(action, a) }
+	is := func(a uint64) *ir.Node { return ir.EqConstW(action, a) }
 
-	vSeqS, vSeqR := m.VarRef(seqS), m.VarRef(seqR)
-	vFFull, vFSeq := m.VarRef(fFull), m.VarRef(fSeq)
-	vRFull, vRSeq := m.VarRef(rFull), m.VarRef(rSeq)
-
-	send := m.And(is(actSend), vFFull.Not())
-	dropF := m.And(is(actDropF), vFFull)
-	recv := m.AndN(is(actRecv), vFFull, vRFull.Not())
-	dropR := m.And(is(actDropR), vRFull)
-	ackOK := m.AndN(is(actAck), vRFull, m.Xnor(vRSeq, vSeqS))
-	ackStale := m.AndN(is(actAck), vRFull, m.Xor(vRSeq, vSeqS))
+	send := ir.And(is(actSend), ir.Not(fFull))
+	dropF := ir.And(is(actDropF), fFull)
+	recv := ir.And(is(actRecv), fFull, ir.Not(rFull))
+	dropR := ir.And(is(actDropR), rFull)
+	ackOK := ir.And(is(actAck), rFull, ir.Xnor(rSeq, seqS))
+	ackStale := ir.And(is(actAck), rFull, ir.Xor(rSeq, seqS))
 
 	// A received frame is new when its sequence bit matches the
 	// receiver's expectation (the buggy receiver skips the check).
-	frameNew := m.Xnor(vFSeq, vSeqR)
+	frameNew := ir.Xnor(fSeq, seqR)
 	if cfg.Bug {
-		frameNew = bdd.One
+		frameNew = ir.Bool(true)
 	}
-	deliver := m.And(recv, frameNew)
+	deliver := ir.And(recv, frameNew)
 
 	// Forward channel.
-	ma.SetNext(fFull, m.ITE(send, bdd.One, m.ITE(m.Or(dropF, recv), bdd.Zero, vFFull)))
-	ma.SetNext(fSeq, m.ITE(send, vSeqS, vFSeq))
-	for b := 0; b < w; b++ {
-		ma.SetNext(fData[b], m.ITE(send, m.VarRef(payload[b]), m.VarRef(fData[b])))
+	b.SetNext(fFull, ir.ITE(send, ir.Bool(true), ir.ITE(ir.Or(dropF, recv), ir.Bool(false), fFull)))
+	b.SetNext(fSeq, ir.ITE(send, seqS, fSeq))
+	for i := 0; i < w; i++ {
+		b.SetNext(fData[i], ir.ITE(send, payload[i], fData[i]))
 	}
 
 	// Receiver: deliver new frames, always ack with the frame's seq.
-	ma.SetNext(seqR, m.ITE(deliver, vSeqR.Not(), vSeqR))
-	for b := 0; b < w; b++ {
-		ma.SetNext(delivered[b], m.ITE(deliver, m.VarRef(fData[b]), m.VarRef(delivered[b])))
+	b.SetNext(seqR, ir.ITE(deliver, ir.Not(seqR), seqR))
+	for i := 0; i < w; i++ {
+		b.SetNext(delivered[i], ir.ITE(deliver, fData[i], delivered[i]))
 	}
-	ma.SetNext(justDelivered, deliver)
+	b.SetNext(justDelivered, deliver)
 
 	// Reverse channel.
-	ma.SetNext(rFull, m.ITE(recv, bdd.One, m.ITE(m.OrN(dropR, ackOK, ackStale), bdd.Zero, vRFull)))
-	ma.SetNext(rSeq, m.ITE(recv, vFSeq, vRSeq))
+	b.SetNext(rFull, ir.ITE(recv, ir.Bool(true), ir.ITE(ir.Or(dropR, ackOK, ackStale), ir.Bool(false), rFull)))
+	b.SetNext(rSeq, ir.ITE(recv, fSeq, rSeq))
 
 	// Sender: on a matching ack, flip the sequence bit and latch a new
 	// nondeterministic payload.
-	ma.SetNext(seqS, m.ITE(ackOK, vSeqS.Not(), vSeqS))
-	for b := 0; b < w; b++ {
-		ma.SetNext(payload[b], m.ITE(ackOK, m.VarRef(freshData[b]), m.VarRef(payload[b])))
+	b.SetNext(seqS, ir.ITE(ackOK, ir.Not(seqS), seqS))
+	for i := 0; i < w; i++ {
+		b.SetNext(payload[i], ir.ITE(ackOK, freshData[i], payload[i]))
 	}
-
-	initSet := bdd.One
-	for _, v := range ma.CurVars() {
-		initSet = m.And(initSet, m.NVarRef(v))
-	}
-	ma.SetInit(initSet)
-	ma.MustSeal()
 
 	// Property conjuncts.
 	//
@@ -139,21 +128,21 @@ func NewLink(m *bdd.Manager, cfg LinkConfig) verify.Problem {
 	// the sender holds the NEXT word; then seqR == seqS again).
 	// Concretely: justDelivered ∧ (seqR ≠ seqS) ⇒ delivered == payload —
 	// per-bit conjuncts.
-	senderStillOn := m.Xor(vSeqR, vSeqS) // receiver advanced, sender not yet acked past
-	var goodList []bdd.Ref
-	for b := 0; b < w; b++ {
-		eq := m.Xnor(m.VarRef(delivered[b]), m.VarRef(payload[b]))
-		goodList = append(goodList, m.Imp(m.And(m.VarRef(justDelivered), senderStillOn), eq))
+	senderStillOn := ir.Xor(seqR, seqS) // receiver advanced, sender not yet acked past
+	for i := 0; i < w; i++ {
+		eq := ir.Xnor(delivered[i], payload[i])
+		b.Good(ir.Imp(ir.And(justDelivered, senderStillOn), eq))
 	}
 	// Control invariant: an in-flight frame carries the sender's current
 	// sequence bit or the receiver already advanced past it; an ack in
 	// flight never acknowledges a frame the sender has not sent.
-	frameCoherent := m.Imp(vFFull, m.Or(m.Xnor(vFSeq, vSeqS), m.Xor(vSeqR, vFSeq)))
-	goodList = append(goodList, frameCoherent)
+	b.Good(ir.Imp(fFull, ir.Or(ir.Xnor(fSeq, seqS), ir.Xor(seqR, fSeq))))
 
-	return verify.Problem{
-		Machine:  ma,
-		GoodList: goodList,
-		Name:     fmt.Sprintf("abp-w%d", w),
-	}
+	return b.Build()
+}
+
+// NewLink builds the alternating-bit protocol problem on the given
+// manager — a thin shim over BuildLink + ir.Instantiate.
+func NewLink(m *bdd.Manager, cfg LinkConfig) verify.Problem {
+	return BuildLink(cfg).MustInstantiate(m)
 }

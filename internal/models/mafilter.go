@@ -4,8 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/bdd"
-	"repro/internal/expr"
-	"repro/internal/fsm"
+	"repro/internal/ir"
 	"repro/internal/verify"
 )
 
@@ -35,8 +34,9 @@ func DefaultFilter(depth int, assist bool) FilterConfig {
 	return FilterConfig{Depth: depth, SampleWidth: 8, Assist: assist}
 }
 
-// NewFilter builds the moving-average filter problem on a fresh manager.
-func NewFilter(m *bdd.Manager, cfg FilterConfig) verify.Problem {
+// BuildFilter builds the moving-average filter model as
+// manager-independent IR.
+func BuildFilter(cfg FilterConfig) *ir.Model {
 	n, w := cfg.Depth, cfg.SampleWidth
 	if w <= 0 {
 		panic("models: filter needs positive sample width")
@@ -49,146 +49,145 @@ func NewFilter(m *bdd.Manager, cfg FilterConfig) verify.Problem {
 		panic("models: filter depth must be a power of two >= 2")
 	}
 
-	ma := fsm.New(m)
+	name := fmt.Sprintf("mafilter-d%d-w%d", n, w)
+	if cfg.Assist {
+		name += "-assist"
+	}
+	b := ir.NewBuilder(name)
+	b.ParamInt("depth", n)
+	b.ParamInt("sample-width", w)
+	b.ParamBool("assist", cfg.Assist)
+	b.ParamBool("bug", cfg.Bug)
 
 	// Declare all words bit-slice interleaved: for each bit position,
 	// the sample input, then the window, the pipeline layers, and the
 	// spec FIFO. Widths differ per word; narrower words simply stop
 	// contributing slices.
-	sample := make([]bdd.Var, w)          // input
-	window := makeWordVars(n, w)          // shared sample shift register
-	layers := make([][][]bdd.Var, levels) // layers[k-1][j] = P_k[j], width w+k
+	sample := make([]*ir.Node, w)          // input
+	window := makeBitGrid(n, w)            // shared sample shift register
+	layers := make([][][]*ir.Node, levels) // layers[k-1][j] = P_k[j], width w+k
 	for k := 1; k <= levels; k++ {
-		layers[k-1] = makeWordVars(n>>uint(k), w+k)
+		layers[k-1] = makeBitGrid(n>>uint(k), w+k)
 	}
-	fifo := makeWordVars(levels, w) // fifo[j-1] = F_j, width w
+	fifo := makeBitGrid(levels, w) // fifo[j-1] = F_j, width w
 
 	maxW := w + levels
-	for b := 0; b < maxW; b++ {
-		if b < w {
-			sample[b] = ma.NewInputBit(fmt.Sprintf("smp%d", b))
-			for i := 0; i < n; i++ {
-				window[i][b] = ma.NewStateBit(fmt.Sprintf("w%d.%d", i, b))
+	for i := 0; i < maxW; i++ {
+		if i < w {
+			sample[i] = b.Input(fmt.Sprintf("smp%d", i))
+			for j := 0; j < n; j++ {
+				window[j][i] = b.State(fmt.Sprintf("w%d.%d", j, i), false)
 			}
 		}
 		for k := 1; k <= levels; k++ {
-			if b < w+k {
+			if i < w+k {
 				for j := range layers[k-1] {
-					layers[k-1][j][b] = ma.NewStateBit(fmt.Sprintf("p%d_%d.%d", k, j, b))
+					layers[k-1][j][i] = b.State(fmt.Sprintf("p%d_%d.%d", k, j, i), false)
 				}
 			}
 		}
-		if b < w {
+		if i < w {
 			for j := 0; j < levels; j++ {
-				fifo[j][b] = ma.NewStateBit(fmt.Sprintf("f%d.%d", j+1, b))
+				fifo[j][i] = b.State(fmt.Sprintf("f%d.%d", j+1, i), false)
 			}
 		}
 	}
 
-	words := func(vv [][]bdd.Var) []expr.Word {
-		out := make([]expr.Word, len(vv))
+	words := func(vv [][]*ir.Node) []ir.Word {
+		out := make([]ir.Word, len(vv))
 		for i, v := range vv {
-			out[i] = expr.FromVars(m, v)
+			out[i] = ir.FromNodes(v)
 		}
 		return out
 	}
 
 	winW := words(window)
-	layerW := make([][]expr.Word, levels)
+	layerW := make([][]ir.Word, levels)
 	for k := range layers {
 		layerW[k] = words(layers[k])
 	}
 	fifoW := words(fifo)
 
 	// Window shift register.
-	setWord(ma, window[0], expr.FromVars(m, sample))
+	setWord(b, window[0], ir.FromNodes(sample))
 	for i := 1; i < n; i++ {
-		setWord(ma, window[i], winW[i-1])
+		setWord(b, window[i], winW[i-1])
 	}
 
 	// Pipelined adder tree: layer k registers latch sums of the previous
 	// layer's (or the window's) current contents.
 	for j := range layers[0] {
-		a, b := winW[2*j], winW[2*j+1]
+		x, y := winW[2*j], winW[2*j+1]
 		if cfg.Bug && j == 0 {
-			b = a // seeded bug: adds the same sample twice
+			y = x // seeded bug: adds the same sample twice
 		}
-		setWord(ma, layers[0][j], expr.AddExpand(a, b))
+		setWord(b, layers[0][j], ir.AddExpand(x, y))
 	}
 	for k := 2; k <= levels; k++ {
 		for j := range layers[k-1] {
-			setWord(ma, layers[k-1][j], expr.AddExpand(layerW[k-2][2*j], layerW[k-2][2*j+1]))
+			setWord(b, layers[k-1][j], ir.AddExpand(layerW[k-2][2*j], layerW[k-2][2*j+1]))
 		}
 	}
 
 	// Specification: combinational average of the window, delayed in the
 	// FIFO to match the pipeline depth.
 	specAvg := average(sumTree(winW), levels, w)
-	setWord(ma, fifo[0], specAvg)
+	setWord(b, fifo[0], specAvg)
 	for j := 1; j < levels; j++ {
-		setWord(ma, fifo[j], fifoW[j-1])
+		setWord(b, fifo[j], fifoW[j-1])
 	}
-
-	initSet := bdd.One
-	for _, v := range ma.CurVars() {
-		initSet = m.And(initSet, m.NVarRef(v))
-	}
-	ma.SetInit(initSet)
-	ma.MustSeal()
 
 	// Output equality: the pipelined tree's (discarded-bits) average
 	// equals the fully delayed spec average.
 	implAvg := average(layerW[levels-1][0], levels, w)
-	output := expr.Eq(implAvg, fifoW[levels-1])
+	b.Goal(ir.EqW(implAvg, fifoW[levels-1]))
 
-	p := verify.Problem{
-		Machine: ma,
-		Good:    output,
-		Name:    fmt.Sprintf("mafilter-d%d-w%d", n, w),
-	}
 	if cfg.Assist {
 		// One invariant per layer: the average of layer k equals FIFO
 		// entry k (the last one is the output property itself).
-		goodList := make([]bdd.Ref, levels)
 		for k := 1; k <= levels; k++ {
 			layerSum := sumTree(layerW[k-1])
-			goodList[k-1] = expr.Eq(average(layerSum, levels, w), fifoW[k-1])
+			b.Good(ir.EqW(average(layerSum, levels, w), fifoW[k-1]))
 		}
-		p.GoodList = goodList
-		p.Name += "-assist"
 	}
-	return p
+	return b.Build()
 }
 
-// makeWordVars allocates the slot structure for count words of the given
-// width (variables are declared later, slice-interleaved).
-func makeWordVars(count, width int) [][]bdd.Var {
-	out := make([][]bdd.Var, count)
+// NewFilter builds the moving-average filter problem on the given
+// manager — a thin shim over BuildFilter + ir.Instantiate.
+func NewFilter(m *bdd.Manager, cfg FilterConfig) verify.Problem {
+	return BuildFilter(cfg).MustInstantiate(m)
+}
+
+// makeBitGrid allocates the slot structure for count words of the given
+// width (nodes are declared later, slice-interleaved).
+func makeBitGrid(count, width int) [][]*ir.Node {
+	out := make([][]*ir.Node, count)
 	for i := range out {
-		out[i] = make([]bdd.Var, width)
+		out[i] = make([]*ir.Node, width)
 	}
 	return out
 }
 
 // setWord assigns a word-valued next-state function bit by bit.
-func setWord(ma *fsm.Machine, vars []bdd.Var, next expr.Word) {
-	if len(vars) != next.Width() {
-		panic(fmt.Sprintf("models: setWord width mismatch: %d vars, %d bits", len(vars), next.Width()))
+func setWord(b *ir.Builder, bits []*ir.Node, next ir.Word) {
+	if len(bits) != next.Width() {
+		panic(fmt.Sprintf("models: setWord width mismatch: %d vars, %d bits", len(bits), next.Width()))
 	}
-	for b, v := range vars {
-		ma.SetNext(v, next.Bit(b))
+	for i, v := range bits {
+		b.SetNext(v, next.Bit(i))
 	}
 }
 
 // sumTree adds a power-of-two list of equal-width words as a balanced
 // tree, growing one bit per level (full precision).
-func sumTree(ws []expr.Word) expr.Word {
+func sumTree(ws []ir.Word) ir.Word {
 	if len(ws) == 1 {
 		return ws[0]
 	}
-	next := make([]expr.Word, len(ws)/2)
+	next := make([]ir.Word, len(ws)/2)
 	for i := range next {
-		next[i] = expr.AddExpand(ws[2*i], ws[2*i+1])
+		next[i] = ir.AddExpand(ws[2*i], ws[2*i+1])
 	}
 	return sumTree(next)
 }
@@ -196,6 +195,6 @@ func sumTree(ws []expr.Word) expr.Word {
 // average discards the low `levels` bits of a full-precision sum (the
 // "3-bit discard" of Figure 2 for depth 8) and truncates to the sample
 // width.
-func average(sum expr.Word, levels, width int) expr.Word {
-	return expr.Shr(sum, levels).Truncate(width)
+func average(sum ir.Word, levels, width int) ir.Word {
+	return ir.ShrW(sum, levels).Truncate(width)
 }

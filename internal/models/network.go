@@ -4,8 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/bdd"
-	"repro/internal/expr"
-	"repro/internal/fsm"
+	"repro/internal/ir"
 	"repro/internal/verify"
 )
 
@@ -36,14 +35,14 @@ const (
 	actReceive = 3
 )
 
-// NewNetwork builds the network problem on a fresh manager.
+// BuildNetwork builds the network model as manager-independent IR.
 //
 // The property — each processor's counter equals the number of its
 // messages in flight — is the per-processor implicit conjunction the
 // paper's tables annotate as "(n × k nodes)". It is also exposed as the
 // functional-dependency declaration the FD baseline needs: each counter
 // is a function of the network contents.
-func NewNetwork(m *bdd.Manager, cfg NetworkConfig) verify.Problem {
+func BuildNetwork(cfg NetworkConfig) *ir.Model {
 	n := cfg.Procs
 	if n < 1 || n >= 16 {
 		panic("models: network needs 1 <= Procs < 16")
@@ -54,130 +53,115 @@ func NewNetwork(m *bdd.Manager, cfg NetworkConfig) verify.Problem {
 		cw++ // counter must hold up to `slots` outstanding messages
 	}
 
-	ma := fsm.New(m)
+	b := ir.NewBuilder(fmt.Sprintf("network-n%d", n))
+	b.ParamInt("procs", n)
+	b.ParamBool("bug", cfg.Bug)
 
 	// Inputs: action selector, processor selector, slot selector.
-	actV := ma.NewInputBits("act", 2)
-	procV := ma.NewInputBits("psel", netAddrBits)
-	slotV := ma.NewInputBits("ssel", netAddrBits)
+	actV := b.Inputs("act", 2)
+	procV := b.Inputs("psel", netAddrBits)
+	slotV := b.Inputs("ssel", netAddrBits)
 
 	// State, network first (the counters' defining functions read it):
 	// per slot a valid bit, an ack flag, and the return address.
-	valid := make([]bdd.Var, slots)
-	ack := make([]bdd.Var, slots)
-	addr := make([][]bdd.Var, slots)
+	valid := make([]*ir.Node, slots)
+	ack := make([]*ir.Node, slots)
+	addr := make([][]*ir.Node, slots)
 	for s := 0; s < slots; s++ {
-		valid[s] = ma.NewStateBit(fmt.Sprintf("net%d.v", s))
-		ack[s] = ma.NewStateBit(fmt.Sprintf("net%d.a", s))
-		addr[s] = ma.NewStateBits(fmt.Sprintf("net%d.id", s), netAddrBits)
+		valid[s] = b.State(fmt.Sprintf("net%d.v", s), false)
+		ack[s] = b.State(fmt.Sprintf("net%d.a", s), false)
+		addr[s] = b.States(fmt.Sprintf("net%d.id", s), netAddrBits, false)
 	}
-	counters := make([][]bdd.Var, n)
+	counters := make([][]*ir.Node, n)
 	for p := 0; p < n; p++ {
-		counters[p] = ma.NewStateBits(fmt.Sprintf("cnt%d.", p), cw)
+		counters[p] = b.States(fmt.Sprintf("cnt%d.", p), cw, false)
 	}
 
-	action := expr.FromVars(m, actV)
-	procSel := expr.FromVars(m, procV)
-	slotSel := expr.FromVars(m, slotV)
+	action := ir.FromNodes(actV)
+	procSel := ir.FromNodes(procV)
+	slotSel := ir.FromNodes(slotV)
 
 	// Selectors must address real processors and slots.
-	ma.AddInputConstraint(expr.Lt(procSel, expr.Const(m, uint64(n), netAddrBits)))
-	ma.AddInputConstraint(expr.Lt(slotSel, expr.Const(m, uint64(slots), netAddrBits)))
+	b.Constrain(ir.LtW(procSel, ir.ConstWord(uint64(n), netAddrBits)))
+	b.Constrain(ir.LtW(slotSel, ir.ConstWord(uint64(slots), netAddrBits)))
 
-	isIssue := expr.EqConst(action, actIssue)
-	isServe := expr.EqConst(action, actServe)
-	isRecv := expr.EqConst(action, actReceive)
+	isIssue := ir.EqConstW(action, actIssue)
+	isServe := ir.EqConstW(action, actServe)
+	isRecv := ir.EqConstW(action, actReceive)
 
 	// Per-slot enables.
-	issueOK := bdd.Zero // chosen slot is free
-	recvOK := bdd.Zero  // chosen slot holds an ack for procSel (or, with
-	// the seeded bug, any ack at all)
+	issueOK := ir.Bool(false) // chosen slot is free
+	recvOK := ir.Bool(false)  // chosen slot holds an ack for procSel (or,
+	// with the seeded bug, any ack at all)
 	for s := 0; s < slots; s++ {
-		selS := expr.EqConst(slotSel, uint64(s))
-		slotAddr := expr.FromVars(m, addr[s])
-		issueOK = m.Or(issueOK, m.And(selS, m.NVarRef(valid[s])))
-		match := expr.Eq(slotAddr, procSel)
+		selS := ir.EqConstW(slotSel, uint64(s))
+		slotAddr := ir.FromNodes(addr[s])
+		issueOK = ir.Or(issueOK, ir.And(selS, ir.Not(valid[s])))
+		match := ir.EqW(slotAddr, procSel)
 		if cfg.Bug {
-			match = bdd.One // consume anyone's acknowledgment
+			match = ir.Bool(true) // consume anyone's acknowledgment
 		}
-		recvOK = m.Or(recvOK, m.AndN(selS, m.VarRef(valid[s]), m.VarRef(ack[s]), match))
+		recvOK = ir.Or(recvOK, ir.And(selS, valid[s], ack[s], match))
 	}
-	doIssue := m.And(isIssue, issueOK)
-	doRecv := m.And(isRecv, recvOK)
+	doIssue := ir.And(isIssue, issueOK)
+	doRecv := ir.And(isRecv, recvOK)
 
 	for s := 0; s < slots; s++ {
-		selS := expr.EqConst(slotSel, uint64(s))
-		v, a := m.VarRef(valid[s]), m.VarRef(ack[s])
-		slotAddr := expr.FromVars(m, addr[s])
-		match := expr.Eq(slotAddr, procSel)
+		selS := ir.EqConstW(slotSel, uint64(s))
+		v, a := valid[s], ack[s]
+		slotAddr := ir.FromNodes(addr[s])
+		match := ir.EqW(slotAddr, procSel)
 		if cfg.Bug {
-			match = bdd.One
+			match = ir.Bool(true)
 		}
 
-		issueHere := m.AndN(doIssue, selS, v.Not())
-		serveHere := m.AndN(isServe, selS, v, a.Not())
-		recvHere := m.AndN(doRecv, selS, v, a, match)
+		issueHere := ir.And(doIssue, selS, ir.Not(v))
+		serveHere := ir.And(isServe, selS, v, ir.Not(a))
+		recvHere := ir.And(doRecv, selS, v, a, match)
 
-		ma.SetNext(valid[s], m.ITE(issueHere, bdd.One, m.ITE(recvHere, bdd.Zero, v)))
-		ma.SetNext(ack[s], m.ITE(issueHere, bdd.Zero, m.ITE(serveHere, bdd.One, a)))
-		for b := 0; b < netAddrBits; b++ {
-			ma.SetNext(addr[s][b], m.ITE(issueHere, procSel.Bit(b), m.VarRef(addr[s][b])))
+		b.SetNext(valid[s], ir.ITE(issueHere, ir.Bool(true), ir.ITE(recvHere, ir.Bool(false), v)))
+		b.SetNext(ack[s], ir.ITE(issueHere, ir.Bool(false), ir.ITE(serveHere, ir.Bool(true), a)))
+		for i := 0; i < netAddrBits; i++ {
+			b.SetNext(addr[s][i], ir.ITE(issueHere, procSel.Bit(i), addr[s][i]))
 		}
 	}
 
 	for p := 0; p < n; p++ {
-		cnt := expr.FromVars(m, counters[p])
-		selP := expr.EqConst(procSel, uint64(p))
-		up := m.And(doIssue, selP)
-		down := m.And(doRecv, selP)
-		next := expr.Mux(up, expr.Inc(cnt), expr.Mux(down, expr.Dec(cnt), cnt))
-		for b := 0; b < cw; b++ {
-			ma.SetNext(counters[p][b], next.Bit(b))
+		cnt := ir.FromNodes(counters[p])
+		selP := ir.EqConstW(procSel, uint64(p))
+		up := ir.And(doIssue, selP)
+		down := ir.And(doRecv, selP)
+		next := ir.MuxW(up, ir.IncW(cnt), ir.MuxW(down, ir.DecW(cnt), cnt))
+		for i := 0; i < cw; i++ {
+			b.SetNext(counters[p][i], next.Bit(i))
 		}
 	}
-
-	initSet := bdd.One
-	for s := 0; s < slots; s++ {
-		initSet = m.AndN(initSet, m.NVarRef(valid[s]), m.NVarRef(ack[s]))
-		for b := 0; b < netAddrBits; b++ {
-			initSet = m.And(initSet, m.NVarRef(addr[s][b]))
-		}
-	}
-	for p := 0; p < n; p++ {
-		for b := 0; b < cw; b++ {
-			initSet = m.And(initSet, m.NVarRef(counters[p][b]))
-		}
-	}
-	ma.SetInit(initSet)
-	ma.MustSeal()
 
 	// Property: counter_p == |{s : valid_s ∧ addr_s == p}| for each p —
 	// one conjunct per processor, and simultaneously the functional
 	// dependency defining the counter bits from the network state.
-	goodList := make([]bdd.Ref, n)
-	var deps []verify.Dependency
 	for p := 0; p < n; p++ {
-		flags := make([]bdd.Ref, slots)
+		flags := make([]*ir.Node, slots)
 		for s := 0; s < slots; s++ {
-			flags[s] = m.And(m.VarRef(valid[s]), expr.EqConst(expr.FromVars(m, addr[s]), uint64(p)))
+			flags[s] = ir.And(valid[s], ir.EqConstW(ir.FromNodes(addr[s]), uint64(p)))
 		}
-		outstanding := expr.PopCount(m, flags)
+		outstanding := ir.PopCountW(flags)
 		if outstanding.Width() < cw {
 			outstanding = outstanding.Extend(cw)
 		} else if outstanding.Width() > cw {
 			outstanding = outstanding.Truncate(cw) // cw chosen to fit; no loss
 		}
-		cnt := expr.FromVars(m, counters[p])
-		goodList[p] = expr.Eq(cnt, outstanding)
-		for b := 0; b < cw; b++ {
-			deps = append(deps, verify.Dependency{Var: counters[p][b], Def: outstanding.Bit(b)})
+		cnt := ir.FromNodes(counters[p])
+		b.Good(ir.EqW(cnt, outstanding))
+		for i := 0; i < cw; i++ {
+			b.Dep(counters[p][i], outstanding.Bit(i))
 		}
 	}
+	return b.Build()
+}
 
-	return verify.Problem{
-		Machine:  ma,
-		GoodList: goodList,
-		Deps:     deps,
-		Name:     fmt.Sprintf("network-n%d", n),
-	}
+// NewNetwork builds the network problem on the given manager — a thin
+// shim over BuildNetwork + ir.Instantiate.
+func NewNetwork(m *bdd.Manager, cfg NetworkConfig) verify.Problem {
+	return BuildNetwork(cfg).MustInstantiate(m)
 }

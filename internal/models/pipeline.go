@@ -4,8 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/bdd"
-	"repro/internal/expr"
-	"repro/internal/fsm"
+	"repro/internal/ir"
 	"repro/internal/verify"
 )
 
@@ -56,12 +55,12 @@ func DefaultPipeline(regs, width int) PipelineConfig {
 	return PipelineConfig{Regs: regs, Width: width}
 }
 
-// NewPipeline builds the processor-equivalence problem on a fresh
-// manager.
+// BuildPipeline builds the processor-equivalence model as
+// manager-independent IR.
 //
 // Instruction encoding (LSB first): 3-bit opcode, source register,
 // destination register, B-bit immediate.
-func NewPipeline(m *bdd.Manager, cfg PipelineConfig) verify.Problem {
+func BuildPipeline(cfg PipelineConfig) *ir.Model {
 	r, bw := cfg.Regs, cfg.Width
 	rb := 0
 	for 1<<uint(rb) < r {
@@ -75,71 +74,80 @@ func NewPipeline(m *bdd.Manager, cfg PipelineConfig) verify.Problem {
 	}
 	ilen := 3 + 2*rb + bw
 
-	ma := fsm.New(m)
+	name := fmt.Sprintf("pipeline-r%d-b%d", r, bw)
+	if cfg.Assist {
+		name += "-assist"
+	}
+	b := ir.NewBuilder(name)
+	b.ParamInt("regs", r)
+	b.ParamInt("width", bw)
+	b.ParamBool("assist", cfg.Assist)
+	b.ParamBool("bug", cfg.Bug)
+	b.ParamBool("separate-reg-files", cfg.SeparateRegFiles)
 
 	// Instruction stream input, then the instruction-holding registers
 	// interleaved: the fetched instruction (pipeline) and the first delay
 	// register (spec) always carry equal values, so adjacent ordering
 	// keeps their relation small.
-	instrV := make([]bdd.Var, ilen)
-	frV := make([]bdd.Var, ilen) // pipeline: decode/execute stage instr
-	d1V := make([]bdd.Var, ilen) // spec: first delay register
-	d2V := make([]bdd.Var, ilen) // spec: second delay register
-	for b := 0; b < ilen; b++ {
-		instrV[b] = ma.NewInputBit(fmt.Sprintf("ins%d", b))
-		frV[b] = ma.NewStateBit(fmt.Sprintf("fr%d", b))
-		d1V[b] = ma.NewStateBit(fmt.Sprintf("d1_%d", b))
+	instrV := make([]*ir.Node, ilen)
+	frV := make([]*ir.Node, ilen) // pipeline: decode/execute stage instr
+	d1V := make([]*ir.Node, ilen) // spec: first delay register
+	d2V := make([]*ir.Node, ilen) // spec: second delay register
+	for i := 0; i < ilen; i++ {
+		instrV[i] = b.Input(fmt.Sprintf("ins%d", i))
+		frV[i] = b.State(fmt.Sprintf("fr%d", i), false)
+		d1V[i] = b.State(fmt.Sprintf("d1_%d", i), false)
 	}
-	for b := 0; b < ilen; b++ {
-		d2V[b] = ma.NewStateBit(fmt.Sprintf("d2_%d", b))
+	for i := 0; i < ilen; i++ {
+		d2V[i] = b.State(fmt.Sprintf("d2_%d", i), false)
 	}
 
 	// Execute/writeback latch: result, destination, write enable, and
 	// the branch-in-writeback marker driving the stall.
-	exResV := ma.NewStateBits("exr.", bw)
-	exDstV := ma.NewStateBits("exd.", rb)
-	exWE := ma.NewStateBit("exw")
-	brWB := ma.NewStateBit("brw")
+	exResV := b.States("exr.", bw, false)
+	exDstV := b.States("exd.", rb, false)
+	exWE := b.State("exw", false)
+	brWB := b.State("brw", false)
 
 	// Register files: interleaved implementation/specification per bit
 	// (default) or as two separate blocks (SeparateRegFiles).
-	implRF := makeWordVars(r, bw)
-	specRF := makeWordVars(r, bw)
+	implRF := makeBitGrid(r, bw)
+	specRF := makeBitGrid(r, bw)
 	if cfg.SeparateRegFiles {
 		for i := 0; i < r; i++ {
-			for b := 0; b < bw; b++ {
-				implRF[i][b] = ma.NewStateBit(fmt.Sprintf("ri%d.%d", i, b))
+			for j := 0; j < bw; j++ {
+				implRF[i][j] = b.State(fmt.Sprintf("ri%d.%d", i, j), false)
 			}
 		}
 		for i := 0; i < r; i++ {
-			for b := 0; b < bw; b++ {
-				specRF[i][b] = ma.NewStateBit(fmt.Sprintf("rs%d.%d", i, b))
+			for j := 0; j < bw; j++ {
+				specRF[i][j] = b.State(fmt.Sprintf("rs%d.%d", i, j), false)
 			}
 		}
 	} else {
 		for i := 0; i < r; i++ {
-			for b := 0; b < bw; b++ {
-				implRF[i][b] = ma.NewStateBit(fmt.Sprintf("ri%d.%d", i, b))
-				specRF[i][b] = ma.NewStateBit(fmt.Sprintf("rs%d.%d", i, b))
+			for j := 0; j < bw; j++ {
+				implRF[i][j] = b.State(fmt.Sprintf("ri%d.%d", i, j), false)
+				specRF[i][j] = b.State(fmt.Sprintf("rs%d.%d", i, j), false)
 			}
 		}
 	}
 
 	type decoded struct {
-		op       expr.Word
-		src, dst expr.Word
-		imm      expr.Word
+		op       ir.Word
+		src, dst ir.Word
+		imm      ir.Word
 	}
-	decode := func(vars []bdd.Var) decoded {
-		w := expr.FromVars(m, vars)
+	decode := func(bits []*ir.Node) decoded {
+		w := ir.FromNodes(bits)
 		return decoded{
 			op:  w.Truncate(3),
-			src: expr.Word{M: m, Bits: w.Bits[3 : 3+rb]},
-			dst: expr.Word{M: m, Bits: w.Bits[3+rb : 3+2*rb]},
-			imm: expr.Word{M: m, Bits: w.Bits[3+2*rb:]},
+			src: w[3 : 3+rb],
+			dst: w[3+rb : 3+2*rb],
+			imm: w[3+2*rb:],
 		}
 	}
-	isOp := func(d decoded, code uint64) bdd.Ref { return expr.EqConst(d.op, code) }
+	isOp := func(d decoded, code uint64) *ir.Node { return ir.EqConstW(d.op, code) }
 
 	fr := decode(frV)
 	d2 := decode(d2V)
@@ -147,94 +155,85 @@ func NewPipeline(m *bdd.Manager, cfg PipelineConfig) verify.Problem {
 	// Branch stall: while a BR sits in decode/execute or writeback, the
 	// fetch unit receives NOPs (and the spec's intake sees the same
 	// NOPs, stalling it identically).
-	stall := m.Or(isOp(fr, opBR), m.VarRef(brWB))
-	fetched := expr.Mux(stall, expr.Const(m, opNOP, ilen), expr.FromVars(m, instrV))
-	setWord(ma, frV, fetched)
-	setWord(ma, d1V, fetched)
-	setWord(ma, d2V, expr.FromVars(m, d1V))
+	stall := ir.Or(isOp(fr, opBR), brWB)
+	fetched := ir.MuxW(stall, ir.ConstWord(opNOP, ilen), ir.FromNodes(instrV))
+	setWord(b, frV, fetched)
+	setWord(b, d1V, fetched)
+	setWord(b, d2V, ir.FromNodes(d1V))
 
 	// Execute stage (pipeline): operand fetch with bypass from the
 	// writeback latch, then compute.
-	exRes := expr.FromVars(m, exResV)
-	exDst := expr.FromVars(m, exDstV)
-	weNow := m.VarRef(exWE)
+	exRes := ir.FromNodes(exResV)
+	exDst := ir.FromNodes(exDstV)
+	weNow := exWE
 
-	readImpl := func(sel expr.Word, bypass bool) expr.Word {
-		val := expr.Const(m, 0, bw)
+	readImpl := func(sel ir.Word, bypass bool) ir.Word {
+		val := ir.ConstWord(0, bw)
 		for i := r - 1; i >= 0; i-- {
-			val = expr.Mux(expr.EqConst(sel, uint64(i)), expr.FromVars(m, implRF[i]), val)
+			val = ir.MuxW(ir.EqConstW(sel, uint64(i)), ir.FromNodes(implRF[i]), val)
 		}
 		if bypass {
-			hit := m.And(weNow, expr.Eq(exDst, sel))
-			val = expr.Mux(hit, exRes, val)
+			hit := ir.And(weNow, ir.EqW(exDst, sel))
+			val = ir.MuxW(hit, exRes, val)
 		}
 		return val
 	}
 	rs := readImpl(fr.src, !cfg.Bug) // seeded bug: no bypass on rs
 	rd := readImpl(fr.dst, true)
 
-	execute := func(d decoded, rsV, rdV expr.Word) (expr.Word, bdd.Ref) {
-		res := expr.Const(m, 0, bw)
-		res = expr.Mux(isOp(d, opLD), d.imm, res)
-		res = expr.Mux(isOp(d, opADD), expr.Add(rdV, rsV), res)
-		res = expr.Mux(isOp(d, opSUB), expr.Sub(rdV, rsV), res)
-		res = expr.Mux(isOp(d, opMOV), rsV, res)
-		res = expr.Mux(isOp(d, opSR), expr.Shr(rdV, 1), res)
-		we := m.OrN(isOp(d, opLD), isOp(d, opADD), isOp(d, opSUB), isOp(d, opMOV), isOp(d, opSR))
+	execute := func(d decoded, rsV, rdV ir.Word) (ir.Word, *ir.Node) {
+		res := ir.ConstWord(0, bw)
+		res = ir.MuxW(isOp(d, opLD), d.imm, res)
+		res = ir.MuxW(isOp(d, opADD), ir.AddW(rdV, rsV), res)
+		res = ir.MuxW(isOp(d, opSUB), ir.SubW(rdV, rsV), res)
+		res = ir.MuxW(isOp(d, opMOV), rsV, res)
+		res = ir.MuxW(isOp(d, opSR), ir.ShrW(rdV, 1), res)
+		we := ir.Or(isOp(d, opLD), isOp(d, opADD), isOp(d, opSUB), isOp(d, opMOV), isOp(d, opSR))
 		return res, we
 	}
 
 	resNow, weNext := execute(fr, rs, rd)
-	setWord(ma, exResV, resNow)
-	setWord(ma, exDstV, fr.dst)
-	ma.SetNext(exWE, weNext)
-	ma.SetNext(brWB, isOp(fr, opBR))
+	setWord(b, exResV, resNow)
+	setWord(b, exDstV, fr.dst)
+	b.SetNext(exWE, weNext)
+	b.SetNext(brWB, isOp(fr, opBR))
 
 	// Writeback stage: the latch contents retire into the register file.
 	for i := 0; i < r; i++ {
-		hit := m.AndN(weNow, expr.EqConst(exDst, uint64(i)))
-		setWord(ma, implRF[i], expr.Mux(hit, exRes, expr.FromVars(m, implRF[i])))
+		hit := ir.And(weNow, ir.EqConstW(exDst, uint64(i)))
+		setWord(b, implRF[i], ir.MuxW(hit, exRes, ir.FromNodes(implRF[i])))
 	}
 
 	// Specification: fetch-execute-writeback in one cycle on D2.
-	specRd := expr.Const(m, 0, bw)
-	specRs := expr.Const(m, 0, bw)
+	specRd := ir.ConstWord(0, bw)
+	specRs := ir.ConstWord(0, bw)
 	for i := r - 1; i >= 0; i-- {
-		w := expr.FromVars(m, specRF[i])
-		specRs = expr.Mux(expr.EqConst(d2.src, uint64(i)), w, specRs)
-		specRd = expr.Mux(expr.EqConst(d2.dst, uint64(i)), w, specRd)
+		w := ir.FromNodes(specRF[i])
+		specRs = ir.MuxW(ir.EqConstW(d2.src, uint64(i)), w, specRs)
+		specRd = ir.MuxW(ir.EqConstW(d2.dst, uint64(i)), w, specRd)
 	}
 	specRes, specWE := execute(d2, specRs, specRd)
 	for i := 0; i < r; i++ {
-		hit := m.AndN(specWE, expr.EqConst(d2.dst, uint64(i)))
-		setWord(ma, specRF[i], expr.Mux(hit, specRes, expr.FromVars(m, specRF[i])))
+		hit := ir.And(specWE, ir.EqConstW(d2.dst, uint64(i)))
+		setWord(b, specRF[i], ir.MuxW(hit, specRes, ir.FromNodes(specRF[i])))
 	}
-
-	// Everything starts zeroed: NOPs in flight, empty latch, equal
-	// register files.
-	initSet := bdd.One
-	for _, v := range ma.CurVars() {
-		initSet = m.And(initSet, m.NVarRef(v))
-	}
-	ma.SetInit(initSet)
-	ma.MustSeal()
 
 	// Property: the register files always agree.
-	perReg := make([]bdd.Ref, r)
-	good := bdd.One
+	perReg := make([]*ir.Node, r)
 	for i := 0; i < r; i++ {
-		perReg[i] = expr.Eq(expr.FromVars(m, implRF[i]), expr.FromVars(m, specRF[i]))
-		good = m.And(good, perReg[i])
+		perReg[i] = ir.EqW(ir.FromNodes(implRF[i]), ir.FromNodes(specRF[i]))
 	}
-
-	p := verify.Problem{
-		Machine: ma,
-		Good:    good,
-		Name:    fmt.Sprintf("pipeline-r%d-b%d", r, bw),
-	}
+	b.Goal(ir.And(perReg...))
 	if cfg.Assist {
-		p.GoodList = perReg
-		p.Name += "-assist"
+		for i := 0; i < r; i++ {
+			b.Good(perReg[i])
+		}
 	}
-	return p
+	return b.Build()
+}
+
+// NewPipeline builds the processor-equivalence problem on the given
+// manager — a thin shim over BuildPipeline + ir.Instantiate.
+func NewPipeline(m *bdd.Manager, cfg PipelineConfig) verify.Problem {
+	return BuildPipeline(cfg).MustInstantiate(m)
 }

@@ -2,123 +2,93 @@ package server
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"repro/internal/bdd"
 	"repro/internal/lang"
-	"repro/internal/models"
 	"repro/internal/verify"
+	"repro/internal/zoo"
 )
 
-// The named built-in model families a job may request instead of
-// shipping textual source. Each entry validates its knobs at submission
-// (so bad sizes are a 400, not a failed job) and constructs the problem
-// on the worker's manager at run time.
-type builtin struct {
-	defaultSize int
-	validate    func(req *SubmitRequest) error
-	build       func(m *bdd.Manager, req *SubmitRequest) verify.Problem
+// Builtin models are the zoo registry: every registered entry — the
+// paper families, the parameterized additions, the imported `.fsm`
+// machines — is submittable by name. At submission the entry is built
+// (manager-free IR) and serialized to its canonical text, so from that
+// point on a builtin job IS a textual job: same code path, same
+// content-addressed cache identity. A builtin submission and a textual
+// submission of the equivalent model therefore share one cache entry.
+
+// legacySizeKey maps the original flat "size" knob onto the zoo entry's
+// named parameter, for the six family names the first API version had.
+var legacySizeKey = map[string]string{
+	"fifo":      "depth",
+	"network":   "procs",
+	"filter":    "depth",
+	"coherence": "caches",
+	"link":      "data-bits",
 }
 
-var builtins = map[string]builtin{
-	"fifo": {
-		defaultSize: 3,
-		validate: func(req *SubmitRequest) error {
-			if req.Size <= 0 {
-				return fmt.Errorf("fifo needs size >= 1 (queue depth)")
-			}
-			return nil
-		},
-		build: func(m *bdd.Manager, req *SubmitRequest) verify.Problem {
-			cfg := models.DefaultFIFO(req.Size)
-			cfg.Bug = req.Bug
-			return models.NewFIFO(m, cfg)
-		},
-	},
-	"network": {
-		defaultSize: 2,
-		validate: func(req *SubmitRequest) error {
-			if req.Size < 1 || req.Size >= 16 {
-				return fmt.Errorf("network needs 1 <= size < 16 (processors)")
-			}
-			return nil
-		},
-		build: func(m *bdd.Manager, req *SubmitRequest) verify.Problem {
-			return models.NewNetwork(m, models.NetworkConfig{Procs: req.Size, Bug: req.Bug})
-		},
-	},
-	"filter": {
-		defaultSize: 4,
-		validate: func(req *SubmitRequest) error {
-			if req.Size < 2 || req.Size&(req.Size-1) != 0 {
-				return fmt.Errorf("filter needs size = a power of two >= 2 (window depth)")
-			}
-			return nil
-		},
-		build: func(m *bdd.Manager, req *SubmitRequest) verify.Problem {
-			cfg := models.DefaultFilter(req.Size, req.Assist)
-			cfg.Bug = req.Bug
-			return models.NewFilter(m, cfg)
-		},
-	},
-	"pipeline": {
-		validate: func(req *SubmitRequest) error {
-			if req.Regs < 2 || req.Regs&(req.Regs-1) != 0 {
-				return fmt.Errorf("pipeline needs regs = a power of two >= 2")
-			}
-			if req.Bits < 1 {
-				return fmt.Errorf("pipeline needs bits >= 1")
-			}
-			return nil
-		},
-		build: func(m *bdd.Manager, req *SubmitRequest) verify.Problem {
-			cfg := models.DefaultPipeline(req.Regs, req.Bits)
-			cfg.Assist = req.Assist
-			cfg.Bug = req.Bug
-			return models.NewPipeline(m, cfg)
-		},
-	},
-	"coherence": {
-		defaultSize: 2,
-		validate: func(req *SubmitRequest) error {
-			if req.Size < 2 || req.Size > 8 {
-				return fmt.Errorf("coherence needs 2 <= size <= 8 (caches)")
-			}
-			return nil
-		},
-		build: func(m *bdd.Manager, req *SubmitRequest) verify.Problem {
-			return models.NewCoherence(m, models.CoherenceConfig{Caches: req.Size, Bug: req.Bug})
-		},
-	},
-	"link": {
-		defaultSize: 1,
-		validate: func(req *SubmitRequest) error {
-			if req.Size < 1 || req.Size > 16 {
-				return fmt.Errorf("link needs 1 <= size <= 16 (data bits)")
-			}
-			return nil
-		},
-		build: func(m *bdd.Manager, req *SubmitRequest) verify.Problem {
-			return models.NewLink(m, models.LinkConfig{DataBits: req.Size, Bug: req.Bug})
-		},
-	},
+// legacyDefaults reproduces the first API version's default sizes,
+// which were smaller than the zoo entries' own defaults.
+var legacyDefaults = map[string]zoo.Size{
+	"fifo":      {"depth": 3},
+	"network":   {"procs": 2},
+	"filter":    {"depth": 4},
+	"coherence": {"caches": 2},
+	"link":      {"data-bits": 1},
+	"pipeline":  {"regs": 2, "width": 1},
 }
 
-// Builtins returns the accepted builtin names, sorted.
-func Builtins() []string {
-	names := make([]string, 0, len(builtins))
-	for n := range builtins {
-		names = append(names, n)
+// Builtins returns the accepted builtin names (the zoo registry),
+// sorted.
+func Builtins() []string { return zoo.Names() }
+
+// builtinSize resolves the request's parameter surface — the legacy
+// flat knobs plus the named "params" map — into the zoo size overrides.
+// Named params win over legacy knobs.
+func builtinSize(req *SubmitRequest) (zoo.Size, error) {
+	size := zoo.Size{}
+	for k, v := range legacyDefaults[req.Builtin] {
+		size[k] = v
 	}
-	sort.Strings(names)
-	return names
+	if req.Size != 0 {
+		key, ok := legacySizeKey[req.Builtin]
+		if !ok {
+			return nil, fmt.Errorf("builtin %q takes named parameters; use \"params\" instead of \"size\"", req.Builtin)
+		}
+		size[key] = req.Size
+	}
+	if req.Regs != 0 || req.Bits != 0 {
+		if req.Builtin != "pipeline" {
+			return nil, fmt.Errorf("\"regs\"/\"bits\" only apply to the pipeline builtin; use \"params\" for %q", req.Builtin)
+		}
+		if req.Regs != 0 {
+			size["regs"] = req.Regs
+		}
+		if req.Bits != 0 {
+			size["width"] = req.Bits
+		}
+	}
+	if req.Assist {
+		size["assist"] = 1
+	}
+	if req.Bug {
+		size["bug"] = 1
+	}
+	for k, v := range req.Params {
+		size[k] = v
+	}
+	return size, nil
 }
 
 // normalizeModel validates the request's model selection, fills
 // defaults in place, and returns the canonical model identity string
-// the result cache hashes. For textual models that is the canonical
-// source (lang.Canon); for builtins, a fully-resolved parameter string.
+// the result cache hashes. Both frontends converge on the same
+// identity: textual source is canonicalized with lang.Canon; a builtin
+// is built from the zoo registry and serialized to the identical
+// canonical form (the golden round-trip tests pin that lang.Canon is a
+// fixed point on it). Either way the job leaves here carrying canonical
+// text in req.Model.
 func normalizeModel(req *SubmitRequest) (string, error) {
 	hasModel := strings.TrimSpace(req.Model) != ""
 	if hasModel == (req.Builtin != "") {
@@ -134,46 +104,34 @@ func normalizeModel(req *SubmitRequest) (string, error) {
 		if req.Name == "" {
 			req.Name = "model"
 		}
-		return "lang:" + canon, nil
+		return "ir:" + canon, nil
 	}
-	bi, ok := builtins[req.Builtin]
+	e, ok := zoo.Get(req.Builtin)
 	if !ok {
 		return "", fmt.Errorf("unknown builtin %q (builtins: %s)", req.Builtin, strings.Join(Builtins(), ", "))
 	}
-	if req.Size == 0 {
-		req.Size = bi.defaultSize
-	}
-	if req.Builtin == "pipeline" {
-		if req.Regs == 0 {
-			req.Regs = 2
-		}
-		if req.Bits == 0 {
-			req.Bits = 1
-		}
-	}
-	if err := bi.validate(req); err != nil {
+	size, err := builtinSize(req)
+	if err != nil {
 		return "", err
 	}
+	mo, err := e.Model(size)
+	if err != nil {
+		return "", err
+	}
+	req.Model = mo.Format()
 	if req.Name == "" {
 		req.Name = req.Builtin
 	}
-	return fmt.Sprintf("builtin:%s/size=%d/regs=%d/bits=%d/assist=%t/bug=%t",
-		req.Builtin, req.Size, req.Regs, req.Bits, req.Assist, req.Bug), nil
+	return "ir:" + req.Model, nil
 }
 
 // buildProblem constructs the job's problem on the worker's manager.
-// The request was normalized at submission, so failures here are
-// resource overruns or model-constructor panics, both converted by the
-// caller.
+// Every job — textual or builtin — carries canonical text after
+// normalization, so there is exactly one construction path and no
+// frontend builds BDDs outside ir.Instantiate.
 func buildProblem(m *bdd.Manager, req *SubmitRequest) (verify.Problem, error) {
-	if req.Model != "" {
-		return lang.Parse(m, req.Model, req.Name)
+	if req.Model == "" {
+		return verify.Problem{}, fmt.Errorf("job was not normalized: empty model")
 	}
-	bi, ok := builtins[req.Builtin]
-	if !ok {
-		return verify.Problem{}, fmt.Errorf("unknown builtin %q", req.Builtin)
-	}
-	p := bi.build(m, req)
-	p.Name = req.Name
-	return p, nil
+	return lang.Parse(m, req.Model, req.Name)
 }

@@ -10,7 +10,8 @@
 // model text, engine, options, and budget.
 //
 // Endpoints: POST /jobs, GET /jobs, GET /jobs/{id}, DELETE /jobs/{id},
-// GET /jobs/{id}/events (NDJSON stream), GET /healthz, GET /metrics.
+// GET /jobs/{id}/events (NDJSON stream), GET /models, GET /healthz,
+// GET /metrics.
 // See docs/api.md for the wire reference and DESIGN.md §11 for the
 // architecture.
 package server
@@ -28,6 +29,7 @@ import (
 
 	"repro/internal/resource"
 	"repro/internal/verify"
+	"repro/internal/zoo"
 )
 
 // Config sizes the daemon. The zero value is usable: GOMAXPROCS
@@ -128,6 +130,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /models", s.handleModels)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.met.handler)
 	s.mux = mux
@@ -387,6 +390,31 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// handleModels is GET /models: the zoo registry — every builtin a
+// submission may name, with its parameter defaults and the sizes its
+// family is benchmarked at.
+func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
+	names := zoo.Names()
+	out := make([]ModelInfo, 0, len(names))
+	for _, name := range names {
+		e, ok := zoo.Get(name)
+		if !ok {
+			continue
+		}
+		sizes := make([]map[string]int, len(e.Sizes))
+		for i, sz := range e.Sizes {
+			sizes[i] = map[string]int(sz)
+		}
+		out = append(out, ModelInfo{
+			Name:     e.Name,
+			Desc:     e.Desc,
+			Defaults: map[string]int(e.Defaults),
+			Sizes:    sizes,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // handleHealthz is GET /healthz: liveness plus a small amount of

@@ -17,6 +17,7 @@ import (
 	"repro/internal/bdd"
 	"repro/internal/models"
 	"repro/internal/verify"
+	"repro/internal/zoo"
 )
 
 // testServer pairs a Server with its httptest front end and shuts both
@@ -528,6 +529,130 @@ func TestResultCache(t *testing.T) {
 	}
 	if got := metricInt(t, doc, "completed"); got != 3 {
 		t.Errorf("completed = %d, want 3 (cache hits complete too)", got)
+	}
+}
+
+// A builtin submission and a textual submission of the equivalent model
+// must share one content-addressed cache entry: the builtin is lowered
+// to canonical text at submission, so the service does the work once.
+func TestCacheSharedBetweenTextAndBuiltin(t *testing.T) {
+	e := newTestServer(t, Config{Workers: 2})
+
+	first := e.submit(t, SubmitRequest{Builtin: "fifo", Size: 3, Engine: "XICI"})
+	st1 := e.waitDone(t, first)
+	if st1.Result == nil || st1.Result.Outcome != verify.Verified.String() {
+		t.Fatalf("builtin run: %+v", st1.Result)
+	}
+
+	// The equivalent model as text: the same zoo entry serialized to
+	// its canonical form — exactly what a Go client or the golden files
+	// hold.
+	mo, err := zoo.Build("fifo", zoo.Size{"depth": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, data := e.post(t, SubmitRequest{Model: mo.Format(), Engine: "XICI"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("text submit: %d %s", resp.StatusCode, data)
+	}
+	var sr SubmitResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Cached {
+		t.Fatal("textual submission of the equivalent model missed the builtin's cache entry")
+	}
+
+	// And the new params surface hits the same entry as the legacy knob.
+	resp, data = e.post(t, SubmitRequest{Builtin: "fifo", Params: map[string]int{"depth": 3}, Engine: "XICI"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("params submit: %d %s", resp.StatusCode, data)
+	}
+	sr = SubmitResponse{}
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Cached {
+		t.Fatal("params submission of the same size missed the cache")
+	}
+
+	e.srv.mu.Lock()
+	entries := e.srv.cache.len()
+	e.srv.mu.Unlock()
+	if entries != 1 {
+		t.Fatalf("cache holds %d entries for one piece of work, want 1", entries)
+	}
+}
+
+// The zoo additions are servable builtins: a parameterized family via
+// "params" and an imported .fsm machine, with the resubmission answered
+// from the cache.
+func TestZooBuiltinsServe(t *testing.T) {
+	e := newTestServer(t, Config{Workers: 2})
+
+	id := e.submit(t, SubmitRequest{Builtin: "elevator", Params: map[string]int{"floors": 3}, Engine: "XICI"})
+	st := e.waitDone(t, id)
+	if st.Result == nil || st.Result.Outcome != verify.Verified.String() {
+		t.Fatalf("elevator: %+v (err %q)", st.Result, st.Error)
+	}
+
+	fsmReq := SubmitRequest{Builtin: "fsm/door", Engine: "XICI"}
+	id = e.submit(t, fsmReq)
+	st = e.waitDone(t, id)
+	if st.Result == nil || st.Result.Outcome != verify.Verified.String() {
+		t.Fatalf("fsm/door: %+v (err %q)", st.Result, st.Error)
+	}
+	if st.Name != "fsm/door" {
+		t.Errorf("job name %q, want the builtin name", st.Name)
+	}
+	resp, data := e.post(t, fsmReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resubmit: %d %s", resp.StatusCode, data)
+	}
+	var sr SubmitResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Cached || sr.Status == nil || sr.Status.Result == nil ||
+		sr.Status.Result.Outcome != verify.Verified.String() {
+		t.Fatalf("fsm/door resubmission not served from cache: %s", data)
+	}
+
+	// Parameter validation stays a 400: unknown param, and flat size on
+	// a params-only entry.
+	resp, _ = e.post(t, SubmitRequest{Builtin: "elevator", Params: map[string]int{"storeys": 3}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown param: %d, want 400", resp.StatusCode)
+	}
+	resp, _ = e.post(t, SubmitRequest{Builtin: "elevator", Size: 3})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("flat size on params-only entry: %d, want 400", resp.StatusCode)
+	}
+}
+
+// GET /models lists the zoo registry.
+func TestModelsEndpoint(t *testing.T) {
+	e := newTestServer(t, Config{Workers: 1})
+	resp, data := e.get(t, "/models")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/models: %d %s", resp.StatusCode, data)
+	}
+	var infos []ModelInfo
+	if err := json.Unmarshal(data, &infos); err != nil {
+		t.Fatalf("/models not JSON: %v", err)
+	}
+	if len(infos) < 10 {
+		t.Fatalf("/models lists %d entries, want >= 10", len(infos))
+	}
+	byName := map[string]ModelInfo{}
+	for _, mi := range infos {
+		byName[mi.Name] = mi
+	}
+	if _, ok := byName["fsm/turnstile"]; !ok {
+		t.Error("imported fsm/turnstile missing from /models")
+	}
+	if mi, ok := byName["elevator"]; !ok || mi.Defaults["floors"] == 0 || mi.Desc == "" {
+		t.Errorf("elevator entry incomplete: %+v", mi)
 	}
 }
 

@@ -26,13 +26,21 @@ type SubmitRequest struct {
 	// builtin's name, or "model" for textual submissions.
 	Name string `json:"name,omitempty"`
 
-	// Builtin selects a named built-in model family: fifo, network,
-	// filter, pipeline, coherence, link.
+	// Builtin selects a model from the zoo registry by name — the
+	// paper families (fifo, network, filter, pipeline, coherence,
+	// link), the parameterized additions (elevator, traffic,
+	// protostack), and the imported machines (fsm/...). GET /models
+	// lists them with their parameters.
 	Builtin string `json:"builtin,omitempty"`
 
-	// Size is the builtin's size knob (fifo depth, network processors,
-	// filter depth, coherence caches, link data bits). 0 = the
-	// builtin's default.
+	// Params sets the builtin's named parameters (e.g. {"floors": 5}
+	// for elevator); unset parameters take the entry's defaults.
+	// Named params win over the legacy flat knobs below.
+	Params map[string]int `json:"params,omitempty"`
+
+	// Size is the legacy flat size knob of the original six families
+	// (fifo depth, network processors, filter depth, coherence caches,
+	// link data bits). 0 = the builtin's default.
 	Size int `json:"size,omitempty"`
 
 	// Regs and Bits configure the pipeline builtin.
@@ -149,6 +157,15 @@ type EvalWire struct {
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`
+}
+
+// ModelInfo is one element of GET /models: a zoo registry entry with
+// its parameter surface.
+type ModelInfo struct {
+	Name     string           `json:"name"`
+	Desc     string           `json:"desc"`
+	Defaults map[string]int   `json:"defaults,omitempty"`
+	Sizes    []map[string]int `json:"sizes,omitempty"`
 }
 
 // resultWire converts a finished run into its wire form. traceText is

@@ -65,6 +65,16 @@ func runFD(c *Ctx, p Problem, opt Options) Result {
 		sigma.Set(d.Var, d.Def)
 	}
 
+	// The dependency relation v_d <-> Def_d. On any iterate it has been
+	// checked inductive, so conjoining it lifts a reduced reachable set
+	// back to the full machine's — which is how counterexample traces
+	// are reconstructed below.
+	depRel := bdd.One
+	for _, d := range p.Deps {
+		depRel = m.And(depRel, m.Xnor(m.VarRef(d.Var), d.Def))
+	}
+	c.Protect(depRel)
+
 	var indep []bdd.Var
 	for _, c := range ma.CurVars() {
 		if !depVars[c] {
@@ -97,6 +107,7 @@ func runFD(c *Ctx, p Problem, opt Options) Result {
 
 	// Step 3/4: forward traversal of the reduced machine.
 	r := c.Protect(m.Exists(ma.Init(), m.MkCube(depVarsList(p.Deps))))
+	rings := []bdd.Ref{r}
 	c.Observe(m.Size(r), nil)
 
 	for i := 0; ; i++ {
@@ -107,7 +118,19 @@ func runFD(c *Ctx, p Problem, opt Options) Result {
 				Why:            "functional dependency is not inductive on a reachable state"}
 		}
 		if !m.Implies(r, goodRed) {
-			return Result{Outcome: Violated, Iterations: i, ViolationDepth: i, PeakStateNodes: peak}
+			res := Result{Outcome: Violated, Iterations: i, ViolationDepth: i, PeakStateNodes: peak}
+			if opt.WantTrace {
+				// Lift the reduced rings back to full-machine rings: the
+				// dependency held inductively up to here, so each lifted
+				// ring is exactly the corresponding full reachable
+				// iterate, and the standard onion-ring walk applies.
+				lifted := make([]bdd.Ref, len(rings))
+				for j, rr := range rings {
+					lifted[j] = m.And(rr, depRel)
+				}
+				res.Trace = traceFromRings(ma, lifted, p.good().Not())
+			}
+			return res
 		}
 		if res, stop := c.Tick(i); stop {
 			return res
@@ -124,6 +147,7 @@ func runFD(c *Ctx, p Problem, opt Options) Result {
 			return Result{Outcome: Verified, Iterations: i + 1, PeakStateNodes: peak}
 		}
 		r = rn
+		rings = append(rings, r)
 		c.MaybeGC(i)
 	}
 }

@@ -1,0 +1,129 @@
+package zoo
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// bits returns the number of bits needed to encode n distinct codes.
+func bits(n int) int {
+	b := 0
+	for 1<<uint(b) < n {
+		b++
+	}
+	return b
+}
+
+// The elevator family: a single cabin serving F floors. Requests
+// arrive nondeterministically (one per cycle, at an arbitrary floor)
+// and latch until served; the cabin serves a request at its current
+// floor by opening the door for one cycle, otherwise moves one floor
+// toward the nearest pending request. The property is the natural
+// per-floor implicit conjunction — "while the door is open at floor f,
+// f's request has been cleared" — plus an idle observation bit that is
+// a pure function of the request latches (a functional dependency) and,
+// at non-power-of-two floor counts, the cabin-position type invariant.
+//
+// The seeded bug breaks the door interlock: the cabin keeps moving
+// while the door is open, so it arrives at a floor whose request is
+// still pending with the door already open.
+func buildElevator(s Size) (*ir.Model, error) {
+	f := s["floors"]
+	bug := boolKnob(s, "bug")
+	if f < 2 || f > 8 {
+		return nil, fmt.Errorf("zoo: elevator needs 2 <= floors <= 8 (got %d)", f)
+	}
+	fb := bits(f)
+
+	name := fmt.Sprintf("elevator-f%d", f)
+	b := ir.NewBuilder(name)
+	b.ParamInt("floors", f)
+	b.ParamBool("bug", bug)
+
+	rq := b.Input("rq")
+	rsel := ir.FromNodes(b.Inputs("rsel", fb))
+
+	posBits := b.States("pos", fb, false)
+	pos := ir.FromNodes(posBits)
+	door := b.State("door", false)
+	req := make([]*ir.Node, f)
+	for i := range req {
+		req[i] = b.State(fmt.Sprintf("req%d", i), false)
+	}
+	idle := b.State("idle", true)
+
+	if f != 1<<uint(fb) {
+		b.Constrain(ir.LtW(rsel, ir.ConstWord(uint64(f), fb)))
+	}
+
+	atFloor := func(i int) *ir.Node { return ir.EqConstW(pos, uint64(i)) }
+
+	serve := ir.Bool(false)
+	for i := range req {
+		serve = ir.Or(serve, ir.And(req[i], atFloor(i)))
+	}
+
+	// Request latches: arrivals set, service at the floor clears (an
+	// arrival during the serving cycle is served on the spot).
+	for i := range req {
+		arrive := ir.And(rq, ir.EqConstW(rsel, uint64(i)))
+		clear := ir.And(serve, atFloor(i))
+		b.SetNext(req[i], ir.And(ir.Or(req[i], arrive), ir.Not(clear)))
+	}
+
+	// Idle observation: no request pending — a function of the request
+	// latches, declared as such.
+	noReq := ir.Bool(true)
+	noReqNext := ir.Bool(true)
+	for i := range req {
+		noReq = ir.And(noReq, ir.Not(req[i]))
+		noReqNext = ir.And(noReqNext, ir.Not(b.NextFn(req[i])))
+	}
+	b.SetNext(idle, noReqNext)
+	b.Dep(idle, noReq)
+
+	// Movement: toward the nearest pending request, one floor per
+	// cycle; serving holds the cabin — unless the seeded bug breaks the
+	// door interlock.
+	anyAbove := ir.Bool(false)
+	anyBelow := ir.Bool(false)
+	for i := range req {
+		anyAbove = ir.Or(anyAbove, ir.And(req[i], ir.LtW(pos, ir.ConstWord(uint64(i), fb))))
+		anyBelow = ir.Or(anyBelow, ir.And(req[i], ir.LtW(ir.ConstWord(uint64(i), fb), pos)))
+	}
+	up := ir.And(anyAbove, ir.Not(ir.EqConstW(pos, uint64(f-1))))
+	down := ir.And(ir.Not(anyAbove), anyBelow, ir.Not(ir.EqConstW(pos, 0)))
+	moved := ir.MuxW(up, ir.IncW(pos), ir.MuxW(down, ir.DecW(pos), pos))
+	hold := serve
+	if bug {
+		hold = ir.Bool(false)
+	}
+	posNext := ir.MuxW(hold, pos, moved)
+	for i, pb := range posBits {
+		b.SetNext(pb, posNext.Bit(i))
+	}
+	b.SetNext(door, serve)
+
+	// Per-floor conjuncts + the idle FD as a checkable good + the
+	// position type invariant when the floor count is not a power of
+	// two.
+	for i := range req {
+		b.Good(ir.Imp(ir.And(door, atFloor(i)), ir.Not(req[i])))
+	}
+	b.Good(ir.Xnor(idle, noReq))
+	if f != 1<<uint(fb) {
+		b.Good(ir.LtW(pos, ir.ConstWord(uint64(f), fb)))
+	}
+	return b.Build(), nil
+}
+
+func init() {
+	Register(Entry{
+		Name:     "elevator",
+		Desc:     "single-cabin elevator with latched floor requests: per-floor door-interlock conjuncts",
+		Defaults: Size{"floors": 4, "bug": 0},
+		Sizes:    []Size{{"floors": 3}, {"floors": 5}, {"floors": 8}},
+		Build:    buildElevator,
+	})
+}

@@ -1,0 +1,106 @@
+package zoo
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// The protocol-stack family: a frame descends a stack of K layers,
+// one buffer slot per layer. The environment picks one action per
+// cycle — inject a frame at the top, forward a frame one layer down,
+// or deliver from the bottom. Injection and delivery each toggle a
+// parity bit (sent- and delivered-count mod 2) and a log-encoded
+// in-flight counter tracks the population. The properties are the
+// conservation laws: the counter equals the popcount of the occupied
+// layers (per-bit conjuncts, each a functional dependency of the
+// occupancy bits) and the counter's low bit equals the XOR of the two
+// parities. This generalizes the paper's network-counter pattern to a
+// layered stack.
+//
+// The seeded bug duplicates frames: forwarding fails to clear the
+// source layer, so the population grows without an injection.
+func buildProtostack(s Size) (*ir.Model, error) {
+	k := s["layers"]
+	bug := boolKnob(s, "bug")
+	if k < 2 || k > 6 {
+		return nil, fmt.Errorf("zoo: protostack needs 2 <= layers <= 6 (got %d)", k)
+	}
+	// Ops: inject (0), deliver (1), forward layer j -> j+1 (2+j).
+	nOps := k + 1
+	ob := bits(nOps)
+	cw := bits(k + 1) // counter holds 0..k
+
+	b := ir.NewBuilder(fmt.Sprintf("protostack-k%d", k))
+	b.ParamInt("layers", k)
+	b.ParamBool("bug", bug)
+
+	op := ir.FromNodes(b.Inputs("op", ob))
+	if nOps != 1<<uint(ob) {
+		b.Constrain(ir.LtW(op, ir.ConstWord(uint64(nOps), ob)))
+	}
+
+	occ := make([]*ir.Node, k)
+	for i := range occ {
+		occ[i] = b.State(fmt.Sprintf("v%d", i), false)
+	}
+	sndPar := b.State("sndp", false)
+	rcvPar := b.State("rcvp", false)
+	cntBits := b.States("cnt", cw, false)
+	cnt := ir.FromNodes(cntBits)
+
+	inject := ir.And(ir.EqConstW(op, 0), ir.Not(occ[0]))
+	deliver := ir.And(ir.EqConstW(op, 1), occ[k-1])
+	fwd := make([]*ir.Node, k-1)
+	for j := range fwd {
+		fwd[j] = ir.And(ir.EqConstW(op, uint64(2+j)), occ[j], ir.Not(occ[j+1]))
+	}
+
+	for j := 0; j < k; j++ {
+		set := inject
+		if j > 0 {
+			set = fwd[j-1]
+		}
+		clr := deliver
+		if j < k-1 {
+			clr = fwd[j]
+			if bug && j == 0 {
+				// The bug: forwarding out of the top layer leaves the
+				// frame behind — a duplication.
+				clr = ir.Bool(false)
+			}
+		}
+		b.SetNext(occ[j], ir.Or(set, ir.And(occ[j], ir.Not(clr))))
+	}
+	b.SetNext(sndPar, ir.Xor(sndPar, inject))
+	b.SetNext(rcvPar, ir.Xor(rcvPar, deliver))
+	cntNext := ir.MuxW(inject, ir.IncW(cnt), ir.MuxW(deliver, ir.DecW(cnt), cnt))
+	for i, cb := range cntBits {
+		b.SetNext(cb, cntNext.Bit(i))
+	}
+
+	// Conservation conjuncts: counter == popcount(occupancy) per bit,
+	// and counter parity == sent parity XOR delivered parity. On the
+	// correct model the counter bits are functions of the occupancy
+	// bits — declared as such (deps would be unsound on the bugged
+	// model, which breaks exactly this relation).
+	pc := ir.PopCountW(occ)
+	for i := 0; i < cw; i++ {
+		b.Good(ir.Xnor(cnt.Bit(i), pc.Bit(i)))
+		if !bug {
+			b.Dep(cntBits[i], pc.Bit(i))
+		}
+	}
+	b.Good(ir.Xnor(cnt.Bit(0), ir.Xor(sndPar, rcvPar)))
+	return b.Build(), nil
+}
+
+func init() {
+	Register(Entry{
+		Name:     "protostack",
+		Desc:     "layered protocol stack with conservation counters: per-bit counter/popcount conjuncts and FDs",
+		Defaults: Size{"layers": 3, "bug": 0},
+		Sizes:    []Size{{"layers": 2}, {"layers": 4}, {"layers": 6}},
+		Build:    buildProtostack,
+	})
+}

@@ -1,0 +1,108 @@
+package zoo
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// The traffic-controller family: N roads share an intersection. A
+// round-robin token (`turn`) grants one road a green-yellow-all-red
+// phase cycle; a pedestrian button extends the green phase. The lamp
+// outputs are observation variables — pure functions of (turn, phase),
+// declared as functional dependencies. The safety property is the
+// pairwise mutual exclusion of non-red roads (the natural implicit
+// conjunction over road pairs) plus the phase/turn type invariants.
+//
+// The seeded bug is a faulty yellow lamp driver that lights yellow on
+// every road whenever any road is in the yellow phase.
+func buildTraffic(s Size) (*ir.Model, error) {
+	n := s["roads"]
+	bug := boolKnob(s, "bug")
+	if n < 2 || n > 4 {
+		return nil, fmt.Errorf("zoo: traffic needs 2 <= roads <= 4 (got %d)", n)
+	}
+	tb := bits(n)
+
+	b := ir.NewBuilder(fmt.Sprintf("traffic-n%d", n))
+	b.ParamInt("roads", n)
+	b.ParamBool("bug", bug)
+
+	btn := b.Input("btn")
+
+	turnBits := b.States("turn", tb, false)
+	turn := ir.FromNodes(turnBits)
+	phaseBits := b.States("phase", 2, false)
+	phase := ir.FromNodes(phaseBits)
+
+	const (
+		phGreen  = 0
+		phYellow = 1
+		phAllRed = 2
+	)
+
+	// Phase cycle: green holds while the button is pressed, then
+	// yellow, then an all-red gap that passes the turn.
+	adv := ir.And(ir.EqConstW(phase, phGreen), ir.Not(btn))
+	phaseNext := ir.MuxW(adv, ir.ConstWord(phYellow, 2),
+		ir.MuxW(ir.EqConstW(phase, phYellow), ir.ConstWord(phAllRed, 2),
+			ir.MuxW(ir.EqConstW(phase, phAllRed), ir.ConstWord(phGreen, 2), phase)))
+	wrap := ir.MuxW(ir.EqConstW(turn, uint64(n-1)), ir.ConstWord(0, tb), ir.IncW(turn))
+	turnNext := ir.MuxW(ir.EqConstW(phase, phAllRed), wrap, turn)
+	for i, pb := range phaseBits {
+		b.SetNext(pb, phaseNext.Bit(i))
+	}
+	for i, tbit := range turnBits {
+		b.SetNext(tbit, turnNext.Bit(i))
+	}
+
+	// Lamp observations. Initial values must satisfy the dependency in
+	// the initial state (turn 0, phase green).
+	lampGrn := func(t ir.Word, p ir.Word, r int) *ir.Node {
+		return ir.And(ir.EqConstW(t, uint64(r)), ir.EqConstW(p, phGreen))
+	}
+	lampYlw := func(t ir.Word, p ir.Word, r int) *ir.Node {
+		if bug {
+			// The faulty driver lights every yellow lamp in the yellow
+			// phase, regardless of whose turn it is.
+			return ir.EqConstW(p, phYellow)
+		}
+		return ir.And(ir.EqConstW(t, uint64(r)), ir.EqConstW(p, phYellow))
+	}
+	grn := make([]*ir.Node, n)
+	ylw := make([]*ir.Node, n)
+	for r := 0; r < n; r++ {
+		grn[r] = b.State(fmt.Sprintf("grn%d", r), r == 0)
+		ylw[r] = b.State(fmt.Sprintf("ylw%d", r), false)
+		b.SetNext(grn[r], lampGrn(turnNext, phaseNext, r))
+		b.Dep(grn[r], lampGrn(turn, phase, r))
+		b.SetNext(ylw[r], lampYlw(turnNext, phaseNext, r))
+		b.Dep(ylw[r], lampYlw(turn, phase, r))
+	}
+
+	// Pairwise exclusion of non-red roads + type invariants.
+	nonred := make([]*ir.Node, n)
+	for r := 0; r < n; r++ {
+		nonred[r] = ir.Or(grn[r], ylw[r])
+	}
+	for r := 0; r < n; r++ {
+		for q := r + 1; q < n; q++ {
+			b.Good(ir.Not(ir.And(nonred[r], nonred[q])))
+		}
+	}
+	b.Good(ir.LtW(phase, ir.ConstWord(3, 2)))
+	if n != 1<<uint(tb) {
+		b.Good(ir.LtW(turn, ir.ConstWord(uint64(n), tb)))
+	}
+	return b.Build(), nil
+}
+
+func init() {
+	Register(Entry{
+		Name:     "traffic",
+		Desc:     "round-robin traffic controller with lamp FDs: pairwise non-red exclusion conjuncts",
+		Defaults: Size{"roads": 3, "bug": 0},
+		Sizes:    []Size{{"roads": 2}, {"roads": 3}, {"roads": 4}},
+		Build:    buildTraffic,
+	})
+}

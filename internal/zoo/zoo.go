@@ -1,0 +1,106 @@
+// Package zoo is the parameterized model registry: every benchmark
+// family the repo knows — the paper's circuits (internal/models), the
+// IR-native families added on top (elevator, traffic controller,
+// protocol stack), and imported FSM-toolkit machines — registered by
+// name with named integer parameters, default values, and a ladder of
+// suggested sizes. Everything builds to the manager-independent IR
+// (internal/ir), so one registry entry feeds the icibench grids, the
+// fuzzer corpus, and the icid builtin-model endpoint alike, and a
+// zoo-built model shares its canonical form (and therefore its icid
+// cache key) with the equivalent text submission.
+package zoo
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Size is a named-parameter assignment. Boolean knobs are encoded 0/1.
+type Size map[string]int
+
+// Get reads a parameter with a fallback.
+func (s Size) Get(key string, def int) int {
+	if v, ok := s[key]; ok {
+		return v
+	}
+	return def
+}
+
+// Entry is one registered model family.
+type Entry struct {
+	Name string // registry key, e.g. "fifo", "elevator", "fsm/turnstile"
+	Desc string // one-line description for listings
+
+	// Defaults is the complete parameter set with default values; it
+	// doubles as the schema — Model rejects overrides naming any other
+	// parameter.
+	Defaults Size
+
+	// Sizes are the suggested grid points (overrides merged onto
+	// Defaults), smallest first: Sizes[0] is the smoke-test size every
+	// registered entry must instantiate and verify at.
+	Sizes []Size
+
+	// Build constructs the IR at a complete parameter assignment.
+	Build func(Size) (*ir.Model, error)
+}
+
+// Model builds the entry at Defaults merged with overrides. Unknown
+// parameter names are rejected — the validation path for user-supplied
+// sizes (the icid builtin endpoint).
+func (e Entry) Model(overrides Size) (*ir.Model, error) {
+	s := Size{}
+	for k, v := range e.Defaults {
+		s[k] = v
+	}
+	for k, v := range overrides {
+		if _, ok := e.Defaults[k]; !ok {
+			return nil, fmt.Errorf("zoo: %s has no parameter %q", e.Name, k)
+		}
+		s[k] = v
+	}
+	return e.Build(s)
+}
+
+var registry = map[string]Entry{}
+
+// Register adds an entry; duplicate or anonymous entries are bugs.
+func Register(e Entry) {
+	if e.Name == "" || e.Build == nil {
+		panic("zoo: entry needs a name and a builder")
+	}
+	if _, dup := registry[e.Name]; dup {
+		panic(fmt.Sprintf("zoo: duplicate entry %q", e.Name))
+	}
+	if len(e.Sizes) == 0 {
+		e.Sizes = []Size{{}}
+	}
+	registry[e.Name] = e
+}
+
+// Get looks up an entry by name.
+func Get(name string) (Entry, bool) {
+	e, ok := registry[name]
+	return e, ok
+}
+
+// Names lists the registered entries, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Build is the one-call form: look up name, merge overrides, build.
+func Build(name string, overrides Size) (*ir.Model, error) {
+	e, ok := Get(name)
+	if !ok {
+		return nil, fmt.Errorf("zoo: unknown model %q", name)
+	}
+	return e.Model(overrides)
+}
