@@ -17,14 +17,20 @@
 //
 // The -zoo grid replaces the paper tables with one group per (zoo
 // entry, size) pair — the parameterized families plus every imported
-// `.fsm` machine — under Forward and XICI. Entries whose property is
-// violated by design report VIOLATED rows, so the grid normally exits 1.
+// `.fsm` machine — under Forward, XICI, and PDR. Entries whose property
+// is violated by design report VIOLATED rows, so the grid normally
+// exits 1. Engine names given to -engines resolve case-insensitively
+// ("pdr" works).
 //
 // The -speedup grid compares sequential, per-worker-manager, and
 // shared-manager XICI runs cell by cell (schema "icibench-speedup/v1");
 // it exits 1 if any configuration disagrees on verdict or iteration
 // count, since the concurrent manager's contract is bit-identical
-// traversals.
+// traversals. On a machine with no schedulable parallelism
+// (GOMAXPROCS=1) the grid refuses to run — such numbers measure
+// hand-off elimination, not speedup — unless -force is given, in which
+// case the report carries "degraded": true so the condition is recorded
+// in the JSON itself.
 //
 // Each cell runs on a fresh BDD manager under a node/time budget playing
 // the role of the paper's "Exceeded 60MB" / "Exceeded 40 minutes" limits;
@@ -61,6 +67,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"time"
 
@@ -82,6 +89,7 @@ func main() {
 		shared    = flag.Bool("shared", false, "run every cell on a shared-memory concurrent manager (implies -workers 8 unless set)")
 		speedup   = flag.String("speedup", "", "run the parallel-vs-sequential speedup grid instead of the tables and write its JSON here")
 		reps      = flag.Int("reps", 3, "speedup grid: repetitions per configuration (best-of)")
+		force     = flag.Bool("force", false, "speedup grid: run even with no schedulable parallelism (report is marked degraded)")
 		zooGrid   = flag.Bool("zoo", false, "run the model-zoo grid (every zoo registry entry, including imported .fsm machines) instead of the paper tables")
 	)
 	flag.Parse()
@@ -108,9 +116,9 @@ func main() {
 	var methods []verify.Method
 	if *engines != "" {
 		for _, name := range strings.Split(*engines, ",") {
-			meth := verify.Method(strings.TrimSpace(name))
-			if _, ok := verify.Lookup(meth); !ok {
-				fmt.Fprintf(os.Stderr, "icibench: unknown engine %q (try -engines list)\n", meth)
+			meth, ok := verify.Resolve(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "icibench: unknown engine %q (try -engines list)\n", strings.TrimSpace(name))
 				os.Exit(2)
 			}
 			methods = append(methods, meth)
@@ -121,6 +129,10 @@ func main() {
 	defer stop()
 
 	if *speedup != "" {
+		if runtime.GOMAXPROCS(0) <= 1 && !*force {
+			fmt.Fprintln(os.Stderr, "icibench: -speedup refused: GOMAXPROCS=1 measures hand-off elimination, not speedup (use -force to run anyway; the report will carry \"degraded\": true)")
+			os.Exit(2)
+		}
 		rep := bench.RunSpeedup(ctx, os.Stdout, *workers, *reps, *quick, bench.DefaultBudget)
 		if err := rep.Write(*speedup); err != nil {
 			fmt.Fprintf(os.Stderr, "icibench: writing %s: %v\n", *speedup, err)

@@ -11,6 +11,7 @@
 //	icifuzz -replay failures/div-000.json # re-run one saved seed
 //	icifuzz -inject -n 50                 # self-test: a lying engine must be caught
 //	icifuzz -shared -n 200                # every instance on a concurrent manager
+//	icifuzz -engines pdr,fwd -n 200       # only these engines (ablations ride along)
 //
 // A quarter of randomly drawn instances (and all of them under -shared)
 // are built on a shared-memory concurrent BDD manager, so the campaign
@@ -31,6 +32,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/difftest"
 )
@@ -50,6 +52,7 @@ func main() {
 		oracleS = flag.Int("oracle-state-bits", 0, "explicit-oracle state-bit cap (0 = 12)")
 		oracleI = flag.Int("oracle-input-bits", 0, "explicit-oracle input-bit cap (0 = 6)")
 		shared  = flag.Bool("shared", false, "build every instance on a shared-memory concurrent manager (default: one in four)")
+		engines = flag.String("engines", "", "comma-separated filter over the engine grid; a base name keeps its ablations too (\"pdr\" keeps PDR and PDR/nopolicy)")
 	)
 	flag.Parse()
 
@@ -72,6 +75,22 @@ func main() {
 	}
 	if *inject {
 		cfg.Engines = difftest.InjectBuggyEngine()
+	}
+	if *engines != "" {
+		specs := cfg.Engines
+		if specs == nil {
+			specs = difftest.DefaultEngines()
+		}
+		var names []string
+		for _, name := range strings.Split(*engines, ",") {
+			names = append(names, strings.TrimSpace(name))
+		}
+		filtered, err := difftest.FilterEngines(specs, names)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "icifuzz: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Engines = filtered
 	}
 
 	if *replay != "" {

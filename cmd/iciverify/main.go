@@ -201,20 +201,21 @@ func main() {
 	}
 
 	// The run list: -engines selects several, -method one; both resolve
-	// through the engine registry.
-	var methods []verify.Method
+	// through the engine registry, case-insensitively ("pdr" works).
+	var names []string
 	if *engines != "" {
-		for _, name := range strings.Split(*engines, ",") {
-			methods = append(methods, verify.Method(strings.TrimSpace(name)))
-		}
+		names = strings.Split(*engines, ",")
 	} else {
-		methods = []verify.Method{verify.Method(*method)}
+		names = []string{*method}
 	}
-	for _, meth := range methods {
-		if _, ok := verify.Lookup(meth); !ok {
-			fmt.Fprintf(os.Stderr, "iciverify: unknown method %q (try -engines list)\n", meth)
+	var methods []verify.Method
+	for _, name := range names {
+		meth, ok := verify.Resolve(strings.TrimSpace(name))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "iciverify: unknown method %q (try -engines list)\n", strings.TrimSpace(name))
 			os.Exit(2)
 		}
+		methods = append(methods, meth)
 	}
 
 	fmt.Printf("model %s  (%d state bits, %d input bits)\n",

@@ -68,22 +68,66 @@ func SpeedupCells(quick bool) []SpeedupCell {
 // argument of DESIGN.md §12), so a false value is a correctness bug, not
 // a performance artifact.
 type SpeedupCellReport struct {
-	Group             string  `json:"group"`
-	Method            string  `json:"method"`
-	SeqMS             float64 `json:"seq_ms"`
-	PerWorkerMS       float64 `json:"per_worker_ms"`
-	SharedMS          float64 `json:"shared_ms"`
-	SharedVsSeq       float64 `json:"shared_vs_seq"`
-	SharedVsPerWorker float64 `json:"shared_vs_per_worker"`
-	VerdictsAgree     bool    `json:"verdicts_agree"`
-	Outcome           string  `json:"outcome"`
-	Iterations        int     `json:"iterations"`
+	Group             string   `json:"group"`
+	Method            string   `json:"method"`
+	SeqMS             float64  `json:"seq_ms"`
+	PerWorkerMS       float64  `json:"per_worker_ms"`
+	SharedMS          float64  `json:"shared_ms"`
+	SharedVsSeq       float64  `json:"shared_vs_seq"`
+	SharedVsPerWorker float64  `json:"shared_vs_per_worker"`
+	VerdictsAgree     bool     `json:"verdicts_agree"`
+	Outcome           string   `json:"outcome"`
+	Iterations        int      `json:"iterations"`
+	SeqStats          RepStats `json:"seq_stats"`
+	PerWorkerStats    RepStats `json:"per_worker_stats"`
+	SharedStats       RepStats `json:"shared_stats"`
+}
+
+// RepStats summarizes the full repetition sample behind one best-of
+// wall time, so a lucky best cannot hide run-to-run noise: a variance
+// comparable to the mean gap between two configurations means the
+// headline ratio is not trustworthy at this repeat count.
+type RepStats struct {
+	MinMS      float64 `json:"min_ms"`
+	MaxMS      float64 `json:"max_ms"`
+	MeanMS     float64 `json:"mean_ms"`
+	VarianceMS float64 `json:"variance_ms2"` // population variance, ms²
+}
+
+func repStats(walls []time.Duration) RepStats {
+	var s RepStats
+	if len(walls) == 0 {
+		return s
+	}
+	toMS := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	s.MinMS, s.MaxMS = toMS(walls[0]), toMS(walls[0])
+	sum := 0.0
+	for _, d := range walls {
+		ms := toMS(d)
+		if ms < s.MinMS {
+			s.MinMS = ms
+		}
+		if ms > s.MaxMS {
+			s.MaxMS = ms
+		}
+		sum += ms
+	}
+	s.MeanMS = sum / float64(len(walls))
+	for _, d := range walls {
+		dev := toMS(d) - s.MeanMS
+		s.VarianceMS += dev * dev
+	}
+	s.VarianceMS /= float64(len(walls))
+	return s
 }
 
 // SpeedupReport is the top-level -speedup JSON document. The GOMAXPROCS
 // and NumCPU fields keep the numbers honest: a Workers=8 run on a
 // single-core container measures hand-off elimination (Transfer and
 // mirror-population work the shared path never does), not parallelism.
+// Degraded makes that condition impossible to miss: it is true whenever
+// the grid ran without schedulable parallelism, and any "speedup" in a
+// degraded report must not be quoted as one.
 type SpeedupReport struct {
 	Schema     string              `json:"schema"`
 	Generated  string              `json:"generated,omitempty"` // RFC 3339
@@ -91,6 +135,7 @@ type SpeedupReport struct {
 	Repeats    int                 `json:"repeats"`
 	GOMAXPROCS int                 `json:"gomaxprocs"`
 	NumCPU     int                 `json:"num_cpu"`
+	Degraded   bool                `json:"degraded"`
 	Quick      bool                `json:"quick"`
 	Cells      []SpeedupCellReport `json:"cells"`
 }
@@ -130,6 +175,11 @@ func RunSpeedup(ctx context.Context, w io.Writer, workers, reps int, quick bool,
 		NumCPU:     runtime.NumCPU(),
 		Quick:      quick,
 	}
+	rep.Degraded = rep.GOMAXPROCS <= 1 || rep.NumCPU <= 1
+	if rep.Degraded {
+		fmt.Fprintf(w, "WARNING: no schedulable parallelism (GOMAXPROCS=%d, NumCPU=%d); ratios measure hand-off elimination only\n",
+			rep.GOMAXPROCS, rep.NumCPU)
+	}
 	fmt.Fprintf(w, "Speedup grid: XICI, workers=%d, best of %d (GOMAXPROCS=%d, NumCPU=%d)\n",
 		workers, reps, rep.GOMAXPROCS, rep.NumCPU)
 	fmt.Fprintf(w, "%-16s %10s %12s %10s %8s %8s\n",
@@ -142,10 +192,12 @@ func RunSpeedup(ctx context.Context, w io.Writer, workers, reps int, quick bool,
 	}
 	for _, c := range SpeedupCells(quick) {
 		var best [3]time.Duration
+		var walls [3][]time.Duration
 		var results [3]verify.Result
 		for cfg, opt := range configs {
 			for r := 0; r < reps; r++ {
 				res, wall := runSpeedupConfig(ctx, c, opt, budget)
+				walls[cfg] = append(walls[cfg], wall)
 				if r == 0 || wall < best[cfg] {
 					best[cfg] = wall
 					results[cfg] = res
@@ -165,6 +217,10 @@ func RunSpeedup(ctx context.Context, w io.Writer, workers, reps int, quick bool,
 			VerdictsAgree: agree,
 			Outcome:       results[0].Outcome.String(),
 			Iterations:    results[0].Iterations,
+
+			SeqStats:       repStats(walls[0]),
+			PerWorkerStats: repStats(walls[1]),
+			SharedStats:    repStats(walls[2]),
 		}
 		if cr.SharedMS > 0 {
 			cr.SharedVsSeq = cr.SeqMS / cr.SharedMS

@@ -140,6 +140,22 @@ func (tt Termination) ListImplies(x, y List) bool {
 	return true
 }
 
+// ListImpliesRef reports whether ∧x ⇒ y for a single right-hand BDD —
+// the consecution-query shape of the PDR engine (is the clause's
+// BackImage implied by the frame plus the clause?). It is ListImplies
+// against the singleton list [y] without constructing the list.
+func (tt Termination) ListImpliesRef(x List, y bdd.Ref) bool {
+	if y == bdd.One || x.IsFalse() {
+		return true
+	}
+	ds := make([]bdd.Ref, 0, len(x.Conjuncts)+1)
+	for _, c := range x.Conjuncts {
+		ds = append(ds, c.Not())
+	}
+	ds = append(ds, y)
+	return tt.DisjunctionTautology(ds)
+}
+
 // DisjunctionTautology reports whether d_1 ∨ … ∨ d_k is the constant
 // True, never building the BDD of the disjunction.
 func (tt Termination) DisjunctionTautology(ds []bdd.Ref) bool {

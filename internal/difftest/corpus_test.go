@@ -94,3 +94,70 @@ func TestCorpus(t *testing.T) {
 		})
 	}
 }
+
+// TestCorpusPDR replays the full corpus through the PDR engine family
+// alone (with Forward as the agreed reference), on both the sequential
+// and the shared-memory concurrent manager. TestCorpus already runs PDR
+// inside the full grid; this focused replay is the one the race-mode CI
+// shard runs, so PDR's obligation machinery gets exercised under the
+// race detector without paying for the whole engine grid.
+func TestCorpusPDR(t *testing.T) {
+	specs, err := FilterEngines(DefaultEngines(), []string{"Fwd", "PDR"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("empty corpus")
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			sf, err := LoadSeed(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shared := range []bool{false, true} {
+				p := sf.Params
+				p.Shared = shared
+				inst, err := Generate(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep := RunInstance(inst, Config{Engines: specs})
+				if rep.Divergent() {
+					t.Fatalf("shared=%v: PDR diverges:\n%s", shared, rep.NDJSON())
+				}
+			}
+		})
+	}
+}
+
+// TestFilterEngines: base names keep their ablations, full names are
+// exact, unknown names fail loudly.
+func TestFilterEngines(t *testing.T) {
+	specs := DefaultEngines()
+
+	pdr, err := FilterEngines(specs, []string{"pdr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pdr) != 2 || pdr[0].Name != "PDR" || pdr[1].Name != "PDR/nopolicy" {
+		t.Fatalf("pdr filter kept %+v", pdr)
+	}
+
+	exact, err := FilterEngines(specs, []string{"XICI/gc2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exact) != 1 || exact[0].Name != "XICI/gc2" {
+		t.Fatalf("exact filter kept %+v", exact)
+	}
+
+	if _, err := FilterEngines(specs, []string{"Fwd", "nope"}); err == nil {
+		t.Fatal("unknown engine name did not error")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/bdd"
 	"repro/internal/core"
@@ -44,10 +45,11 @@ type EngineSpec struct {
 	TolerateExhausted bool
 }
 
-// DefaultEngines returns every built-in engine plus the XICI ablation
-// grid: each Section V knob (simplifier, SkipStep3, VarChoice, Workers,
-// PairBudgetFactor, termination mode, GC cadence) exercised against the
-// default configuration.
+// DefaultEngines returns every built-in engine (including PDR and its
+// frame-policy ablation) plus the XICI ablation grid: each Section V
+// knob (simplifier, SkipStep3, VarChoice, Workers, PairBudgetFactor,
+// termination mode, GC cadence) exercised against the default
+// configuration.
 func DefaultEngines() []EngineSpec {
 	specs := []EngineSpec{
 		{Name: "Fwd", Method: verify.Forward},
@@ -57,6 +59,13 @@ func DefaultEngines() []EngineSpec {
 		{Name: "XICI", Method: verify.XICI},
 		{Name: "FwdID", Method: verify.ForwardID},
 		{Name: "Induction", Method: verify.Induction, TolerateExhausted: true},
+		{Name: "PDR", Method: verify.PDR, Tune: pdrCap},
+		{Name: "PDR/nopolicy", Method: verify.PDR,
+			Tune: func(o *verify.Options) {
+				pdrCap(o)
+				o.Core.SkipSimplify = true
+				o.Core.SkipEvaluate = true
+			}},
 
 		{Name: "XICI/constrain", Method: verify.XICI,
 			Tune: func(o *verify.Options) { o.Core.Simplifier = bdd.UseConstrain }},
@@ -80,6 +89,52 @@ func DefaultEngines() []EngineSpec {
 			Tune: func(o *verify.Options) { o.Core.GrowThreshold = 1.0 }},
 	}
 	return specs
+}
+
+// pdrCap bounds the PDR specs' node budget when the caller left the
+// budget unlimited. PDR's cube-wise blocking can fail to converge on
+// datapath-heavy instances (the documented filter/pipeline weakness —
+// see EXPERIMENTS.md); an unbounded non-converging run then churns for
+// the full 64-level iteration cap, minutes of wall-clock per instance.
+// Node-limit exhaustion is deterministic and tolerated by the
+// divergence rules, so capping trades nothing but wasted churn. A
+// caller-supplied Config.NodeLimit wins.
+func pdrCap(o *verify.Options) {
+	if o.Budget.NodeLimit == 0 {
+		o.Budget.NodeLimit = 250_000
+	}
+}
+
+// FilterEngines keeps the specs matching any of the names. A name
+// matches a spec when it equals (case-insensitively) the spec's full
+// name or its base before the first "/" — so "pdr" selects both "PDR"
+// and "PDR/nopolicy". An unknown name is an error, not a silent no-op:
+// a typo in a CI engine list must fail the job, not shrink it.
+func FilterEngines(specs []EngineSpec, names []string) ([]EngineSpec, error) {
+	matched := make([]bool, len(names))
+	var out []EngineSpec
+	for _, spec := range specs {
+		base := spec.Name
+		if i := strings.IndexByte(base, '/'); i >= 0 {
+			base = base[:i]
+		}
+		keep := false
+		for j, name := range names {
+			if strings.EqualFold(name, spec.Name) || strings.EqualFold(name, base) {
+				matched[j] = true
+				keep = true
+			}
+		}
+		if keep {
+			out = append(out, spec)
+		}
+	}
+	for j, ok := range matched {
+		if !ok {
+			return nil, fmt.Errorf("difftest: no engine matches %q", names[j])
+		}
+	}
+	return out, nil
 }
 
 // EngineVerdict is one engine's answer on one instance, reduced to the
@@ -138,6 +193,22 @@ func RunInstance(inst Instance, cfg Config) Report {
 		maxIter = 64
 	}
 
+	// Every spec runs on the instance's one manager, so an engine that
+	// aborts at its node limit would otherwise leave its abandoned
+	// intermediates counted against the next engine's budget — the next
+	// capped spec would exhaust instantly on inherited garbage. Pin the
+	// problem's structure as permanent roots (idempotent) and collect
+	// between runs.
+	m := inst.Problem.Machine.M
+	inst.Problem.Machine.Protect()
+	m.ProtectPermanent(inst.Problem.Good)
+	for _, g := range inst.Problem.GoodList {
+		m.ProtectPermanent(g)
+	}
+	for _, d := range inst.Problem.Deps {
+		m.ProtectPermanent(d.Def)
+	}
+
 	rep := Report{Params: inst.Params}
 	ov := Oracle(inst, cfg.OracleStateBits, cfg.OracleInputBits)
 	if ov.Decided {
@@ -155,6 +226,7 @@ func RunInstance(inst Instance, cfg Config) Report {
 	}
 
 	for _, spec := range specs {
+		m.GC()
 		opt := verify.Options{
 			WantTrace: true,
 			Budget: resource.Budget{

@@ -28,6 +28,46 @@ func (ma *Machine) preImageRel(z bdd.Ref) bdd.Ref {
 	return acc
 }
 
+// PreImageWithin returns PreImage(z) ∧ ∧within for a list of
+// current-state-variable sets, conjoining the within conjuncts into the
+// relational product before quantification instead of intersecting
+// afterwards. This is the PDR predecessor query — "a state of F_{i-1}
+// with a successor in the blocked cube" — where constraining early
+// keeps the intermediate products small. The within conjuncts must
+// mention current-state variables only: they then commute with the
+// ∃next,inp quantification, so the result equals the late
+// intersection by canonicity (on either PreImageMode).
+func (ma *Machine) PreImageWithin(z bdd.Ref, within []bdd.Ref) bdd.Ref {
+	ma.mustBeSealed()
+	m := ma.M
+	if ma.PreImageMode == PreRelational {
+		acc := m.Rename(z, ma.cur, ma.next)
+		acc = m.ParAnd(acc, ma.constraint)
+		for _, w := range within {
+			acc = m.ParAnd(acc, w)
+			if acc == bdd.Zero {
+				return bdd.Zero
+			}
+		}
+		acc = m.Exists(acc, ma.preSeedQuant)
+		for _, p := range ma.preTransition {
+			acc = m.ParAndExists(acc, p.rel, p.quant)
+			if acc == bdd.Zero {
+				return bdd.Zero
+			}
+		}
+		return acc
+	}
+	acc := m.ParAnd(ma.constraint, ma.sub.Compose(z))
+	for _, w := range within {
+		acc = m.ParAnd(acc, w)
+		if acc == bdd.Zero {
+			return bdd.Zero
+		}
+	}
+	return m.Exists(acc, ma.inputCube)
+}
+
 // buildPrePartition computes the early-quantification schedule for the
 // backward direction: quantifiable variables are the next-state and
 // input variables; current-state variables survive into the result. The

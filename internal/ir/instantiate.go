@@ -15,7 +15,26 @@ import (
 // IR into BDDs, and it behaves identically on per-worker and shared
 // managers — the result is a function of the declaration order alone,
 // by BDD canonicity.
+//
+// Replicated next-state functions — state bits whose DAGs are
+// isomorphic up to variable renaming, the signature of the zoo's
+// parameterized families — are built once per isomorphism class on a
+// scratch manager and stamped out with bdd.Transfer (see iso.go). The
+// pass is transparent: by canonicity every Ref equals what direct
+// evaluation would build.
 func (mo *Model) Instantiate(m *bdd.Manager) (verify.Problem, error) {
+	return mo.instantiate(m, true)
+}
+
+// InstantiateNoIso elaborates without the isomorphism-exploiting
+// template pass — the baseline every iso test and ablation compares
+// against. Results are Ref-identical to Instantiate; only construction
+// effort differs.
+func (mo *Model) InstantiateNoIso(m *bdd.Manager) (verify.Problem, error) {
+	return mo.instantiate(m, false)
+}
+
+func (mo *Model) instantiate(m *bdd.Manager, useIso bool) (verify.Problem, error) {
 	if err := mo.Validate(); err != nil {
 		return verify.Problem{}, err
 	}
@@ -36,6 +55,9 @@ func (mo *Model) Instantiate(m *bdd.Manager) (verify.Problem, error) {
 	}
 
 	memo := map[*Node]bdd.Ref{}
+	if useIso {
+		seedIsoMemo(m, states, vars, memo)
+	}
 	var eval func(n *Node) bdd.Ref
 	eval = func(n *Node) bdd.Ref {
 		if r, ok := memo[n]; ok {

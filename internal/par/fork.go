@@ -22,10 +22,16 @@ type Forker struct {
 }
 
 // NewForker returns a Forker that keeps at most n goroutines (including
-// the caller) working on one operation; n <= 0 selects GOMAXPROCS.
+// the caller) working on one operation; n <= 0 selects GOMAXPROCS, and
+// any n is clamped to GOMAXPROCS: goroutines beyond the schedulable
+// parallelism can never run concurrently, they only add channel and
+// spawn overhead. In particular an effective size of 1 — a single-core
+// process, whatever n was requested — degrades to strictly sequential
+// Do calls: no token channel, no goroutine, both branches inline on the
+// caller.
 func NewForker(n int) *Forker {
-	if n <= 0 {
-		n = runtime.GOMAXPROCS(0)
+	if p := runtime.GOMAXPROCS(0); n <= 0 || n > p {
+		n = p
 	}
 	f := &Forker{}
 	if n > 1 {
@@ -72,8 +78,17 @@ func (f *Forker) Do(a, b func()) {
 		default:
 		}
 	}
-	a()
-	b()
+	// Inline path: strictly sequential on the calling goroutine, with
+	// the same contract as the forked path — both branches always run
+	// to completion, a's panic value wins if both panicked.
+	aPanic := runRecover(a)
+	bPanic := runRecover(b)
+	if aPanic != nil {
+		panic(aPanic)
+	}
+	if bPanic != nil {
+		panic(bPanic)
+	}
 }
 
 // runRecover runs fn, converting a panic into a returned value so the

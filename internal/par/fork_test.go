@@ -1,9 +1,20 @@
 package par
 
 import (
+	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
+
+// goid returns the calling goroutine's id, parsed from the stack header.
+// Tests use it to prove a branch ran on the caller, not a spawned
+// goroutine.
+func goid() string {
+	buf := make([]byte, 64)
+	n := runtime.Stack(buf, false)
+	return strings.Fields(string(buf[:n]))[1]
+}
 
 func TestForkerInline(t *testing.T) {
 	f := NewForker(1)
@@ -58,6 +69,78 @@ func TestForkerPanicPropagation(t *testing.T) {
 			t.Fatal("no panic propagated")
 		})
 	}
+}
+
+// TestForkerClampedToGOMAXPROCS: the worker bound never exceeds the
+// schedulable parallelism, whatever n was requested.
+func TestForkerClampedToGOMAXPROCS(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	if got := NewForker(8).Size(); got != 4 {
+		t.Errorf("NewForker(8).Size() = %d at GOMAXPROCS=4, want 4", got)
+	}
+	if got := NewForker(2).Size(); got != 2 {
+		t.Errorf("NewForker(2).Size() = %d at GOMAXPROCS=4, want 2", got)
+	}
+	if got := NewForker(0).Size(); got != 4 {
+		t.Errorf("NewForker(0).Size() = %d at GOMAXPROCS=4, want 4", got)
+	}
+}
+
+// TestForkerSequentialDegrade: at effective size 1 (here: any n at
+// GOMAXPROCS=1) Do must run strictly sequentially — no token channel
+// and zero goroutines spawned; every branch of a deep recursive fan-out
+// executes on the calling goroutine.
+func TestForkerSequentialDegrade(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	f := NewForker(8)
+	if f.Size() != 1 {
+		t.Fatalf("Size = %d at GOMAXPROCS=1, want 1", f.Size())
+	}
+	if f.tokens != nil {
+		t.Fatal("effective size 1 still allocated the token channel")
+	}
+	caller := goid()
+	leaves := 0
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == 0 {
+			if g := goid(); g != caller {
+				t.Fatalf("leaf ran on goroutine %s, caller is %s", g, caller)
+			}
+			leaves++
+			return
+		}
+		f.Do(func() { rec(depth - 1) }, func() { rec(depth - 1) })
+	}
+	rec(6)
+	if leaves != 64 {
+		t.Fatalf("ran %d leaves, want 64", leaves)
+	}
+}
+
+// TestForkerSequentialPanicSemantics: the inline path preserves the
+// forked path's contract — both branches run to completion and a's
+// panic value wins.
+func TestForkerSequentialPanicSemantics(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	f := NewForker(4)
+	if f.tokens != nil {
+		t.Fatal("effective size 1 still allocated the token channel")
+	}
+	bRan := false
+	defer func() {
+		if r := recover(); r != "pa" {
+			t.Fatalf("recovered %v, want pa", r)
+		}
+		if !bRan {
+			t.Fatal("b did not run after a panicked on the inline path")
+		}
+	}()
+	f.Do(func() { panic("pa") }, func() { bRan = true; panic("pb") })
+	t.Fatal("no panic propagated")
 }
 
 // TestForkerTokensRecycled: a panicking forked branch must still return

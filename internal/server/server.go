@@ -208,7 +208,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if req.Engine == "" {
 		req.Engine = string(verify.XICI)
 	}
-	if _, ok := verify.Lookup(verify.Method(req.Engine)); !ok {
+	if meth, ok := verify.Resolve(req.Engine); ok {
+		req.Engine = string(meth)
+	} else {
 		writeError(w, http.StatusBadRequest, "unknown engine %q (registered: %v)", req.Engine, verify.Registered())
 		return
 	}

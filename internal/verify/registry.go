@@ -3,6 +3,7 @@ package verify
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // Engine is one verification algorithm. Engines self-register in their
@@ -54,6 +55,25 @@ func RegisterFunc(name Method, fn func(c *Ctx, p Problem, opt Options) Result) {
 func Lookup(name Method) (Engine, bool) {
 	e, ok := registry[name]
 	return e, ok
+}
+
+// Resolve looks a method name up case-insensitively: flag plumbing
+// ("-engines pdr") and the HTTP API accept any casing of a registered
+// name. An exact match wins; otherwise the unique case-insensitive
+// match is returned, and ok is false when none (or several) exist.
+func Resolve(name string) (Method, bool) {
+	if _, ok := registry[Method(name)]; ok {
+		return Method(name), true
+	}
+	var found Method
+	n := 0
+	for meth := range registry {
+		if strings.EqualFold(string(meth), name) {
+			found = meth
+			n++
+		}
+	}
+	return found, n == 1
 }
 
 // Registered returns every registered method name, sorted. Unlike

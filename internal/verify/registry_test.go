@@ -90,8 +90,8 @@ func TestIterationCapViaBudget(t *testing.T) {
 }
 
 func TestBuiltinMethodsAllRegistered(t *testing.T) {
-	if len(verify.Methods) != 7 {
-		t.Fatalf("Methods = %v, want all seven engines", verify.Methods)
+	if len(verify.Methods) != 8 {
+		t.Fatalf("Methods = %v, want all eight engines", verify.Methods)
 	}
 	registered := make(map[verify.Method]bool)
 	for _, name := range verify.Registered() {

@@ -138,3 +138,39 @@ func TestEvaluateGreedySharedBudgetFallback(t *testing.T) {
 		t.Fatalf("budget fallback: arity %d != %d", len(shr.Conjuncts), len(seq.Conjuncts))
 	}
 }
+
+// TestPDRSharedMatchesSequential: the PDR engine on a shared-memory
+// manager must report the same verdict and frame count as the
+// sequential run on a plain manager. By canonicity the frames, learned
+// clauses, and satisfying assignments are Ref-identical across the two
+// manager implementations, so the level at which the frames converge
+// matches exactly. The filter model is excluded: cube-wise blocking is
+// intractable on its wide datapath (a known PDR weakness — see
+// EXPERIMENTS.md), on either manager.
+func TestPDRSharedMatchesSequential(t *testing.T) {
+	seqProblems := []verify.Problem{
+		models.NewFIFO(bdd.New(), models.DefaultFIFO(3)),
+		models.NewNetwork(bdd.New(), models.NetworkConfig{Procs: 2}),
+		models.NewPipeline(bdd.New(), models.PipelineConfig{Regs: 2, Width: 1, Assist: true}),
+	}
+	shrProblems := []verify.Problem{
+		models.NewFIFO(bdd.NewShared(3, 16), models.DefaultFIFO(3)),
+		models.NewNetwork(bdd.NewShared(3, 16), models.NetworkConfig{Procs: 2}),
+		models.NewPipeline(bdd.NewShared(3, 16), models.PipelineConfig{Regs: 2, Width: 1, Assist: true}),
+	}
+	for i := range seqProblems {
+		seq := verify.Run(seqProblems[i], verify.PDR, verify.Options{})
+		shr := verify.Run(shrProblems[i], verify.PDR, verify.Options{Workers: 3, SharedManager: true})
+		p := seqProblems[i]
+		if shr.Outcome != seq.Outcome || shr.Why != seq.Why {
+			t.Fatalf("%s: outcome %v (%s) != sequential %v (%s)",
+				p.Name, shr.Outcome, shr.Why, seq.Outcome, seq.Why)
+		}
+		if shr.Iterations != seq.Iterations {
+			t.Errorf("%s: frame levels %d != %d", p.Name, shr.Iterations, seq.Iterations)
+		}
+		if shr.ViolationDepth != seq.ViolationDepth {
+			t.Errorf("%s: depth %d != %d", p.Name, shr.ViolationDepth, seq.ViolationDepth)
+		}
+	}
+}

@@ -45,9 +45,9 @@ const (
 )
 
 // Methods lists the built-in engines, the paper's five in table order
-// followed by the two extensions. Registered() additionally reports
+// followed by the three extensions. Registered() additionally reports
 // engines registered from outside the package.
-var Methods = []Method{Forward, Backward, FD, ICI, XICI, ForwardID, Induction}
+var Methods = []Method{Forward, Backward, FD, ICI, XICI, ForwardID, Induction, PDR}
 
 // TerminationMode selects how the implicit-conjunction engines detect
 // convergence.
