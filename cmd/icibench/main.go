@@ -14,6 +14,7 @@
 //	icibench -workers 8 -shared  # cells score pairs concurrently on one shared manager
 //	icibench -speedup BENCH.json # run the speedup grid, write its JSON, and exit
 //	icibench -zoo -quick    # the model-zoo grid: every registry entry at its smallest size
+//	icibench -serve http://localhost:8080 -quick  # drive a remote icid via its batch API
 //
 // The -zoo grid replaces the paper tables with one group per (zoo
 // entry, size) pair — the parameterized families plus every imported
@@ -91,6 +92,7 @@ func main() {
 		reps      = flag.Int("reps", 3, "speedup grid: repetitions per configuration (best-of)")
 		force     = flag.Bool("force", false, "speedup grid: run even with no schedulable parallelism (report is marked degraded)")
 		zooGrid   = flag.Bool("zoo", false, "run the model-zoo grid (every zoo registry entry, including imported .fsm machines) instead of the paper tables")
+		serve     = flag.String("serve", "", "drive a remote icid at this base URL (e.g. http://localhost:8080) instead of running cells in-process; submits the zoo grid through its batch API")
 	)
 	flag.Parse()
 
@@ -127,6 +129,10 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *serve != "" {
+		os.Exit(runServe(ctx, os.Stdout, *serve, *quick, methods, *jsonPath))
+	}
 
 	if *speedup != "" {
 		if runtime.GOMAXPROCS(0) <= 1 && !*force {

@@ -1,0 +1,350 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/server"
+	"repro/internal/verify"
+)
+
+// -serve mode: instead of running cells in-process, icibench drives a
+// remote icid. The zoo registry is fetched from GET /models, the grid
+// is submitted through POST /batches (chunked to respect the daemon's
+// queue), each batch's multiplexed event stream is followed to EOF —
+// the batch-wide drain guarantee means EOF implies every member is
+// terminal — and the member results are assembled into the same
+// icibench/v3 report a local -zoo -json run writes. Exit codes mirror
+// the local grid's.
+
+// serveBatchCap bounds members per POST /batches so the grid fits the
+// daemon's default queue capacity with room for other clients.
+const serveBatchCap = 32
+
+// serveCell is one (zoo entry, size, engine) grid point and the batch
+// member that realizes it.
+type serveCell struct {
+	group  string
+	method verify.Method
+	entry  server.BatchEntry
+	status server.JobStatus // filled once the member lands
+}
+
+// runServe executes the remote grid and returns the process exit code.
+func runServe(ctx context.Context, out io.Writer, baseURL string, quick bool, methods []verify.Method, jsonPath string) int {
+	baseURL = strings.TrimRight(baseURL, "/")
+	if len(methods) == 0 {
+		methods = []verify.Method{verify.Forward, verify.XICI, verify.PDR}
+	}
+	budget := bench.DefaultBudget
+	if quick {
+		budget = bench.QuickBudget
+	}
+
+	infos, err := fetchModels(ctx, baseURL)
+	if err != nil {
+		fmt.Fprintf(out, "icibench: -serve: %v\n", err)
+		return 2
+	}
+
+	cells := make([]*serveCell, 0, len(infos)*len(methods))
+	for _, mi := range infos {
+		sizes := mi.Sizes
+		if len(sizes) == 0 {
+			sizes = []map[string]int{nil}
+		}
+		if quick {
+			sizes = sizes[:1]
+		}
+		for _, size := range sizes {
+			for _, meth := range methods {
+				cells = append(cells, &serveCell{
+					group:  "zoo/" + mi.Name + serveSizeLabel(size),
+					method: meth,
+					entry: server.BatchEntry{SubmitRequest: server.SubmitRequest{
+						Builtin: mi.Name,
+						Params:  size,
+						Engine:  string(meth),
+					}},
+				})
+			}
+		}
+	}
+
+	start := time.Now()
+	for chunk := 0; chunk*serveBatchCap < len(cells); chunk++ {
+		lo := chunk * serveBatchCap
+		hi := min(lo+serveBatchCap, len(cells))
+		if err := runServeBatch(ctx, baseURL, budget, cells[lo:hi]); err != nil {
+			fmt.Fprintf(out, "icibench: -serve: %v\n", err)
+			return 2
+		}
+		for _, c := range cells[lo:hi] {
+			printServeRow(out, c)
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(out, "(%d cells via %s in %v)\n", len(cells), baseURL, elapsed.Round(time.Millisecond))
+
+	if jsonPath != "" {
+		rep := serveReport(baseURL, quick, elapsed, budget, cells)
+		if err := rep.Write(jsonPath); err != nil {
+			fmt.Fprintf(out, "icibench: writing %s: %v\n", jsonPath, err)
+			return 1
+		}
+		fmt.Fprintf(out, "(wrote %s)\n", jsonPath)
+	}
+	return serveExitCode(out, cells)
+}
+
+// fetchModels lists the daemon's zoo registry.
+func fetchModels(ctx context.Context, baseURL string) ([]server.ModelInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", baseURL+"/models", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("GET /models: %w", err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /models: %d %s", resp.StatusCode, data)
+	}
+	var infos []server.ModelInfo
+	if err := json.Unmarshal(data, &infos); err != nil {
+		return nil, fmt.Errorf("GET /models: %w", err)
+	}
+	return infos, nil
+}
+
+// runServeBatch submits one chunk as a batch, follows its multiplexed
+// stream to EOF, and fills each cell's member status.
+func runServeBatch(ctx context.Context, baseURL string, budget bench.Budget, cells []*serveCell) error {
+	breq := server.BatchRequest{
+		Name: "icibench -serve",
+		Budget: server.BudgetSpec{
+			NodeLimit: budget.NodeLimit,
+			TimeoutMS: int64(budget.Timeout / time.Millisecond),
+		},
+	}
+	for _, c := range cells {
+		breq.Jobs = append(breq.Jobs, c.entry)
+	}
+	body, err := json.Marshal(breq)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, "POST", baseURL+"/batches", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("POST /batches: %w", err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("POST /batches: %d %s", resp.StatusCode, data)
+	}
+	var br server.BatchResponse
+	if err := json.Unmarshal(data, &br); err != nil {
+		return fmt.Errorf("POST /batches: %w", err)
+	}
+	if len(br.Jobs) != len(cells) {
+		return fmt.Errorf("batch admitted %d members for %d cells", len(br.Jobs), len(cells))
+	}
+
+	// Follow the multiplexed stream to EOF: the final line before the
+	// server closes it is the batch "done" marker, so EOF means every
+	// member is terminal.
+	req, err = http.NewRequestWithContext(ctx, "GET", baseURL+"/batches/"+br.ID+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("GET /batches/%s/events: %w", br.ID, err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+	}
+	resp.Body.Close()
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("batch %s stream: %w", br.ID, err)
+	}
+
+	// Collect the member verdicts.
+	req, err = http.NewRequestWithContext(ctx, "GET", baseURL+"/batches/"+br.ID, nil)
+	if err != nil {
+		return err
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("GET /batches/%s: %w", br.ID, err)
+	}
+	data, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var bst server.BatchStatus
+	if err := json.Unmarshal(data, &bst); err != nil {
+		return fmt.Errorf("GET /batches/%s: %w", br.ID, err)
+	}
+	byID := make(map[string]server.JobStatus, len(bst.Members))
+	for _, st := range bst.Members {
+		byID[st.ID] = st
+	}
+	for i, c := range cells {
+		st, ok := byID[br.Jobs[i]]
+		if !ok {
+			return fmt.Errorf("batch %s: member %s missing from status", br.ID, br.Jobs[i])
+		}
+		c.status = st
+	}
+	return nil
+}
+
+// printServeRow renders one finished cell in the text table style.
+func printServeRow(out io.Writer, c *serveCell) {
+	if c.status.State == server.StateError {
+		fmt.Fprintf(out, "%-44s %-8s ERROR %s\n", c.group, c.method, c.status.Error)
+		return
+	}
+	rw := c.status.Result
+	if rw == nil {
+		fmt.Fprintf(out, "%-44s %-8s (no result)\n", c.group, c.method)
+		return
+	}
+	detail := fmt.Sprintf("iter=%d peak=%d", rw.Iterations, rw.PeakStateNodes)
+	if rw.Cause != "" {
+		detail += " cause=" + rw.Cause
+	}
+	fmt.Fprintf(out, "%-44s %-8s %-10s %s %6.2fs\n",
+		c.group, c.method, strings.ToUpper(rw.Outcome), detail, rw.ElapsedMS/1000)
+}
+
+// serveReport assembles the icibench/v3 document from the remote
+// members — the same schema a local -zoo -json run writes, so existing
+// consumers work unchanged.
+func serveReport(baseURL string, quick bool, elapsed time.Duration, budget bench.Budget, cells []*serveCell) *bench.Report {
+	tr := bench.TableReport{
+		Title:          "Model Zoo via " + baseURL,
+		Elapsed:        elapsed.Seconds(),
+		NodeLimit:      budget.NodeLimit,
+		TimeoutSeconds: budget.Timeout.Seconds(),
+	}
+	for _, c := range cells {
+		rw := c.status.Result
+		if rw == nil {
+			continue
+		}
+		cr := bench.CellReport{
+			Group:          c.group,
+			Method:         string(c.method),
+			Label:          string(c.method),
+			Outcome:        rw.Outcome,
+			Cause:          rw.Cause,
+			Why:            rw.Why,
+			Iterations:     rw.Iterations,
+			PeakStateNodes: rw.PeakStateNodes,
+			PeakProfile:    rw.PeakProfile,
+			PeakLiveNodes:  rw.PeakLiveNodes,
+			TotalVars:      rw.TotalVars,
+			MemBytes:       rw.MemBytes,
+			WallSeconds:    rw.ElapsedMS / 1000,
+			Stats: bench.CellStats{
+				TautCalls:      rw.Term.TautCalls,
+				ShannonSplits:  rw.Term.ShannonSplits,
+				MaxSplitDepth:  rw.Term.MaxSplitDepth,
+				StepResolved:   rw.Term.StepResolved,
+				PairsScored:    rw.Eval.PairsScored,
+				MergesApplied:  rw.Eval.MergesApplied,
+				BudgetOverflow: rw.Eval.BudgetOverflow,
+				Rounds:         rw.Eval.Rounds,
+				ImageSeconds:   rw.PhaseMS["image"] / 1000,
+				PolicySeconds:  rw.PhaseMS["policy"] / 1000,
+				TermSeconds:    rw.PhaseMS["termination"] / 1000,
+				GCSeconds:      rw.PhaseMS["gc"] / 1000,
+				SizeTrajectory: rw.SizeTrajectory,
+			},
+		}
+		if rw.Outcome == verify.Violated.String() {
+			cr.ViolationDepth = rw.ViolationDepth
+		}
+		tr.Cells = append(tr.Cells, cr)
+	}
+	return &bench.Report{
+		Schema:    bench.ReportSchema,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Quick:     quick,
+		Tables:    []bench.TableReport{tr},
+	}
+}
+
+// serveExitCode mirrors gridExitCode over the wire outcomes, with a
+// usage-style exit 2 when any member errored server-side.
+func serveExitCode(out io.Writer, cells []*serveCell) int {
+	var violated, exhausted, errored int
+	causes := map[string]int{}
+	for _, c := range cells {
+		switch {
+		case c.status.State == server.StateError || c.status.Result == nil:
+			errored++
+		case c.status.Result.Outcome == verify.Violated.String():
+			violated++
+		case c.status.Result.Outcome == verify.Exhausted.String():
+			exhausted++
+			causes[c.status.Result.Cause]++
+		}
+	}
+	switch {
+	case errored > 0:
+		fmt.Fprintf(out, "icibench: %d cell(s) errored server-side\n", errored)
+		return 2
+	case violated > 0:
+		fmt.Fprintf(out, "icibench: %d cell(s) VIOLATED their property\n", violated)
+		return 1
+	case exhausted > 0:
+		parts := make([]string, 0, len(causes))
+		for _, c := range []string{"node-limit", "deadline", "canceled", "iteration-cap", "other"} {
+			if n := causes[c]; n > 0 {
+				parts = append(parts, fmt.Sprintf("%s: %d", c, n))
+			}
+		}
+		sort.Strings(parts)
+		fmt.Fprintf(out, "icibench: %d cell(s) exhausted their budget (%s)\n",
+			exhausted, strings.Join(parts, ", "))
+		return 3
+	}
+	return 0
+}
+
+// serveSizeLabel renders a size map deterministically, matching the
+// local zoo grid's group labels.
+func serveSizeLabel(s map[string]int) string {
+	if len(s) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, s[k])
+	}
+	return " " + strings.Join(parts, " ")
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/server"
+	"repro/internal/verify"
+)
+
+// -serve against an in-process icid: the remote grid must complete,
+// emit a valid icibench/v3 report, and exit with the local grid's code
+// semantics (the zoo contains violated-by-design entries, so 1).
+func TestRunServeAgainstLocalDaemon(t *testing.T) {
+	s := server.New(server.Config{Workers: 4, QueueCap: 64})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+		ts.Close()
+	}()
+
+	jsonPath := filepath.Join(t.TempDir(), "serve.json")
+	var out bytes.Buffer
+	code := runServe(context.Background(), &out, ts.URL, true, []verify.Method{verify.XICI}, jsonPath)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1 (the zoo's violated-by-design entries)\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "VIOLATED") || !strings.Contains(out.String(), "VERIFIED") {
+		t.Fatalf("text table lacks verdict rows:\n%s", out.String())
+	}
+
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep bench.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report not JSON: %v", err)
+	}
+	if rep.Schema != bench.ReportSchema {
+		t.Fatalf("schema %q, want %q", rep.Schema, bench.ReportSchema)
+	}
+	if len(rep.Tables) != 1 || len(rep.Tables[0].Cells) == 0 {
+		t.Fatalf("report shape: %d tables", len(rep.Tables))
+	}
+	for _, cell := range rep.Tables[0].Cells {
+		if cell.Method != "XICI" {
+			t.Errorf("cell %s ran %q, want XICI only", cell.Group, cell.Method)
+		}
+		if cell.Outcome == "" || !strings.HasPrefix(cell.Group, "zoo/") {
+			t.Errorf("malformed cell: %+v", cell)
+		}
+		if cell.TotalVars == 0 {
+			t.Errorf("cell %s lacks total_vars (wire plumbing broken?)", cell.Group)
+		}
+	}
+}

@@ -10,14 +10,20 @@
 //
 // Endpoints (see docs/api.md for the wire reference and curl examples):
 //
-//	POST   /jobs              submit a job (textual model or builtin)
-//	GET    /jobs              list retained jobs
-//	GET    /jobs/{id}         job status and result
-//	DELETE /jobs/{id}         cancel a job
-//	GET    /jobs/{id}/events  NDJSON progress stream (follows until done)
-//	GET    /models            model-zoo registry with parameter surfaces
-//	GET    /healthz           liveness + engines/builtins
-//	GET    /metrics           expvar counters
+//	POST   /jobs                 submit a job (textual model or builtin)
+//	GET    /jobs                 list retained jobs
+//	GET    /jobs/{id}            job status and result
+//	DELETE /jobs/{id}            cancel a job
+//	GET    /jobs/{id}/events     NDJSON progress stream (follows until done)
+//	POST   /batches              submit many models atomically: shared budget
+//	                             pool + portfolio escalation policy
+//	GET    /batches              list retained batches
+//	GET    /batches/{id}         batch status with per-member attempt records
+//	DELETE /batches/{id}         cancel every member
+//	GET    /batches/{id}/events  multiplexed member-labeled NDJSON stream
+//	GET    /models               model-zoo registry with parameter surfaces
+//	GET    /healthz              liveness + engines/builtins
+//	GET    /metrics              expvar counters
 //
 // On SIGTERM or SIGINT the daemon drains gracefully: it stops accepting
 // submissions, finishes (or, after -drain expires, budget-cancels) the

@@ -1,0 +1,98 @@
+package resource
+
+import (
+	"sync"
+	"time"
+)
+
+// Pool is a shared, concurrency-safe resource allowance for a batch of
+// related runs: a node pool decremented as runs finish and one absolute
+// wall deadline the whole batch must meet. It composes with the
+// per-run Budget rather than replacing it — Clamp bounds a run's
+// Budget to what the pool has left, and the run's own enforcement
+// layers (the manager's allocator, the harness deadline checks) do the
+// actual policing. Exhaustion therefore surfaces through the same
+// typed taxonomy as any other overrun: *LimitError (errors.Is
+// ErrNodeLimit) when the node pool is dry, *DeadlineError (errors.Is
+// ErrDeadline) when the pool's window has closed.
+type Pool struct {
+	mu       sync.Mutex
+	total    int       // configured node allowance (informational)
+	nodes    int       // remaining node allowance; Unlimited = unbounded
+	deadline time.Time // absolute wall bound; zero = none
+}
+
+// NewPool creates a pool with the given node allowance (<= 0 =
+// unbounded) and wall window (<= 0 = none), the window anchored at
+// now.
+func NewPool(nodeBudget int, window time.Duration) *Pool {
+	p := &Pool{total: nodeBudget, nodes: Unlimited}
+	if nodeBudget > 0 {
+		p.nodes = nodeBudget
+	}
+	if window > 0 {
+		p.deadline = time.Now().Add(window)
+	}
+	return p
+}
+
+// Bounded reports whether the pool constrains anything at all. An
+// unbounded pool makes Clamp the identity, which callers use to keep
+// pool-independent invariants (result caching is content-addressed
+// only when the budget does not depend on pool state).
+func (p *Pool) Bounded() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.nodes != Unlimited || !p.deadline.IsZero()
+}
+
+// Clamp returns b bounded to the pool's remaining allowance: the node
+// limit is lowered to the remaining pool (when the pool is tighter or
+// b is unbounded) and the deadline to the pool's window. When the pool
+// is already exhausted it returns the typed error instead — a
+// *LimitError for a dry node pool, a *DeadlineError for a closed
+// window — so callers can finalize the run through the ordinary cause
+// taxonomy without having started it.
+func (p *Pool) Clamp(b Budget) (Budget, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.nodes == 0 {
+		return b, &LimitError{Limit: p.total, Live: p.total}
+	}
+	if !p.deadline.IsZero() && !time.Now().Before(p.deadline) {
+		return b, &DeadlineError{Deadline: p.deadline}
+	}
+	if p.nodes > 0 && (b.NodeLimit <= 0 || b.NodeLimit > p.nodes) {
+		b.NodeLimit = p.nodes
+	}
+	if !p.deadline.IsZero() && (b.Deadline.IsZero() || p.deadline.Before(b.Deadline)) {
+		b.Deadline = p.deadline
+	}
+	return b, nil
+}
+
+// Consume decrements the node pool by n — typically a finished run's
+// peak live node count. It never goes below zero; an unbounded pool is
+// untouched.
+func (p *Pool) Consume(n int) {
+	if n <= 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.nodes == Unlimited {
+		return
+	}
+	p.nodes -= n
+	if p.nodes < 0 {
+		p.nodes = 0
+	}
+}
+
+// Remaining reports the node allowance left (Unlimited for an
+// unbounded pool) and the pool's absolute deadline (zero for none).
+func (p *Pool) Remaining() (nodes int, deadline time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.nodes, p.deadline
+}

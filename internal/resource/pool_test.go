@@ -1,0 +1,99 @@
+package resource
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPoolClampBoundsNodeLimit(t *testing.T) {
+	p := NewPool(1000, 0)
+
+	// Unbounded request: clamped to the full pool.
+	b, err := p.Clamp(Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NodeLimit != 1000 {
+		t.Fatalf("NodeLimit = %d, want 1000", b.NodeLimit)
+	}
+	// A tighter request passes through untouched.
+	b, err = p.Clamp(Budget{NodeLimit: 300})
+	if err != nil || b.NodeLimit != 300 {
+		t.Fatalf("NodeLimit = %d err %v, want 300", b.NodeLimit, err)
+	}
+
+	// After consumption the clamp tracks the remainder.
+	p.Consume(800)
+	b, err = p.Clamp(Budget{NodeLimit: 300})
+	if err != nil || b.NodeLimit != 200 {
+		t.Fatalf("after consume: NodeLimit = %d err %v, want 200", b.NodeLimit, err)
+	}
+
+	// A dry pool refuses with the typed node-limit error.
+	p.Consume(500)
+	if n, _ := p.Remaining(); n != 0 {
+		t.Fatalf("remaining = %d, want 0", n)
+	}
+	if _, err = p.Clamp(Budget{}); !errors.Is(err, ErrNodeLimit) {
+		t.Fatalf("dry pool error %v, want ErrNodeLimit match", err)
+	}
+}
+
+func TestPoolDeadlineClampAndExpiry(t *testing.T) {
+	p := NewPool(0, 50*time.Millisecond)
+	b, err := p.Clamp(Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Deadline.IsZero() {
+		t.Fatal("pool window did not install a deadline")
+	}
+	// A run deadline earlier than the pool's wins.
+	early := time.Now().Add(time.Millisecond)
+	b, _ = p.Clamp(Budget{Deadline: early})
+	if !b.Deadline.Equal(early) {
+		t.Fatalf("earlier run deadline was overridden: %v", b.Deadline)
+	}
+
+	time.Sleep(60 * time.Millisecond)
+	if _, err = p.Clamp(Budget{}); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("expired pool error %v, want ErrDeadline match", err)
+	}
+}
+
+func TestPoolUnboundedIsIdentity(t *testing.T) {
+	p := NewPool(0, 0)
+	if p.Bounded() {
+		t.Fatal("zero pool reports bounded")
+	}
+	in := Budget{NodeLimit: 42, MaxIterations: 7}
+	out, err := p.Clamp(in)
+	if err != nil || out != in {
+		t.Fatalf("Clamp changed the budget: %+v err %v", out, err)
+	}
+	p.Consume(1 << 30)
+	if n, _ := p.Remaining(); n != Unlimited {
+		t.Fatalf("unbounded pool consumed: %d", n)
+	}
+}
+
+func TestPoolConcurrentConsume(t *testing.T) {
+	p := NewPool(10_000, 0)
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 100; k++ {
+				p.Consume(3)
+				p.Clamp(Budget{})
+			}
+		}()
+	}
+	wg.Wait()
+	if n, _ := p.Remaining(); n != 4000 {
+		t.Fatalf("remaining = %d, want 4000", n)
+	}
+}

@@ -6,6 +6,9 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+
+	"repro/internal/resource"
+	"repro/internal/verify"
 )
 
 // resultCache is the content-addressed in-memory result store: key =
@@ -40,18 +43,21 @@ func newResultCache(capacity int) *resultCache {
 }
 
 // cacheKey derives the content address of a normalized submission. The
-// model identity is canonical (lang.Canon output or a fully-resolved
-// builtin parameter string), and options/budget are hashed in wire form,
-// so two submissions collide exactly when the service would do
-// byte-identical work.
-func cacheKey(modelIdentity string, req SubmitRequest) string {
+// model identity is canonical (lang.Canon output), the engine name is
+// the registry's canonical spelling, and the options and budget are the
+// *resolved* forms the run will actually execute under — the parsed
+// termination mode, the default-filled and server-clamped budget — not
+// the raw wire fields. That is what makes the documented contract hold:
+// two submissions collide exactly when the service would do
+// byte-identical work, so `termination:""` and `"exact"` share an
+// entry, as do `node_limit:-1` and an explicit ask for the daemon's
+// clamp maximum.
+func cacheKey(modelIdentity, engine string, opt verify.Options, budget resource.Budget) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "%s\x00%s\x00", modelIdentity, req.Engine)
-	opt, _ := json.Marshal(req.Options)
-	bud, _ := json.Marshal(req.Budget)
-	h.Write(opt)
-	h.Write([]byte{0})
-	h.Write(bud)
+	fmt.Fprintf(h, "%s\x00%s\x00term=%d workers=%d grow=%g trace=%t gc=%d\x00nodes=%d timeout=%d iter=%d",
+		modelIdentity, engine,
+		opt.Termination, opt.Workers, opt.Core.GrowThreshold, opt.WantTrace, opt.GCEvery,
+		budget.NodeLimit, int64(budget.Timeout), budget.MaxIterations)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

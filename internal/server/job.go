@@ -19,41 +19,55 @@ import (
 // lock and replay the stable prefix outside it.
 type job struct {
 	id        string
-	key       string // cache key (content address)
+	identity  string // canonical model identity ("ir:" + canonical text)
 	name      string
-	engine    verify.Method
 	req       SubmitRequest
 	opt       verify.Options  // normalized at submission, observer unset
 	budget    resource.Budget // resolved and clamped, Ctx unset
 	submitted time.Time
 
+	// ladder is the job's engine sequence: a single engine for plain
+	// submissions, the batch's portfolio policy for members that
+	// inherit one. Every rung but the last runs under slice; the last
+	// runs under budget.
+	ladder []verify.Method
+	slice  resource.Budget
+
+	// batch is the owning batch (nil for single submissions); tee, when
+	// set, receives every appended event line for the batch's
+	// multiplexed stream, and onDone fires once the job is terminal.
+	batch  *batch
+	tee    func(json.RawMessage)
+	onDone func()
+
 	// ctx is the job's lifecycle context, derived from the server's
-	// base context; cancel ends it (DELETE /jobs/{id}, or the drain
-	// deadline). reqCtx, for wait-mode submissions, is the HTTP request
-	// context the worker joins into the budget so a client disconnect
-	// cancels the run.
+	// base context (or the owning batch's); cancel ends it (DELETE
+	// /jobs/{id}, or the drain deadline). reqCtx, for wait-mode
+	// submissions, is the HTTP request context the worker joins into
+	// the budget so a client disconnect cancels the run.
 	ctx    context.Context
 	cancel context.CancelCauseFunc
 	reqCtx context.Context
 
-	mu      sync.Mutex
-	state   string
-	events  []json.RawMessage
-	changed chan struct{} // closed and replaced on every append / state change
-	result  *ResultWire
-	errMsg  string
-	cached  bool
-	done    chan struct{} // closed once the job is terminal
+	mu       sync.Mutex
+	state    string
+	engine   verify.Method // currently / last attempted engine
+	attempts []Attempt
+	events   []json.RawMessage
+	changed  chan struct{} // closed and replaced on every append / state change
+	result   *ResultWire
+	errMsg   string
+	cached   bool
+	done     chan struct{} // closed once the job is terminal
 }
 
-func newJob(id, key string, req SubmitRequest, base context.Context) *job {
+func newJob(req SubmitRequest, ladder []verify.Method, base context.Context) *job {
 	ctx, cancel := context.WithCancelCause(base)
 	return &job{
-		id:        id,
-		key:       key,
 		name:      req.Name,
-		engine:    verify.Method(req.Engine),
+		engine:    ladder[0],
 		req:       req,
+		ladder:    ladder,
 		submitted: time.Now(),
 		ctx:       ctx,
 		cancel:    cancel,
@@ -78,12 +92,18 @@ func (j *job) notifyLocked() {
 	j.changed = make(chan struct{})
 }
 
-// appendRaw appends one pre-marshaled NDJSON line and wakes subscribers.
+// appendRaw appends one pre-marshaled NDJSON line and wakes
+// subscribers. The tee (the owning batch's multiplexed buffer) runs
+// after the job's own lock is released; lines of one job are appended
+// by one goroutine at a time, so the batch sees them in job order.
 func (j *job) appendRaw(line json.RawMessage) {
 	j.mu.Lock()
 	j.events = append(j.events, line)
 	j.notifyLocked()
 	j.mu.Unlock()
+	if j.tee != nil {
+		j.tee(line)
+	}
 }
 
 // appendEvent marshals and appends one envelope (engine or lifecycle).
@@ -125,6 +145,9 @@ func (j *job) finish(rw *ResultWire) {
 	j.mu.Unlock()
 	close(j.done)
 	j.cancel(errJobFinished)
+	if j.onDone != nil {
+		j.onDone()
+	}
 }
 
 // fail makes the job terminal with an error message.
@@ -137,6 +160,57 @@ func (j *job) fail(msg string) {
 	j.mu.Unlock()
 	close(j.done)
 	j.cancel(errJobFinished)
+	if j.onDone != nil {
+		j.onDone()
+	}
+}
+
+// setEngine records the engine the job is currently attempting, so
+// statuses track the ladder as it escalates.
+func (j *job) setEngine(meth verify.Method) {
+	j.mu.Lock()
+	j.engine = meth
+	j.mu.Unlock()
+}
+
+// markCached flags the job as (at least partly) answered from the
+// result cache.
+func (j *job) markCached() {
+	j.mu.Lock()
+	j.cached = true
+	j.mu.Unlock()
+}
+
+// attemptLine is the NDJSON envelope recording one finished engine
+// attempt — emitted for batch members and portfolio jobs, so the
+// scheduling policy is observable on the stream.
+type attemptLine struct {
+	Event     string  `json:"event"` // "attempt"
+	Engine    string  `json:"engine"`
+	Rung      int     `json:"rung"`
+	Outcome   string  `json:"outcome"`
+	Cause     string  `json:"cause,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	Cached    bool    `json:"cached,omitempty"`
+	Escalated bool    `json:"escalated,omitempty"`
+}
+
+// recordAttempt appends one attempt record to the job's status and,
+// for batch/portfolio jobs, the matching event line to its stream.
+// Plain single-engine submissions keep their historical stream shape
+// (status / engine events / done) — the record still shows in status.
+func (j *job) recordAttempt(a Attempt, rung int) {
+	j.mu.Lock()
+	j.attempts = append(j.attempts, a)
+	multi := j.batch != nil || len(j.ladder) > 1
+	j.mu.Unlock()
+	if multi {
+		j.appendEvent(attemptLine{
+			Event: "attempt", Engine: a.Engine, Rung: rung,
+			Outcome: a.Outcome, Cause: a.Cause, ElapsedMS: a.ElapsedMS,
+			Cached: a.Cached, Escalated: a.Escalated,
+		})
+	}
 }
 
 // errJobFinished is the cause installed when a terminal job releases
@@ -157,7 +231,7 @@ func (j *job) finishCached(rw *ResultWire, events []json.RawMessage) {
 func (j *job) status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return JobStatus{
+	st := JobStatus{
 		ID:          j.id,
 		State:       j.state,
 		Name:        j.name,
@@ -168,6 +242,19 @@ func (j *job) status() JobStatus {
 		Error:       j.errMsg,
 		Result:      j.result,
 	}
+	if j.batch != nil {
+		st.Batch = j.batch.id
+	}
+	if len(j.ladder) > 1 {
+		st.Policy = make([]string, len(j.ladder))
+		for i, m := range j.ladder {
+			st.Policy[i] = string(m)
+		}
+	}
+	if len(j.attempts) > 0 {
+		st.Attempts = append([]Attempt(nil), j.attempts...)
+	}
+	return st
 }
 
 // terminal reports whether the job has reached a final state.

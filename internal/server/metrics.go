@@ -16,8 +16,14 @@ import (
 //	completed == verified + violated + exhausted
 //	cancelled <= exhausted           (cancellation is an exhaustion cause)
 //	sum over engines == completed
+//	attempts >= completed - (cache-hit and queued-cancel short circuits)
+//	escalations <= attempts
+//
+// Batch members are ordinary jobs, so the job-level invariants hold
+// across the batch path unchanged: a batch of N adds 1 to batches and
+// N to submitted/queued.
 type metrics struct {
-	submitted expvar.Int // accepted POST /jobs (rejections excluded)
+	submitted expvar.Int // accepted jobs, POST /jobs and batch members alike
 	queued    expvar.Int // gauge: jobs waiting in the queue
 	running   expvar.Int // gauge: jobs on a worker
 	completed expvar.Int // jobs that reached state "done"
@@ -26,8 +32,12 @@ type metrics struct {
 	violated  expvar.Int // done with outcome violated
 	exhausted expvar.Int // done with outcome exhausted (any cause)
 	cancelled expvar.Int // exhausted specifically by cancellation
-	cacheHits expvar.Int // submissions answered from the result cache
+	cacheHits expvar.Int // submissions/attempts answered from the result cache
 	engines   expvar.Map // per-engine completed totals
+
+	batches     expvar.Int // accepted POST /batches (rejections excluded)
+	attempts    expvar.Int // engine attempts finished (every ladder rung counts)
+	escalations expvar.Int // attempts whose exhaustion moved the ladder on
 
 	top expvar.Map // the /metrics document
 }
@@ -47,6 +57,9 @@ func newMetrics() *metrics {
 	mt.top.Set("cancelled", &mt.cancelled)
 	mt.top.Set("cache_hits", &mt.cacheHits)
 	mt.top.Set("engines", &mt.engines)
+	mt.top.Set("batches", &mt.batches)
+	mt.top.Set("attempts", &mt.attempts)
+	mt.top.Set("escalations", &mt.escalations)
 	return mt
 }
 

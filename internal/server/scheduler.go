@@ -2,11 +2,13 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"runtime/debug"
 
 	"repro/internal/bdd"
 	"repro/internal/par"
+	"repro/internal/resource"
 	"repro/internal/verify"
 )
 
@@ -24,13 +26,14 @@ func (s *Server) startScheduler() {
 	}()
 }
 
-// runJob executes one job end to end: fresh BDD manager, problem
-// construction, a budget joined to the job's lifecycle context (and,
-// for wait-mode submissions, the client's request context), the
-// verify run with the job's event sink attached, trace rendering, and
-// finalization into result cache and metrics. Any panic that escapes
-// the verification harness is converted into a job error rather than
-// taking the daemon down.
+// runJob executes one job end to end: its engine ladder walked
+// cheapest-first, every rung but the last under the slice budget
+// clamped to the owning batch's pool, escalating on budget exhaustion
+// (never on cancellation) until a rung settles the verdict or the
+// ladder runs out. Single-engine submissions are the one-rung case and
+// behave exactly as before. Any panic that escapes the verification
+// harness is converted into a job error rather than taking the daemon
+// down.
 func (s *Server) runJob(_ int, j *job) {
 	s.met.queued.Add(-1)
 	if j.ctx.Err() != nil {
@@ -40,11 +43,11 @@ func (s *Server) runJob(_ int, j *job) {
 		// produces, so clients observe one shape either way.
 		s.finalize(j, &ResultWire{
 			Problem: j.name,
-			Method:  string(j.engine),
+			Method:  string(j.ladder[0]),
 			Outcome: verify.Exhausted.String(),
 			Cause:   "canceled",
 			Why:     "canceled before start",
-		}, nil)
+		})
 		return
 	}
 	if !j.setRunning() {
@@ -59,17 +62,122 @@ func (s *Server) runJob(_ int, j *job) {
 		}
 	}()
 
+	for rung, meth := range j.ladder {
+		final := rung == len(j.ladder)-1
+		j.setEngine(meth)
+
+		budget := j.budget
+		if !final {
+			budget = j.slice
+		}
+		if j.batch != nil {
+			clamped, err := j.batch.pool.Clamp(budget)
+			if err != nil {
+				// The shared pool is dry: the member finalizes as
+				// exhausted without running, through the same typed
+				// cause taxonomy a mid-run overrun produces.
+				rw := poolExhaustedWire(j, meth, err)
+				s.met.attempts.Add(1)
+				j.recordAttempt(attemptOf(rw, budget, false, false), rung)
+				s.finalize(j, rw)
+				return
+			}
+			budget = clamped
+		}
+
+		rw, fromCache, ok := s.runAttempt(j, meth, budget)
+		if !ok {
+			return // runAttempt already finalized the error state
+		}
+		if j.batch != nil {
+			j.batch.pool.Consume(rw.PeakLiveNodes)
+		}
+		s.met.attempts.Add(1)
+
+		esc := !final && escalates(rw)
+		j.recordAttempt(attemptOf(rw, budget, fromCache, esc), rung)
+		if esc {
+			s.met.escalations.Add(1)
+			continue
+		}
+		s.finalize(j, rw)
+		return
+	}
+}
+
+// attemptOf projects a finished attempt's wire result into its record.
+func attemptOf(rw *ResultWire, budget resource.Budget, cached, escalated bool) Attempt {
+	return Attempt{
+		Engine:        rw.Method,
+		Outcome:       rw.Outcome,
+		Cause:         rw.Cause,
+		Iterations:    rw.Iterations,
+		ElapsedMS:     rw.ElapsedMS,
+		PeakLiveNodes: rw.PeakLiveNodes,
+		NodeLimit:     budget.NodeLimit,
+		Cached:        cached,
+		Escalated:     escalated,
+	}
+}
+
+// poolExhaustedWire builds the exhausted verdict of a member that found
+// its batch's pool already dry.
+func poolExhaustedWire(j *job, meth verify.Method, err error) *ResultWire {
+	cause := "other"
+	switch {
+	case errors.Is(err, resource.ErrNodeLimit):
+		cause = "node-limit"
+	case errors.Is(err, resource.ErrDeadline):
+		cause = "deadline"
+	}
+	return &ResultWire{
+		Problem: j.name,
+		Method:  string(meth),
+		Outcome: verify.Exhausted.String(),
+		Cause:   cause,
+		Why:     fmt.Sprintf("batch pool exhausted: %v", err),
+	}
+}
+
+// runAttempt executes one engine attempt: fresh BDD manager, problem
+// construction, the attempt budget joined to the job's lifecycle
+// context (and, for wait-mode submissions, the client's request
+// context), the verify run with the job's event sink attached, trace
+// rendering, and — when the attempt is content-addressable — result
+// cache get/put. Returns ok=false after finalizing the job's error
+// state (the ladder must not continue past a broken model).
+func (s *Server) runAttempt(j *job, meth verify.Method, budget resource.Budget) (rw *ResultWire, fromCache, ok bool) {
+	// The cache is consulted only when the budget the attempt runs
+	// under is a pure function of the submission: a bounded pool clamps
+	// budgets by global batch state, which would poison a
+	// content-addressed entry.
+	cacheOK := j.batch == nil || !j.batch.pool.Bounded()
+	var key string
+	if cacheOK {
+		key = cacheKey(j.identity, string(meth), j.opt, budget)
+		s.mu.Lock()
+		entry, hit := s.cache.get(key)
+		s.mu.Unlock()
+		if hit {
+			s.met.cacheHits.Add(1)
+			j.markCached()
+			// Replay the cached run's engine lines through the ordinary
+			// append path, so a batch's multiplexed stream sees them
+			// labeled like live ones.
+			for _, line := range entry.events {
+				j.appendRaw(line)
+			}
+			return entry.result, true, true
+		}
+	}
+
 	m := bdd.NewWithSize(1<<16, 20)
 	p, err := buildProblem(m, &j.req)
 	if err != nil {
 		s.failJob(j, err.Error())
-		return
+		return nil, false, false
 	}
 
-	// The run's budget context: the job lifecycle context (server base
-	// + explicit cancel), joined — for wait-mode submissions — with the
-	// HTTP request context, so a client hanging up cancels the work.
-	budget := j.budget
 	budget.Ctx = j.ctx
 	budget, release := budget.Join(j.reqCtx)
 	defer release()
@@ -80,7 +188,7 @@ func (s *Server) runJob(_ int, j *job) {
 	var engineLines []json.RawMessage
 	opt := j.opt
 	opt.Budget = budget
-	opt.Observer = verify.SinkObserver{Method: string(j.engine), Sink: func(e verify.Event) {
+	opt.Observer = verify.SinkObserver{Method: string(meth), Sink: func(e verify.Event) {
 		line, err := json.Marshal(e)
 		if err != nil {
 			return
@@ -89,35 +197,48 @@ func (s *Server) runJob(_ int, j *job) {
 		j.appendRaw(line)
 	}}
 
-	res := verify.RunContext(j.ctx, p, j.engine, opt)
+	res := verify.RunContext(j.ctx, p, meth, opt)
 
-	var traceText string
-	if res.Trace != nil {
-		goods := p.GoodList
-		if goods == nil {
-			goods = []bdd.Ref{p.Good}
-		}
-		if err := res.Trace.Validate(p.Machine, goods); err != nil {
-			traceText = fmt.Sprintf("trace validation failed: %v", err)
-		} else if rendered, err := res.Trace.Format(m, p.Machine.CurVars()); err == nil {
-			traceText = rendered
-		}
-	}
+	rw = resultWire(res, renderTrace(res, m, p))
+	rw.PeakLiveNodes = m.PeakNodes()
+	rw.TotalVars = m.NumVars()
 
-	s.finalize(j, resultWire(res, traceText), engineLines)
-}
-
-// finalize completes a job: result cache (when the outcome is
-// deterministic), metrics, and the job's terminal transition, whose
-// final event line is appended before the done channel closes — the
-// ordering the drain guarantee rests on.
-func (s *Server) finalize(j *job, rw *ResultWire, engineLines []json.RawMessage) {
-	if cacheable(rw) {
+	if cacheOK && cacheable(rw) {
 		s.mu.Lock()
-		s.cache.put(j.key, rw, engineLines)
+		s.cache.put(key, rw, engineLines)
 		s.mu.Unlock()
 	}
-	s.met.completedJob(string(j.engine), rw)
+	return rw, false, true
+}
+
+// renderTrace validates and renders a violation witness. A failure at
+// either step is surfaced in the trace text: silently dropping a
+// render error would finalize (and cache) a violated verdict with an
+// empty trace, indistinguishable from "no witness requested".
+func renderTrace(res verify.Result, m *bdd.Manager, p verify.Problem) string {
+	if res.Trace == nil {
+		return ""
+	}
+	goods := p.GoodList
+	if goods == nil {
+		goods = []bdd.Ref{p.Good}
+	}
+	if err := res.Trace.Validate(p.Machine, goods); err != nil {
+		return fmt.Sprintf("trace validation failed: %v", err)
+	}
+	rendered, err := res.Trace.Format(m, p.Machine.CurVars())
+	if err != nil {
+		return fmt.Sprintf("trace render failed: %v", err)
+	}
+	return rendered
+}
+
+// finalize completes a job: metrics keyed on the engine that settled
+// the verdict, then the job's terminal transition, whose final event
+// line is appended before the done channel closes — the ordering the
+// drain guarantee rests on.
+func (s *Server) finalize(j *job, rw *ResultWire) {
+	s.met.completedJob(rw.Method, rw)
 	j.finish(rw)
 }
 

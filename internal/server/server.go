@@ -10,8 +10,15 @@
 // model text, engine, options, and budget.
 //
 // Endpoints: POST /jobs, GET /jobs, GET /jobs/{id}, DELETE /jobs/{id},
-// GET /jobs/{id}/events (NDJSON stream), GET /models, GET /healthz,
-// GET /metrics.
+// GET /jobs/{id}/events (NDJSON stream), POST /batches, GET /batches,
+// GET /batches/{id}, DELETE /batches/{id}, GET /batches/{id}/events
+// (multiplexed NDJSON stream), GET /models, GET /healthz, GET /metrics.
+//
+// A batch admits many members atomically under one shared resource
+// pool and an optional portfolio scheduling policy: an engine ladder
+// run cheapest-first, each non-final rung under a small slice budget,
+// escalating on the budget-exhaustion causes and never on
+// cancellation.
 // See docs/api.md for the wire reference and DESIGN.md §11 for the
 // architecture.
 package server
@@ -103,6 +110,9 @@ type Server struct {
 	jobs    map[string]*job
 	order   []string // submission order, for history eviction
 	seq     int
+	batches map[string]*batch
+	border  []string // batch submission order, for history eviction
+	bseq    int
 	cache   *resultCache
 	started time.Time
 }
@@ -119,6 +129,7 @@ func New(cfg Config) *Server {
 		tasks:      make(chan *job, cfg.QueueCap),
 		schedDone:  make(chan struct{}),
 		jobs:       make(map[string]*job),
+		batches:    make(map[string]*batch),
 		cache:      newResultCache(cfg.CacheCap),
 		started:    time.Now(),
 	}
@@ -130,6 +141,11 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("POST /batches", s.handleBatchSubmit)
+	mux.HandleFunc("GET /batches", s.handleBatchList)
+	mux.HandleFunc("GET /batches/{id}", s.handleBatchStatus)
+	mux.HandleFunc("DELETE /batches/{id}", s.handleBatchCancel)
+	mux.HandleFunc("GET /batches/{id}/events", s.handleBatchEvents)
 	mux.HandleFunc("GET /models", s.handleModels)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.met.handler)
@@ -208,12 +224,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if req.Engine == "" {
 		req.Engine = string(verify.XICI)
 	}
-	if meth, ok := verify.Resolve(req.Engine); ok {
-		req.Engine = string(meth)
-	} else {
+	meth, ok := verify.Resolve(req.Engine)
+	if !ok {
 		writeError(w, http.StatusBadRequest, "unknown engine %q (registered: %v)", req.Engine, verify.Registered())
 		return
 	}
+	req.Engine = string(meth)
 	opt, err := req.Options.options()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -225,8 +241,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	key := cacheKey(identity, req)
-	j := newJob("", key, req, s.baseCtx)
+	// The cache key is over the *resolved* forms — canonical engine
+	// name, parsed options, default-filled and clamped budget — so wire
+	// variants that would do identical work share one entry.
+	key := cacheKey(identity, req.Engine, opt, budget)
+	j := newJob(req, []verify.Method{meth}, s.baseCtx)
+	j.identity = identity
 	j.opt = opt
 	j.budget = budget
 	if req.Wait {
@@ -425,6 +445,7 @@ func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	retained := len(s.jobs)
+	retainedBatches := len(s.batches)
 	cached := s.cache.len()
 	s.mu.Unlock()
 	engines := make([]string, 0)
@@ -436,8 +457,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"workers":        s.cfg.Workers,
 		"queue_capacity": s.cfg.QueueCap,
-		"jobs_retained":  retained,
-		"results_cached": cached,
+		"jobs_retained":    retained,
+		"batches_retained": retainedBatches,
+		"results_cached":   cached,
 		"engines":        engines,
 		"builtins":       Builtins(),
 	})

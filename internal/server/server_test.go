@@ -713,6 +713,9 @@ func TestSubmitValidation(t *testing.T) {
 		{"bad-termination", `{"builtin":"fifo","options":{"termination":"psychic"}}`, http.StatusBadRequest},
 		{"unknown-field", `{"builtin":"fifo","frobnicate":1}`, http.StatusBadRequest},
 		{"bad-budget", `{"builtin":"fifo","budget":{"node_limit":-7}}`, http.StatusBadRequest},
+		{"bad-workers", `{"builtin":"fifo","options":{"workers":-2}}`, http.StatusBadRequest},
+		{"bad-gc-every", `{"builtin":"fifo","options":{"gc_every":-1}}`, http.StatusBadRequest},
+		{"bad-grow-threshold", `{"builtin":"fifo","options":{"grow_threshold":-0.5}}`, http.StatusBadRequest},
 	}
 	for _, c := range cases {
 		resp, err := http.Post(e.ts.URL+"/jobs", "application/json", strings.NewReader(c.body))

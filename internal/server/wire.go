@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/core"
@@ -111,11 +112,30 @@ type JobStatus struct {
 	State       string      `json:"state"` // queued | running | done | error
 	Name        string      `json:"name"`
 	Engine      string      `json:"engine"`
+	Batch       string      `json:"batch,omitempty"`  // owning batch id, for batch members
+	Policy      []string    `json:"policy,omitempty"` // escalation ladder, for portfolio members
 	Cached      bool        `json:"cached,omitempty"`
 	Events      int         `json:"events"`
 	SubmittedAt string      `json:"submitted_at"`
 	Error       string      `json:"error,omitempty"`
+	Attempts    []Attempt   `json:"attempts,omitempty"` // every engine attempt, ladder order
 	Result      *ResultWire `json:"result,omitempty"`
+}
+
+// Attempt records one engine attempt of a job — for portfolio members,
+// one rung of the escalation ladder. The sequence makes the scheduling
+// policy observable: each record shows which engine ran, under what
+// node slice, how it ended, and whether the policy escalated past it.
+type Attempt struct {
+	Engine        string  `json:"engine"`
+	Outcome       string  `json:"outcome"`
+	Cause         string  `json:"cause,omitempty"`
+	Iterations    int     `json:"iterations"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
+	PeakLiveNodes int     `json:"peak_live_nodes"`
+	NodeLimit     int     `json:"node_limit,omitempty"` // the bound this attempt ran under
+	Cached        bool    `json:"cached,omitempty"`     // answered from the result cache
+	Escalated     bool    `json:"escalated,omitempty"`  // the policy moved on to the next engine
 }
 
 // Job states.
@@ -140,6 +160,8 @@ type ResultWire struct {
 	ElapsedMS      float64            `json:"elapsed_ms"`
 	ViolationDepth int                `json:"violation_depth,omitempty"`
 	Trace          string             `json:"trace,omitempty"`
+	PeakLiveNodes  int                `json:"peak_live_nodes"` // manager high-water mark, incl. intermediates
+	TotalVars      int                `json:"total_vars"`
 	Term           core.TermStats     `json:"term"`
 	Eval           EvalWire           `json:"eval"`
 	SizeTrajectory []int              `json:"size_trajectory,omitempty"`
@@ -157,6 +179,90 @@ type EvalWire struct {
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`
+}
+
+// BatchRequest is the body of POST /batches: many models in one
+// submission, admitted atomically (all members queue or none do),
+// sharing a budget pool and, optionally, a portfolio scheduling policy.
+type BatchRequest struct {
+	// Name labels the batch in statuses.
+	Name string `json:"name,omitempty"`
+
+	// Jobs are the member submissions. At least one is required; a
+	// grid entry may expand into several members.
+	Jobs []BatchEntry `json:"jobs"`
+
+	// Policy is the batch's engine-escalation ladder, cheap engines
+	// first (e.g. ["FD","ICI","XICI","PDR"]). Members without an
+	// explicit engine run the ladder: every rung but the last executes
+	// under the slice budget, and an exhausted verdict whose cause is
+	// node-limit, deadline, iteration-cap, or other (the PR 2/3
+	// taxonomy) escalates to the next engine; cancellation never
+	// escalates. The last rung runs under the member's full budget.
+	Policy []string `json:"policy,omitempty"`
+
+	// Pool is the batch-wide shared budget pool: node_limit is a node
+	// allowance decremented by each finished member's peak live nodes,
+	// timeout_ms a wall window for the whole batch. Zero fields are
+	// unbounded. Attempts are clamped to what the pool has left;
+	// members reaching an empty pool finalize as exhausted without
+	// running (cause node-limit or deadline). max_iterations is not
+	// meaningful pool-wide and is rejected.
+	Pool BudgetSpec `json:"pool"`
+
+	// Slice bounds the non-final rungs of the policy ladder — the
+	// "cheap first" lever. Zero fields inherit the member's budget, so
+	// an entirely unset slice runs every rung at full budget.
+	Slice BudgetSpec `json:"slice"`
+
+	// Budget and Options are member defaults; a member's zero fields
+	// inherit them before the daemon's own defaults and clamps apply.
+	Budget  BudgetSpec  `json:"budget"`
+	Options OptionsSpec `json:"options"`
+}
+
+// BatchEntry is one member of a batch: a SubmitRequest (minus wait,
+// which is rejected inside a batch) or a zoo grid reference.
+type BatchEntry struct {
+	SubmitRequest
+
+	// Grid names a zoo registry entry and expands into one member per
+	// benchmark size of that entry — the grid `icibench -zoo` runs.
+	// Mutually exclusive with model/builtin.
+	Grid string `json:"grid,omitempty"`
+}
+
+// BatchResponse is the body of a successful POST /batches.
+type BatchResponse struct {
+	ID   string   `json:"id"`
+	Jobs []string `json:"jobs"` // member job ids, expansion order
+}
+
+// BatchStatus is the body of GET /batches/{id} and the elements of
+// GET /batches (which omits Members).
+type BatchStatus struct {
+	ID          string      `json:"id"`
+	Name        string      `json:"name,omitempty"`
+	State       string      `json:"state"` // running | done
+	Policy      []string    `json:"policy,omitempty"`
+	SubmittedAt string      `json:"submitted_at"`
+	Members     []JobStatus `json:"members,omitempty"`
+	Pool        *PoolWire   `json:"pool,omitempty"`
+
+	// Outcome tally over terminal members, plus the portfolio effort.
+	Done        int `json:"done"`
+	Verified    int `json:"verified"`
+	Violated    int `json:"violated"`
+	Exhausted   int `json:"exhausted"`
+	Errors      int `json:"errors"`
+	Attempts    int `json:"attempts"`
+	Escalations int `json:"escalations"`
+}
+
+// PoolWire reports a batch pool's remaining allowance.
+type PoolWire struct {
+	NodesLeft  int     `json:"nodes_left"` // -1 = unbounded
+	DeadlineMS float64 `json:"deadline_ms,omitempty"`
 }
 
 // ModelInfo is one element of GET /models: a zoo registry entry with
@@ -246,13 +352,25 @@ func (bs BudgetSpec) budget(cfg Config) (resource.Budget, error) {
 }
 
 // options builds the engine options (observer excluded — the worker
-// attaches its own sink).
+// attaches its own sink). Numeric fields are validated here, not left
+// to the engines: a negative worker count, a negative GC period, or a
+// negative/non-finite grow threshold would otherwise flow straight
+// into the run, so they are 400s exactly like malformed budget fields.
 func (os OptionsSpec) options() (verify.Options, error) {
 	opt := verify.Options{
 		Workers:   os.Workers,
 		WantTrace: os.WantTrace,
 		GCEvery:   os.GCEvery,
 		Core:      core.Options{GrowThreshold: os.GrowThreshold},
+	}
+	if os.Workers < 0 {
+		return opt, fmt.Errorf("options.workers %d is invalid (0 = sequential)", os.Workers)
+	}
+	if os.GCEvery < 0 {
+		return opt, fmt.Errorf("options.gc_every %d is invalid (0 = never)", os.GCEvery)
+	}
+	if os.GrowThreshold < 0 || math.IsNaN(os.GrowThreshold) || math.IsInf(os.GrowThreshold, 0) {
+		return opt, fmt.Errorf("options.grow_threshold %v is invalid (must be finite and >= 0)", os.GrowThreshold)
 	}
 	switch os.Termination {
 	case "", "exact":
