@@ -7,6 +7,8 @@
 //
 //	icid -addr :8417
 //	icid -addr :8417 -workers 4 -queue 128 -nodelimit 2000000 -timeout 5m
+//	icid -addr :8417 -store /var/lib/icid
+//	icid -addr :8417 -self 10.0.0.1:8417 -peers 10.0.0.2:8417,10.0.0.3:8417
 //
 // Endpoints (see docs/api.md for the wire reference and curl examples):
 //
@@ -22,13 +24,23 @@
 //	DELETE /batches/{id}         cancel every member
 //	GET    /batches/{id}/events  multiplexed member-labeled NDJSON stream
 //	GET    /models               model-zoo registry with parameter surfaces
-//	GET    /healthz              liveness + engines/builtins
-//	GET    /metrics              expvar counters
+//	GET    /cluster              routing ring membership and peer liveness
+//	GET    /healthz              liveness + engines/builtins + node identity
+//	GET    /metrics              expvar counters (two-tier cache, forwarding)
+//
+// With -store DIR, deterministic results persist in an append-only
+// content-addressed store under DIR and survive restarts: a repeated
+// submission after a restart is answered from disk, event replay
+// included. With -peers, the daemon joins a consistent-hash cluster:
+// every node routes each submission to the node owning its canonical
+// model identity (single-hop forward, local fallback when the owner is
+// down), so one model's results concentrate on one node's caches no
+// matter where the submission entered.
 //
 // On SIGTERM or SIGINT the daemon drains gracefully: it stops accepting
 // submissions, finishes (or, after -drain expires, budget-cancels) the
-// queued and in-flight jobs, flushes every job's final event line, then
-// exits 0. A second signal forces immediate exit.
+// queued and in-flight jobs, flushes every job's final event line and
+// the proof store, then exits 0. A second signal forces immediate exit.
 package main
 
 import (
@@ -39,12 +51,19 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/resource"
 	"repro/internal/server"
+	"repro/internal/store"
 )
+
+// version is the build identity /healthz reports; overridable at link
+// time with -ldflags "-X main.version=...".
+var version = "0.10.0"
 
 func main() {
 	var (
@@ -59,10 +78,16 @@ func main() {
 		maxNodes  = flag.Int("maxnodes", 0, "clamp every job's node budget to this (0 = no clamp)")
 		maxTime   = flag.Duration("maxtime", 0, "clamp every job's wall budget to this (0 = no clamp)")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful drain window before in-flight jobs are budget-canceled")
+
+		storeDir = flag.String("store", "", "directory for the persistent proof store (empty = memory only)")
+		storeMax = flag.Int64("store-max-bytes", 0, "compact the proof store past this size (0 = unbounded)")
+		peers    = flag.String("peers", "", "comma-separated peer addresses; enables consistent-hash cluster routing")
+		self     = flag.String("self", "", "this node's advertised address, as spelled in every peer's -peers (default: derived from -addr)")
+		vnodes   = flag.Int("vnodes", 0, "virtual nodes per ring member (0 = 64)")
 	)
 	flag.Parse()
 
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		Workers:    *workers,
 		QueueCap:   *queueCap,
 		CacheCap:   *cacheCap,
@@ -74,7 +99,50 @@ func main() {
 		},
 		MaxNodeLimit: *maxNodes,
 		MaxTimeout:   *maxTime,
-	})
+		Version:      version,
+	}
+
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Config{MaxBytes: *storeMax})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "icid: opening store %s: %v\n", *storeDir, err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		rec := st.Recovery()
+		fmt.Printf("icid: store %s: %d entries in %d segments", st.Dir(), rec.Entries, rec.Segments)
+		if rec.Quarantined > 0 {
+			fmt.Printf(", %d corrupt spans quarantined (%d bytes)", rec.Quarantined, rec.QuarantinedByte)
+		}
+		if rec.TruncatedTail {
+			fmt.Printf(", torn tail truncated")
+		}
+		fmt.Println()
+		cfg.Store = st
+	}
+
+	if *peers != "" {
+		selfAddr := *self
+		if selfAddr == "" {
+			selfAddr = *addr
+			if strings.HasPrefix(selfAddr, ":") {
+				selfAddr = "127.0.0.1" + selfAddr
+			}
+		}
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		cl := cluster.New(cluster.Config{Self: selfAddr, Peers: peerList, VNodes: *vnodes})
+		cl.Start()
+		defer cl.Stop()
+		fmt.Printf("icid: cluster member %s, ring %v\n", selfAddr, cl.Ring().Members())
+		cfg.Cluster = cl
+	}
+
+	srv := server.New(cfg)
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -108,5 +176,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "icid: http shutdown: %v\n", err)
 	}
 	<-errCh // ListenAndServe has returned ErrServerClosed
+	// The deferred cluster.Stop and store.Close run last: the probe loop
+	// ends, then the store takes its final flush — every result written
+	// during the drain is durable before the process exits.
 	fmt.Println("icid: drained cleanly")
 }

@@ -1,0 +1,270 @@
+// Package cluster implements icid's consistent-hash job routing:
+// N peer daemons, each configured with the same membership, agree —
+// with no coordination protocol — on which node owns a canonical model
+// identity, so identical submissions entering anywhere in the cluster
+// always land on the owning shard's result cache and proof store.
+// Membership is static (the -peers flag); liveness is dynamic: a
+// background loop probes every peer's /healthz, a node that fails its
+// probe (or a forward) is marked down, and the server falls back to
+// local execution for keys owned by a down peer until it recovers.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config describes one node's view of the cluster.
+type Config struct {
+	// Self is this node's advertised address (host:port, or a full
+	// http:// URL) — the identity its peers route to it by. It must
+	// appear in every peer's Peers list spelled identically.
+	Self string
+
+	// Peers are the other members' advertised addresses.
+	Peers []string
+
+	// VNodes is the virtual-node count per member (<= 0 selects 64).
+	VNodes int
+
+	// CheckInterval paces the health-probe loop (0 = 2s).
+	CheckInterval time.Duration
+
+	// ProbeTimeout bounds one health probe (0 = 1s).
+	ProbeTimeout time.Duration
+}
+
+// Cluster is one node's routing and liveness state.
+type Cluster struct {
+	self  string
+	ring  *Ring
+	probe *http.Client
+	every time.Duration
+
+	mu    sync.Mutex
+	peers map[string]*peerState
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+type peerState struct {
+	addr      string
+	alive     bool
+	lastCheck time.Time
+	lastErr   string
+	probes    int64
+	failures  int64
+}
+
+// New builds the cluster state. Peers start optimistically alive — a
+// peer that is actually down is discovered by the first probe or the
+// first failed forward — so a cluster booting all at once never
+// wrongly falls back to local execution. Call Start to begin probing.
+func New(cfg Config) *Cluster {
+	if cfg.CheckInterval <= 0 {
+		cfg.CheckInterval = 2 * time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = time.Second
+	}
+	c := &Cluster{
+		self:  cfg.Self,
+		ring:  NewRing(append(append([]string(nil), cfg.Peers...), cfg.Self), cfg.VNodes),
+		probe: &http.Client{Timeout: cfg.ProbeTimeout},
+		every: cfg.CheckInterval,
+		peers: make(map[string]*peerState),
+		stop:  make(chan struct{}),
+	}
+	for _, p := range cfg.Peers {
+		if p == "" || p == cfg.Self {
+			continue
+		}
+		c.peers[p] = &peerState{addr: p, alive: true}
+	}
+	return c
+}
+
+// Self returns this node's advertised address.
+func (c *Cluster) Self() string { return c.self }
+
+// Ring returns the routing ring (shared, immutable).
+func (c *Cluster) Ring() *Ring { return c.ring }
+
+// OwnerOf returns the member owning key and whether that is this node.
+func (c *Cluster) OwnerOf(key string) (addr string, self bool) {
+	addr = c.ring.Owner(key)
+	return addr, addr == c.self || addr == ""
+}
+
+// Alive reports whether addr is believed healthy. Self is always
+// alive; unknown addresses never are.
+func (c *Cluster) Alive(addr string) bool {
+	if addr == c.self {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.peers[addr]
+	return ok && p.alive
+}
+
+// ReportFailure marks a peer down immediately — called when a forward
+// to it fails, so the very next submission falls back locally instead
+// of waiting out the probe interval.
+func (c *Cluster) ReportFailure(addr string, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.peers[addr]; ok {
+		p.alive = false
+		p.failures++
+		p.lastCheck = time.Now()
+		if err != nil {
+			p.lastErr = err.Error()
+		}
+	}
+}
+
+// Start launches the background health-probe loop (idempotent per
+// cluster; call Stop to end it). The first round runs immediately.
+func (c *Cluster) Start() {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.probeAll()
+		t := time.NewTicker(c.every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				c.probeAll()
+			case <-c.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop ends the probe loop and waits for it.
+func (c *Cluster) Stop() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+}
+
+// probeAll checks every peer concurrently. A peer is alive when its
+// /healthz answers 200 with status "ok" — a draining peer reports
+// "draining" and is treated as down, so forwards route around a node
+// that is shutting down before its listener closes.
+func (c *Cluster) probeAll() {
+	c.mu.Lock()
+	addrs := make([]string, 0, len(c.peers))
+	for a := range c.peers {
+		addrs = append(addrs, a)
+	}
+	c.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, addr := range addrs {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			alive, err := c.probeOne(addr)
+			c.mu.Lock()
+			if p, ok := c.peers[addr]; ok {
+				p.alive = alive
+				p.probes++
+				p.lastCheck = time.Now()
+				if err != nil {
+					p.lastErr = err.Error()
+					p.failures++
+				} else {
+					p.lastErr = ""
+				}
+			}
+			c.mu.Unlock()
+		}(addr)
+	}
+	wg.Wait()
+}
+
+func (c *Cluster) probeOne(addr string) (bool, error) {
+	resp, err := c.probe.Get(BaseURL(addr) + "/healthz")
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("healthz: %s", resp.Status)
+	}
+	var h struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(body, &h); err != nil {
+		return false, fmt.Errorf("healthz: %w", err)
+	}
+	if h.Status != "ok" {
+		return false, fmt.Errorf("healthz: status %q", h.Status)
+	}
+	return true, nil
+}
+
+// BaseURL normalizes an advertised address into a request base:
+// "host:port" gains the http scheme, full URLs pass through.
+func BaseURL(addr string) string {
+	if strings.Contains(addr, "://") {
+		return strings.TrimRight(addr, "/")
+	}
+	return "http://" + addr
+}
+
+// Status is the wire form of GET /cluster.
+type Status struct {
+	Self    string       `json:"self"`
+	VNodes  int          `json:"vnodes"`
+	Members []string     `json:"members"`
+	Peers   []PeerStatus `json:"peers"`
+}
+
+// PeerStatus is one peer's liveness view.
+type PeerStatus struct {
+	Addr      string `json:"addr"`
+	Alive     bool   `json:"alive"`
+	LastCheck string `json:"last_check,omitempty"`
+	LastError string `json:"last_error,omitempty"`
+	Probes    int64  `json:"probes"`
+	Failures  int64  `json:"failures"`
+}
+
+// Status snapshots the cluster for the /cluster endpoint.
+func (c *Cluster) Status() Status {
+	st := Status{Self: c.self, VNodes: c.ring.VNodes(), Members: c.ring.Members()}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, p := range c.peers {
+		ps := PeerStatus{
+			Addr: p.addr, Alive: p.alive,
+			LastError: p.lastErr, Probes: p.probes, Failures: p.failures,
+		}
+		if !p.lastCheck.IsZero() {
+			ps.LastCheck = p.lastCheck.UTC().Format(time.RFC3339Nano)
+		}
+		st.Peers = append(st.Peers, ps)
+	}
+	sortPeers(st.Peers)
+	return st
+}
+
+func sortPeers(ps []PeerStatus) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].Addr < ps[j-1].Addr; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}

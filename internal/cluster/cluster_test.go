@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Two rings built from the same membership in different orders (and
+// with duplicates) must agree on every key — the zero-coordination
+// agreement property routing rests on.
+func TestRingDeterministicAcrossNodes(t *testing.T) {
+	a := NewRing([]string{"n1:1", "n2:2", "n3:3"}, 64)
+	b := NewRing([]string{"n3:3", "n1:1", "n2:2", "n1:1"}, 64)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("ir:(model %d)", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("rings disagree on %q: %q vs %q", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+// Virtual nodes must spread keys roughly evenly: no member of a
+// 4-node ring should own less than half or more than double its fair
+// share over a large key sample.
+func TestRingBalance(t *testing.T) {
+	members := []string{"a:1", "b:2", "c:3", "d:4"}
+	r := NewRing(members, 128)
+	counts := map[string]int{}
+	const n = 8000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	fair := n / len(members)
+	for _, m := range members {
+		if counts[m] < fair/2 || counts[m] > fair*2 {
+			t.Errorf("member %s owns %d keys, fair share %d", m, counts[m], fair)
+		}
+	}
+}
+
+// Removing one member must only move the removed member's keys:
+// everything owned by a surviving member stays put (the 1/N churn
+// property that makes cache locality survive membership edits).
+func TestRingMinimalChurn(t *testing.T) {
+	full := NewRing([]string{"a:1", "b:2", "c:3", "d:4"}, 128)
+	reduced := NewRing([]string{"a:1", "b:2", "c:3"}, 128)
+	moved := 0
+	for i := 0; i < 4000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		was := full.Owner(key)
+		now := reduced.Owner(key)
+		if was != "d:4" && was != now {
+			t.Fatalf("key %q moved %q -> %q though its owner survived", key, was, now)
+		}
+		if was == "d:4" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("test vacuous: removed member owned nothing")
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	if got := NewRing(nil, 8).Owner("k"); got != "" {
+		t.Fatalf("empty ring owner %q", got)
+	}
+	one := NewRing([]string{"solo:1"}, 8)
+	for i := 0; i < 50; i++ {
+		if got := one.Owner(fmt.Sprintf("k%d", i)); got != "solo:1" {
+			t.Fatalf("single-member ring routed %q elsewhere: %q", fmt.Sprintf("k%d", i), got)
+		}
+	}
+}
+
+// The health loop marks a peer down when its /healthz stops answering
+// "ok", and back up when it recovers; a draining peer counts as down.
+func TestHealthProbeFlips(t *testing.T) {
+	var mode atomic.Value
+	mode.Store("ok")
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m := mode.Load().(string)
+		if m == "dead" {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintf(w, `{"status":%q}`, m)
+	}))
+	defer peer.Close()
+
+	c := New(Config{
+		Self:          "self:1",
+		Peers:         []string{peer.URL},
+		CheckInterval: 20 * time.Millisecond,
+		ProbeTimeout:  500 * time.Millisecond,
+	})
+	c.Start()
+	defer c.Stop()
+
+	waitAlive := func(want bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if c.Alive(peer.URL) == want {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("peer never became %s", what)
+	}
+
+	waitAlive(true, "alive")
+	mode.Store("draining")
+	waitAlive(false, "down while draining")
+	mode.Store("ok")
+	waitAlive(true, "alive again")
+	mode.Store("dead")
+	waitAlive(false, "down on 500s")
+
+	st := c.Status()
+	if len(st.Peers) != 1 || st.Peers[0].Probes == 0 {
+		t.Fatalf("status: %+v", st)
+	}
+	if len(st.Members) != 2 {
+		t.Fatalf("members: %v", st.Members)
+	}
+}
+
+// ReportFailure downs a peer immediately, without waiting for the
+// probe loop, and self is always alive.
+func TestReportFailureAndSelf(t *testing.T) {
+	c := New(Config{Self: "me:1", Peers: []string{"gone:2"}, CheckInterval: time.Hour})
+	if !c.Alive("gone:2") {
+		t.Fatal("peers must start optimistically alive")
+	}
+	c.ReportFailure("gone:2", fmt.Errorf("connection refused"))
+	if c.Alive("gone:2") {
+		t.Fatal("failed peer still alive")
+	}
+	if !c.Alive("me:1") {
+		t.Fatal("self must always be alive")
+	}
+	if c.Alive("stranger:9") {
+		t.Fatal("unknown address alive")
+	}
+	if addr, self := c.OwnerOf("some-key"); addr == "" || (self != (addr == "me:1")) {
+		t.Fatalf("OwnerOf: %q self=%v", addr, self)
+	}
+}
+
+func TestBaseURL(t *testing.T) {
+	if got := BaseURL("host:8417"); got != "http://host:8417" {
+		t.Fatalf("BaseURL: %q", got)
+	}
+	if got := BaseURL("https://x.example/"); got != "https://x.example" {
+		t.Fatalf("BaseURL: %q", got)
+	}
+}

@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Ring is a consistent-hash ring with virtual nodes. Every member is
+// hashed VNodes times onto a 64-bit circle; a key's owner is the
+// member whose first virtual node follows the key's hash clockwise.
+// The construction is a pure function of the (deduplicated, sorted)
+// member set and the vnode count, so every node that is configured
+// with the same membership computes the same owner for every key —
+// the property cluster routing rests on. Virtual nodes smooth the
+// load split and keep ownership churn proportional to 1/N when a
+// member joins or leaves.
+type Ring struct {
+	vnodes  int
+	members []string
+	points  []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	addr string
+}
+
+// hash64 is the ring's position function: the first 8 bytes of a
+// SHA-256, which is stable across architectures and Go versions
+// (unlike maphash) — a requirement, since every node must agree.
+func hash64(s string) uint64 {
+	h := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(h[:8])
+}
+
+// NewRing builds the ring over members (deduplicated) with vnodes
+// virtual nodes each (<= 0 selects 64).
+func NewRing(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	seen := map[string]bool{}
+	uniq := make([]string, 0, len(members))
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		uniq = append(uniq, m)
+	}
+	sort.Strings(uniq)
+	r := &Ring{vnodes: vnodes, members: uniq}
+	r.points = make([]ringPoint, 0, len(uniq)*vnodes)
+	for _, m := range uniq {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", m, i)), addr: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].addr < r.points[j].addr
+	})
+	return r
+}
+
+// Owner returns the member owning key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the circle's first point
+	}
+	return r.points[i].addr
+}
+
+// Members returns the deduplicated, sorted member list.
+func (r *Ring) Members() []string { return append([]string(nil), r.members...) }
+
+// VNodes returns the virtual-node count per member.
+func (r *Ring) VNodes() int { return r.vnodes }

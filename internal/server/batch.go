@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strings"
@@ -350,8 +351,13 @@ func (s *Server) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "draining: not accepting jobs")
 		return
 	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
 	var breq BatchRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&breq); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -388,6 +394,25 @@ func (s *Server) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
 		reqs = append(reqs, expanded...)
 	}
 
+	// Normalize every member up front: validation errors reject the
+	// batch before routing, and the canonical identities feed both the
+	// batch routing key and the members' cache keys (normalizeModel is
+	// not idempotent, so the job-building loop below must not re-run it).
+	identities := make([]string, len(reqs))
+	for i := range reqs {
+		identity, err := normalizeModel(&reqs[i])
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "jobs[%d]: %v", i, err)
+			return
+		}
+		identities[i] = identity
+	}
+	// A batch routes as one unit, keyed on all member identities — its
+	// members share one resource pool, which cannot split across nodes.
+	if s.routeRemote(w, r, batchKey(identities), body, "/batches") {
+		return
+	}
+
 	sliceSet := breq.Slice != (BudgetSpec{})
 	var sliceBudget resource.Budget
 	if sliceSet {
@@ -411,11 +436,6 @@ func (s *Server) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
 	jobs := make([]*job, 0, len(reqs))
 	for i := range reqs {
 		req := reqs[i]
-		identity, err := normalizeModel(&req)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "jobs[%d]: %v", i, err)
-			return
-		}
 		var ladder []verify.Method
 		switch {
 		case req.Engine != "":
@@ -443,7 +463,7 @@ func (s *Server) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		j := newJob(req, ladder, b.ctx)
-		j.identity = identity
+		j.identity = identities[i]
 		j.opt = opt
 		j.budget = budget
 		j.slice = budget
@@ -513,7 +533,7 @@ func (s *Server) handleBatchSubmit(w http.ResponseWriter, r *http.Request) {
 	for i, j := range jobs {
 		ids[i] = j.id
 	}
-	writeJSON(w, http.StatusAccepted, BatchResponse{ID: b.id, Jobs: ids})
+	writeJSON(w, http.StatusAccepted, BatchResponse{ID: b.id, Jobs: ids, Node: s.nodeName()})
 }
 
 // evictBatchHistoryLocked drops the oldest terminal batches past

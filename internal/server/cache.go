@@ -83,26 +83,92 @@ func (c *resultCache) get(key string) (*cacheEntry, bool) {
 	return el.Value.(*cacheEntry), true
 }
 
-// put stores an entry, evicting the least recently used past capacity.
-// Callers hold the server mutex.
-func (c *resultCache) put(key string, result *ResultWire, events []json.RawMessage) {
+// put stores an entry, evicting the least recently used past capacity;
+// it returns the number of entries evicted. Callers hold the server
+// mutex.
+func (c *resultCache) put(key string, result *ResultWire, events []json.RawMessage) int {
 	if c.cap <= 0 {
-		return
+		return 0
 	}
 	if el, ok := c.entries[key]; ok {
 		el.Value.(*cacheEntry).result = result
 		el.Value.(*cacheEntry).events = events
 		c.order.MoveToFront(el)
-		return
+		return 0
 	}
 	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, result: result, events: events})
+	evicted := 0
 	for c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		evicted++
 	}
+	return evicted
 }
 
 // len reports the number of cached results. Callers hold the server
 // mutex.
 func (c *resultCache) len() int { return c.order.Len() }
+
+// --- the persistent tier -----------------------------------------------
+
+// storedResult is the persistent store's payload: the finished result
+// plus the run's engine-event lines, so a store hit replays the exact
+// NDJSON stream a live run would produce.
+type storedResult struct {
+	Result *ResultWire       `json:"result"`
+	Events []json.RawMessage `json:"events,omitempty"`
+}
+
+// lookupResult consults the two cache tiers in order — the in-memory
+// LRU, then the persistent store — and returns the entry or nil. A
+// store hit is promoted into the memory tier. Every call is one
+// content-addressed lookup in the metrics' accounting:
+//
+//	cache_lookups == cache_memory_hits + cache_store_hits + cache_misses
+//
+// Store I/O happens outside the server mutex.
+func (s *Server) lookupResult(key string) *cacheEntry {
+	s.met.cacheLookups.Add(1)
+	s.mu.Lock()
+	entry, hit := s.cache.get(key)
+	s.mu.Unlock()
+	if hit {
+		s.met.cacheMemHits.Add(1)
+		s.met.cacheHits.Add(1)
+		return entry
+	}
+	if s.store != nil {
+		if payload, ok := s.store.Get(key); ok {
+			var sr storedResult
+			if err := json.Unmarshal(payload, &sr); err == nil && sr.Result != nil {
+				s.met.cacheStoreHits.Add(1)
+				s.met.cacheHits.Add(1)
+				s.mu.Lock()
+				evicted := s.cache.put(key, sr.Result, sr.Events)
+				s.mu.Unlock()
+				s.met.cacheEvictions.Add(int64(evicted))
+				return &cacheEntry{key: key, result: sr.Result, events: sr.Events}
+			}
+		}
+	}
+	s.met.cacheMisses.Add(1)
+	return nil
+}
+
+// storeResult writes a finished result through both tiers: the memory
+// LRU immediately, and — when a store is configured — the persistent
+// store, so the verdict survives a daemon restart. A store write
+// failure is not a job failure; the memory tier already has the entry.
+func (s *Server) storeResult(key string, rw *ResultWire, events []json.RawMessage) {
+	s.mu.Lock()
+	evicted := s.cache.put(key, rw, events)
+	s.mu.Unlock()
+	s.met.cacheEvictions.Add(int64(evicted))
+	if s.store != nil {
+		if payload, err := json.Marshal(storedResult{Result: rw, Events: events}); err == nil {
+			s.store.Put(key, payload)
+		}
+	}
+}

@@ -18,6 +18,8 @@ import (
 //	sum over engines == completed
 //	attempts >= completed - (cache-hit and queued-cancel short circuits)
 //	escalations <= attempts
+//	cache_lookups == cache_memory_hits + cache_store_hits + cache_misses
+//	cache_hits == cache_memory_hits + cache_store_hits
 //
 // Batch members are ordinary jobs, so the job-level invariants hold
 // across the batch path unchanged: a batch of N adds 1 to batches and
@@ -32,12 +34,26 @@ type metrics struct {
 	violated  expvar.Int // done with outcome violated
 	exhausted expvar.Int // done with outcome exhausted (any cause)
 	cancelled expvar.Int // exhausted specifically by cancellation
-	cacheHits expvar.Int // submissions/attempts answered from the result cache
+	cacheHits expvar.Int // submissions/attempts answered from either cache tier
 	engines   expvar.Map // per-engine completed totals
 
 	batches     expvar.Int // accepted POST /batches (rejections excluded)
 	attempts    expvar.Int // engine attempts finished (every ladder rung counts)
 	escalations expvar.Int // attempts whose exhaustion moved the ladder on
+
+	// Two-tier cache accounting: every content-addressed probe is one
+	// lookup, answered by the in-memory LRU, the persistent store, or
+	// neither.
+	cacheLookups   expvar.Int // content-addressed probes (submission + attempt level)
+	cacheMemHits   expvar.Int // answered by the in-memory LRU
+	cacheStoreHits expvar.Int // answered by the persistent store (promoted to memory)
+	cacheMisses    expvar.Int // answered by neither tier
+	cacheEvictions expvar.Int // entries the LRU pushed out past its capacity
+
+	// Cluster-routing accounting.
+	forwardedOut     expvar.Int // submissions proxied to their owning peer
+	forwardedIn      expvar.Int // submissions received with the forward header
+	forwardFallbacks expvar.Int // owner down/unreachable: executed locally instead
 
 	top expvar.Map // the /metrics document
 }
@@ -60,6 +76,14 @@ func newMetrics() *metrics {
 	mt.top.Set("batches", &mt.batches)
 	mt.top.Set("attempts", &mt.attempts)
 	mt.top.Set("escalations", &mt.escalations)
+	mt.top.Set("cache_lookups", &mt.cacheLookups)
+	mt.top.Set("cache_memory_hits", &mt.cacheMemHits)
+	mt.top.Set("cache_store_hits", &mt.cacheStoreHits)
+	mt.top.Set("cache_misses", &mt.cacheMisses)
+	mt.top.Set("cache_evictions", &mt.cacheEvictions)
+	mt.top.Set("forwarded_out", &mt.forwardedOut)
+	mt.top.Set("forwarded_in", &mt.forwardedIn)
+	mt.top.Set("forward_fallbacks", &mt.forwardFallbacks)
 	return mt
 }
 

@@ -155,11 +155,7 @@ func (s *Server) runAttempt(j *job, meth verify.Method, budget resource.Budget) 
 	var key string
 	if cacheOK {
 		key = cacheKey(j.identity, string(meth), j.opt, budget)
-		s.mu.Lock()
-		entry, hit := s.cache.get(key)
-		s.mu.Unlock()
-		if hit {
-			s.met.cacheHits.Add(1)
+		if entry := s.lookupResult(key); entry != nil {
 			j.markCached()
 			// Replay the cached run's engine lines through the ordinary
 			// append path, so a batch's multiplexed stream sees them
@@ -204,9 +200,7 @@ func (s *Server) runAttempt(j *job, meth verify.Method, budget resource.Budget) 
 	rw.TotalVars = m.NumVars()
 
 	if cacheOK && cacheable(rw) {
-		s.mu.Lock()
-		s.cache.put(key, rw, engineLines)
-		s.mu.Unlock()
+		s.storeResult(key, rw, engineLines)
 	}
 	return rw, false, true
 }

@@ -24,9 +24,12 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"expvar"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sort"
@@ -34,7 +37,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/resource"
+	"repro/internal/store"
 	"repro/internal/verify"
 	"repro/internal/zoo"
 )
@@ -67,6 +72,18 @@ type Config struct {
 	// bound gets the maximum instead of running unbounded.
 	MaxNodeLimit int
 	MaxTimeout   time.Duration
+
+	// Store is the persistent result tier beneath the in-memory cache
+	// (nil = memory only). The server reads and writes it during
+	// operation; the caller owns Open and the final Close/flush.
+	Store *store.Store
+
+	// Cluster enables consistent-hash job routing (nil = standalone).
+	// The caller owns Start/Stop of its health-probe loop.
+	Cluster *cluster.Cluster
+
+	// Version is the build identity /healthz reports ("" = "dev").
+	Version string
 }
 
 func (cfg Config) withDefaults() Config {
@@ -82,15 +99,21 @@ func (cfg Config) withDefaults() Config {
 	if cfg.JobHistory == 0 {
 		cfg.JobHistory = 1024
 	}
+	if cfg.Version == "" {
+		cfg.Version = "dev"
+	}
 	return cfg
 }
 
 // Server is the verification service. Create with New, expose with
 // Handler, stop with Shutdown.
 type Server struct {
-	cfg Config
-	mux *http.ServeMux
-	met *metrics
+	cfg     Config
+	mux     *http.ServeMux
+	met     *metrics
+	store   *store.Store     // persistent result tier, nil = memory only
+	cluster *cluster.Cluster // consistent-hash routing, nil = standalone
+	forward *http.Client     // proxies forwarded submissions (request-context bounded)
 
 	baseCtx    context.Context         // parent of every job lifecycle context
 	baseCancel context.CancelCauseFunc // fired when the drain deadline passes
@@ -124,6 +147,9 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:        cfg,
 		met:        newMetrics(),
+		store:      cfg.Store,
+		cluster:    cfg.Cluster,
+		forward:    &http.Client{},
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		tasks:      make(chan *job, cfg.QueueCap),
@@ -134,6 +160,10 @@ func New(cfg Config) *Server {
 		started:    time.Now(),
 	}
 	s.accepting.Store(true)
+	if s.store != nil {
+		st := s.store
+		s.met.top.Set("store", expvar.Func(func() any { return st.Stats() }))
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
@@ -147,6 +177,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("DELETE /batches/{id}", s.handleBatchCancel)
 	mux.HandleFunc("GET /batches/{id}/events", s.handleBatchEvents)
 	mux.HandleFunc("GET /models", s.handleModels)
+	mux.HandleFunc("GET /cluster", s.handleCluster)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.met.handler)
 	s.mux = mux
@@ -201,15 +232,24 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-// handleSubmit is POST /jobs: validate, canonicalize, consult the
+// handleSubmit is POST /jobs: validate, canonicalize, route to the
+// owning cluster node (or execute locally), consult the two-tier
 // result cache, then enqueue (async) or enqueue-and-wait (wait mode).
+// The raw body is retained so a routed submission forwards verbatim —
+// the peer re-normalizes the identical bytes and must agree on the
+// routing key.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !s.accepting.Load() {
 		writeError(w, http.StatusServiceUnavailable, "draining: not accepting jobs")
 		return
 	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
 	var req SubmitRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -219,6 +259,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	identity, err := normalizeModel(&req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Routing happens after validation (a peer never sees a request this
+	// node would have rejected) and is keyed on the canonical model
+	// identity alone, so every engine/budget variant of one model lands
+	// on the same node's caches.
+	if s.routeRemote(w, r, identity, body, "/jobs") {
 		return
 	}
 	if req.Engine == "" {
@@ -256,7 +303,6 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	s.seq++
 	j.id = fmt.Sprintf("j%06d", s.seq)
-	entry, hit := s.cache.get(key)
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.evictHistoryLocked()
@@ -264,12 +310,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	s.met.submitted.Add(1)
 
-	if hit {
-		s.met.cacheHits.Add(1)
+	if entry := s.lookupResult(key); entry != nil {
 		s.met.completedJob(req.Engine, entry.result)
 		j.finishCached(entry.result, entry.events)
 		st := j.status()
-		writeJSON(w, http.StatusOK, SubmitResponse{ID: j.id, Cached: true, Status: &st})
+		writeJSON(w, http.StatusOK, SubmitResponse{ID: j.id, Cached: true, Status: &st, Node: s.nodeName()})
 		return
 	}
 
@@ -300,7 +345,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if !req.Wait {
-		writeJSON(w, http.StatusAccepted, SubmitResponse{ID: j.id})
+		writeJSON(w, http.StatusAccepted, SubmitResponse{ID: j.id, Node: s.nodeName()})
 		return
 	}
 	// Wait mode: the response is the final status. The job's budget is
@@ -308,7 +353,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// the run server-side; waiting on j.done alone is enough.
 	<-j.done
 	st := j.status()
-	writeJSON(w, http.StatusOK, SubmitResponse{ID: j.id, Status: &st})
+	writeJSON(w, http.StatusOK, SubmitResponse{ID: j.id, Status: &st, Node: s.nodeName()})
 }
 
 // evictHistoryLocked drops the oldest terminal jobs past JobHistory.
@@ -441,7 +486,10 @@ func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
 
 // handleHealthz is GET /healthz: liveness plus a small amount of
 // introspection (drain state, queue depth, registered engines,
-// builtin models).
+// builtin models, build version, persistence and cluster identity).
+// The cluster health-probe loop keys off the "status" field: "ok"
+// means routable, anything else (including "draining") means peers
+// should route around this node.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	retained := len(s.jobs)
@@ -452,15 +500,27 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	for _, m := range verify.Registered() {
 		engines = append(engines, string(m))
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         map[bool]string{true: "draining", false: "ok"}[s.Draining()],
-		"uptime_seconds": time.Since(s.started).Seconds(),
-		"workers":        s.cfg.Workers,
-		"queue_capacity": s.cfg.QueueCap,
+	doc := map[string]any{
+		"status":           map[bool]string{true: "draining", false: "ok"}[s.Draining()],
+		"version":          s.cfg.Version,
+		"uptime_seconds":   time.Since(s.started).Seconds(),
+		"workers":          s.cfg.Workers,
+		"queue_capacity":   s.cfg.QueueCap,
 		"jobs_retained":    retained,
 		"batches_retained": retainedBatches,
 		"results_cached":   cached,
-		"engines":        engines,
-		"builtins":       Builtins(),
-	})
+		"engines":          engines,
+		"builtins":         Builtins(),
+	}
+	if s.store != nil {
+		doc["store_path"] = s.store.Dir()
+		doc["store_entries"] = s.store.Len()
+	}
+	if s.cluster != nil {
+		doc["cluster_role"] = "member"
+		doc["cluster_self"] = s.cluster.Self()
+	} else {
+		doc["cluster_role"] = "standalone"
+	}
+	writeJSON(w, http.StatusOK, doc)
 }

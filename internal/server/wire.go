@@ -104,6 +104,7 @@ type SubmitResponse struct {
 	ID     string     `json:"id"`
 	Cached bool       `json:"cached"`
 	Status *JobStatus `json:"status,omitempty"` // wait mode and cache hits: final status inline
+	Node   string     `json:"node,omitempty"`   // executing node's advertised address (cluster mode)
 }
 
 // JobStatus is the body of GET /jobs/{id} and the elements of GET /jobs.
@@ -235,7 +236,8 @@ type BatchEntry struct {
 // BatchResponse is the body of a successful POST /batches.
 type BatchResponse struct {
 	ID   string   `json:"id"`
-	Jobs []string `json:"jobs"` // member job ids, expansion order
+	Jobs []string `json:"jobs"`           // member job ids, expansion order
+	Node string   `json:"node,omitempty"` // executing node's advertised address (cluster mode)
 }
 
 // BatchStatus is the body of GET /batches/{id} and the elements of

@@ -1,0 +1,674 @@
+// Package store implements icid's persistent content-addressed proof
+// store: the durable tier beneath the in-memory result LRU. Verified
+// results are cheap to characterize canonically — the whole premise of
+// the implicitly conjoined representation is that a submission's
+// identity is its canonical text plus the resolved run configuration —
+// so a finished verdict, together with the engine-event lines a live
+// run would have streamed, is written once and served forever, across
+// restarts and (via internal/cluster routing) across nodes.
+//
+// On-disk layout: numbered append-only segment files ("00000001.seg",
+// ...) of framed records. Each record is
+//
+//	magic "IcPr" | keyLen u16 | payloadLen u32 | key | payload | crc32
+//
+// with the CRC over everything between the magic and the checksum, so
+// a torn write, a truncated tail, or a flipped bit is detected on the
+// next open (and again on every Get). Startup recovery scans every
+// segment: a record that fails its checksum is quarantined — dropped
+// from the index, its bytes copied (best effort) under quarantine/,
+// and the scan resynchronizes on the next magic marker so one bad
+// record does not take the rest of its segment down; a truncated tail
+// is quarantined and the file truncated back to the last whole record
+// so future appends start clean. The newest record for a key wins, so
+// rewriting a recomputed entry is a plain append.
+//
+// Compaction is size-bounded: once the segment files exceed MaxBytes,
+// the newest live entries that fit in three quarters of the budget are
+// rewritten into a fresh segment — written to a temp file, fsynced,
+// and renamed into place before the old segments are deleted, so a
+// crash mid-compaction leaves either the old store or the new one,
+// never a half state.
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+var magic = []byte("IcPr")
+
+const (
+	headerLen  = 4 + 2 + 4 // magic + keyLen + payloadLen
+	trailerLen = 4         // crc32
+	maxKeyLen  = 4096
+	maxPayload = 1 << 28 // 256 MiB per entry is already absurd
+)
+
+// Config sizes the store. The zero value is usable: 4 MiB segments,
+// no total-size bound, fsync only on Sync/Close.
+type Config struct {
+	// SegmentBytes rolls the active segment once it grows past this
+	// (0 = 4 MiB). Recovery reads whole segments into memory, so keep
+	// it modest.
+	SegmentBytes int64
+
+	// MaxBytes bounds the on-disk footprint: a Put that pushes the
+	// segment files past it triggers a compaction that keeps the
+	// newest live entries fitting in 3/4 of the budget (0 = never
+	// compact).
+	MaxBytes int64
+
+	// SyncEvery fsyncs the active segment every n Puts (0 = only on
+	// Sync and Close). Crash safety never depends on it — the per-entry
+	// checksums make a torn tail detectable and recoverable — it only
+	// bounds how many recent entries a power loss can cost.
+	SyncEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 4 << 20
+	}
+	return c
+}
+
+// Recovery reports what opening the store found.
+type Recovery struct {
+	Entries         int   // live entries indexed
+	Segments        int   // segment files scanned
+	Quarantined     int   // corrupt spans dropped (bad checksum, torn frame)
+	QuarantinedByte int64 // bytes those spans covered
+	TruncatedTail   bool  // a torn tail was cut back to the last whole record
+	Bytes           int64 // on-disk bytes after recovery
+}
+
+// Stats is a point-in-time snapshot, served under /metrics.
+type Stats struct {
+	Entries     int   `json:"entries"`
+	Segments    int   `json:"segments"`
+	Bytes       int64 `json:"bytes"`
+	LiveBytes   int64 `json:"live_bytes"`
+	Puts        int64 `json:"puts"`
+	Gets        int64 `json:"gets"`
+	GetMisses   int64 `json:"get_misses"`
+	Quarantined int64 `json:"quarantined"` // recovery spans + read-time checksum failures
+	Compactions int64 `json:"compactions"`
+}
+
+type entryLoc struct {
+	seg int   // segment number
+	off int64 // record start offset
+	n   int   // full record length
+	seq int64 // global append order; larger = newer
+	len int   // payload length (for live-byte accounting)
+}
+
+// Store is the persistent content-addressed result store. All methods
+// are safe for concurrent use.
+type Store struct {
+	dir string
+	cfg Config
+
+	mu       sync.RWMutex
+	index    map[string]entryLoc
+	files    map[int]*os.File // open segment handles, active included
+	segs     []int            // sorted segment numbers
+	active   int              // active (append) segment number
+	activeSz int64
+	total    int64 // on-disk bytes across all segments
+	live     int64 // bytes of the newest record per key
+	seq      int64
+	unsynced int
+	closed   bool
+
+	recovery Recovery
+
+	puts, gets, misses, quarantined, compactions int64
+}
+
+// Open opens (creating if necessary) the store rooted at dir and runs
+// recovery over every segment found there.
+func Open(dir string, cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:   dir,
+		cfg:   cfg,
+		index: make(map[string]entryLoc),
+		files: make(map[int]*os.File),
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	// Start a fresh active segment above everything recovered, so
+	// recovery artifacts (a truncated tail) never interleave with new
+	// appends mid-file... unless the last segment is clean and small,
+	// in which case appending to it is fine and avoids file churn.
+	if n := len(s.segs); n > 0 {
+		last := s.segs[n-1]
+		if sz := s.segSize(last); sz < cfg.SegmentBytes {
+			s.active = last
+			s.activeSz = sz
+		}
+	}
+	if s.active == 0 {
+		if err := s.rollLocked(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Recovery returns what Open found on disk.
+func (s *Store) Recovery() Recovery { return s.recovery }
+
+// Len returns the number of live entries.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.index)
+}
+
+// Stats snapshots the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{
+		Entries:     len(s.index),
+		Segments:    len(s.segs),
+		Bytes:       s.total,
+		LiveBytes:   s.live,
+		Puts:        s.puts,
+		Gets:        s.gets,
+		GetMisses:   s.misses,
+		Quarantined: s.quarantined,
+		Compactions: s.compactions,
+	}
+}
+
+// Get returns the payload stored under key. The checksum is verified
+// on every read: an entry that rotted on disk since recovery is
+// quarantined (dropped from the index) and reported as a miss, so the
+// caller falls through to a fresh computation and rewrites it.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.RLock()
+	loc, ok := s.index[key]
+	var f *os.File
+	if ok {
+		f = s.files[loc.seg]
+	}
+	s.mu.RUnlock()
+	if !ok || f == nil {
+		s.mu.Lock()
+		s.misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	buf := make([]byte, loc.n)
+	if _, err := f.ReadAt(buf, loc.off); err != nil {
+		s.quarantine(key, loc)
+		return nil, false
+	}
+	gotKey, payload, _, err := parseRecord(buf)
+	if err != nil || gotKey != key {
+		s.quarantine(key, loc)
+		return nil, false
+	}
+	s.mu.Lock()
+	s.gets++
+	s.mu.Unlock()
+	return payload, true
+}
+
+// quarantine drops a read-time-corrupt entry from the index.
+func (s *Store) quarantine(key string, loc entryLoc) {
+	s.mu.Lock()
+	if cur, ok := s.index[key]; ok && cur == loc {
+		delete(s.index, key)
+		s.live -= int64(loc.len)
+	}
+	s.quarantined++
+	s.misses++
+	s.mu.Unlock()
+}
+
+// Put appends (key, payload) to the active segment. A later Put for
+// the same key shadows the earlier one; the dead bytes are reclaimed
+// by the next compaction.
+func (s *Store) Put(key string, payload []byte) error {
+	if len(key) == 0 || len(key) > maxKeyLen {
+		return fmt.Errorf("store: key length %d out of range", len(key))
+	}
+	if len(payload) > maxPayload {
+		return fmt.Errorf("store: payload %d bytes exceeds the %d limit", len(payload), maxPayload)
+	}
+	rec := appendRecord(nil, key, payload)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if s.activeSz >= s.cfg.SegmentBytes {
+		if err := s.rollLocked(); err != nil {
+			return err
+		}
+	}
+	f := s.files[s.active]
+	off := s.activeSz
+	if _, err := f.Write(rec); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	s.activeSz += int64(len(rec))
+	s.total += int64(len(rec))
+	s.seq++
+	if old, ok := s.index[key]; ok {
+		s.live -= int64(old.len)
+	}
+	s.index[key] = entryLoc{seg: s.active, off: off, n: len(rec), seq: s.seq, len: len(payload)}
+	s.live += int64(len(payload))
+	s.puts++
+	s.unsynced++
+	if s.cfg.SyncEvery > 0 && s.unsynced >= s.cfg.SyncEvery {
+		f.Sync()
+		s.unsynced = 0
+	}
+	if s.cfg.MaxBytes > 0 && s.total > s.cfg.MaxBytes {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// Sync flushes the active segment to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncLocked()
+}
+
+func (s *Store) syncLocked() error {
+	if f := s.files[s.active]; f != nil {
+		s.unsynced = 0
+		return f.Sync()
+	}
+	return nil
+}
+
+// Compact rewrites the newest live entries into a fresh segment and
+// deletes the old ones. With a MaxBytes bound, entries are dropped
+// oldest-first until the survivors fit in 3/4 of the budget; without
+// one, every live entry survives (dead shadowed bytes are reclaimed).
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	// Order live entries oldest → newest, then pick survivors from the
+	// newest end while they fit the byte budget.
+	type kv struct {
+		key string
+		loc entryLoc
+	}
+	entries := make([]kv, 0, len(s.index))
+	for k, loc := range s.index {
+		entries = append(entries, kv{k, loc})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].loc.seq < entries[j].loc.seq })
+	budget := int64(-1)
+	if s.cfg.MaxBytes > 0 {
+		budget = s.cfg.MaxBytes * 3 / 4
+	}
+	first := 0
+	if budget >= 0 {
+		var kept int64
+		first = len(entries)
+		for i := len(entries) - 1; i >= 0; i-- {
+			n := int64(entries[i].loc.n)
+			if kept+n > budget {
+				break
+			}
+			kept += n
+			first = i
+		}
+	}
+	survivors := entries[first:]
+
+	// Write the survivors into one fresh segment via temp-file+rename.
+	newSeg := s.active + 1
+	tmpPath := filepath.Join(s.dir, fmt.Sprintf("%08d.seg.tmp", newSeg))
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	newIndex := make(map[string]entryLoc, len(survivors))
+	var off, live int64
+	var buf, rec []byte
+	for _, e := range survivors {
+		old := s.files[e.loc.seg]
+		if cap(buf) < e.loc.n {
+			buf = make([]byte, e.loc.n)
+		}
+		b := buf[:e.loc.n]
+		if _, err := old.ReadAt(b, e.loc.off); err != nil {
+			continue // unreadable during compaction: drop it
+		}
+		if _, payload, _, err := parseRecord(b); err != nil {
+			continue
+		} else {
+			rec = b
+			newIndex[e.key] = entryLoc{seg: newSeg, off: off, n: len(rec), seq: e.loc.seq, len: len(payload)}
+			live += int64(len(payload))
+		}
+		if _, err := tmp.Write(rec); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("store: compact: %w", err)
+		}
+		off += int64(len(rec))
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	finalPath := s.segPath(newSeg)
+	if err := os.Rename(tmpPath, finalPath); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: compact: %w", err)
+	}
+
+	// Swap: the compacted segment replaces everything older.
+	for _, n := range s.segs {
+		if f := s.files[n]; f != nil {
+			f.Close()
+		}
+		delete(s.files, n)
+		os.Remove(s.segPath(n))
+	}
+	s.files[newSeg] = tmp
+	s.segs = []int{newSeg}
+	s.index = newIndex
+	s.total = off
+	s.live = live
+	s.active = newSeg
+	s.activeSz = off
+	s.unsynced = 0
+	s.compactions++
+	return nil
+}
+
+// Close flushes the active segment and closes every handle. It is the
+// daemon's final store flush: call it after the job drain, so the last
+// finished verdicts are on disk before exit.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	err := s.syncLocked()
+	for _, f := range s.files {
+		f.Close()
+	}
+	s.files = map[int]*os.File{}
+	s.closed = true
+	return err
+}
+
+// --- segments ----------------------------------------------------------
+
+func (s *Store) segPath(n int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%08d.seg", n))
+}
+
+func (s *Store) segSize(n int) int64 {
+	if f := s.files[n]; f != nil {
+		if fi, err := f.Stat(); err == nil {
+			return fi.Size()
+		}
+	}
+	return 0
+}
+
+// rollLocked opens the next active segment.
+func (s *Store) rollLocked() error {
+	if f := s.files[s.active]; f != nil {
+		f.Sync()
+	}
+	next := s.active + 1
+	if n := len(s.segs); n > 0 && s.segs[n-1] >= next {
+		next = s.segs[n-1] + 1
+	}
+	f, err := os.OpenFile(s.segPath(next), os.O_CREATE|os.O_APPEND|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: segment: %w", err)
+	}
+	s.files[next] = f
+	s.segs = append(s.segs, next)
+	s.active = next
+	s.activeSz = 0
+	return nil
+}
+
+// --- recovery ----------------------------------------------------------
+
+// recover scans every segment file, indexing whole records and
+// quarantining corrupt spans.
+func (s *Store) recover() error {
+	names, err := filepath.Glob(filepath.Join(s.dir, "*.seg"))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	// Leftover temp files from an interrupted compaction are garbage by
+	// construction (the rename never landed).
+	if tmps, _ := filepath.Glob(filepath.Join(s.dir, "*.seg.tmp")); len(tmps) > 0 {
+		for _, t := range tmps {
+			os.Remove(t)
+		}
+	}
+	var nums []int
+	for _, name := range names {
+		base := strings.TrimSuffix(filepath.Base(name), ".seg")
+		var n int
+		if _, err := fmt.Sscanf(base, "%d", &n); err == nil && n > 0 {
+			nums = append(nums, n)
+		}
+	}
+	sort.Ints(nums)
+	for _, n := range nums {
+		if err := s.recoverSegment(n); err != nil {
+			return err
+		}
+	}
+	s.recovery.Entries = len(s.index)
+	s.recovery.Segments = len(s.segs)
+	s.recovery.Bytes = s.total
+	s.quarantined = int64(s.recovery.Quarantined)
+	return nil
+}
+
+// recoverSegment scans one segment. Scan state machine: parse a record
+// at the cursor; on success index it and advance; on a framing or
+// checksum failure, quarantine the span and resynchronize at the next
+// magic marker; on a genuinely truncated tail (no later magic to
+// resync on), quarantine the tail and truncate the file back to the
+// last whole record.
+func (s *Store) recoverSegment(n int) error {
+	f, err := os.OpenFile(s.segPath(n), os.O_APPEND|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: segment %d: %w", n, err)
+	}
+	data, err := os.ReadFile(s.segPath(n))
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("store: segment %d: %w", n, err)
+	}
+
+	var badSpans [][2]int64 // [start, end) offsets of quarantined bytes
+	inBad := false
+	badStart := int64(0)
+	markBad := func(off int64) {
+		if !inBad {
+			inBad = true
+			badStart = off
+			s.recovery.Quarantined++
+		}
+	}
+	endBad := func(off int64) {
+		if inBad {
+			inBad = false
+			badSpans = append(badSpans, [2]int64{badStart, off})
+			s.recovery.QuarantinedByte += off - badStart
+		}
+	}
+
+	off := int64(0)
+	truncateAt := int64(-1)
+	for off < int64(len(data)) {
+		i := bytes.Index(data[off:], magic)
+		if i < 0 {
+			// No further record can start here. If we were mid-span,
+			// extend it; either way this is a tail without structure.
+			markBad(off)
+			truncateAt = closestRecordEnd(badStart, off, inBad)
+			endBad(int64(len(data)))
+			off = int64(len(data))
+			break
+		}
+		if i > 0 {
+			markBad(off)
+			off += int64(i)
+		}
+		key, payload, recLen, perr := parseRecordAt(data, off)
+		switch perr {
+		case nil:
+			endBad(off)
+			s.seq++
+			if old, ok := s.index[key]; ok {
+				s.live -= int64(old.len)
+			}
+			s.index[key] = entryLoc{seg: n, off: off, n: recLen, seq: s.seq, len: len(payload)}
+			s.live += int64(len(payload))
+			off += int64(recLen)
+		case errTruncated:
+			// Torn only if no later magic exists to resync on;
+			// otherwise it is a corrupt record mid-file.
+			if bytes.Index(data[off+int64(len(magic)):], magic) < 0 {
+				markBad(off)
+				truncateAt = off
+				if badStart < off {
+					truncateAt = badStart
+				}
+				endBad(int64(len(data)))
+				off = int64(len(data))
+			} else {
+				markBad(off)
+				off += int64(len(magic))
+			}
+		default:
+			markBad(off)
+			off += int64(len(magic))
+		}
+	}
+	endBad(int64(len(data)))
+
+	// Quarantine the corrupt bytes (best effort — purely forensic).
+	if len(badSpans) > 0 {
+		qdir := filepath.Join(s.dir, "quarantine")
+		if err := os.MkdirAll(qdir, 0o755); err == nil {
+			var qb bytes.Buffer
+			for _, sp := range badSpans {
+				qb.Write(data[sp[0]:sp[1]])
+			}
+			os.WriteFile(filepath.Join(qdir, fmt.Sprintf("%08d.bad", n)), qb.Bytes(), 0o644)
+		}
+	}
+
+	size := int64(len(data))
+	if truncateAt >= 0 && truncateAt < size {
+		if err := f.Truncate(truncateAt); err == nil {
+			size = truncateAt
+			s.recovery.TruncatedTail = true
+		}
+	}
+	s.files[n] = f
+	s.segs = append(s.segs, n)
+	s.total += size
+	return nil
+}
+
+// closestRecordEnd picks where a structureless tail should be cut:
+// the start of the bad span if one was open, else the current offset.
+func closestRecordEnd(badStart, off int64, inBad bool) int64 {
+	if inBad && badStart < off {
+		return badStart
+	}
+	return off
+}
+
+// --- record framing ----------------------------------------------------
+
+// appendRecord frames (key, payload) onto buf.
+func appendRecord(buf []byte, key string, payload []byte) []byte {
+	start := len(buf)
+	buf = append(buf, magic...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(key)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, key...)
+	buf = append(buf, payload...)
+	crc := crc32.ChecksumIEEE(buf[start+len(magic):])
+	return binary.BigEndian.AppendUint32(buf, crc)
+}
+
+var errTruncated = fmt.Errorf("store: truncated record")
+
+// parseRecord parses one record at the head of b. It returns the key,
+// the payload (aliasing b), and the full record length.
+func parseRecord(b []byte) (string, []byte, int, error) {
+	return parseRecordAt(b, 0)
+}
+
+func parseRecordAt(b []byte, off int64) (string, []byte, int, error) {
+	rest := b[off:]
+	if len(rest) < headerLen {
+		return "", nil, 0, errTruncated
+	}
+	if !bytes.Equal(rest[:len(magic)], magic) {
+		return "", nil, 0, fmt.Errorf("store: bad magic")
+	}
+	keyLen := int(binary.BigEndian.Uint16(rest[4:6]))
+	payLen := int(binary.BigEndian.Uint32(rest[6:10]))
+	if keyLen == 0 || keyLen > maxKeyLen || payLen > maxPayload {
+		return "", nil, 0, fmt.Errorf("store: implausible frame (key %d, payload %d)", keyLen, payLen)
+	}
+	total := headerLen + keyLen + payLen + trailerLen
+	if len(rest) < total {
+		return "", nil, 0, errTruncated
+	}
+	want := binary.BigEndian.Uint32(rest[total-trailerLen : total])
+	if crc32.ChecksumIEEE(rest[len(magic):total-trailerLen]) != want {
+		return "", nil, 0, fmt.Errorf("store: checksum mismatch")
+	}
+	key := string(rest[headerLen : headerLen+keyLen])
+	payload := rest[headerLen+keyLen : headerLen+keyLen+payLen]
+	return key, payload, total, nil
+}

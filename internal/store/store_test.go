@@ -1,0 +1,317 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openT(t *testing.T, dir string, cfg Config) *Store {
+	t.Helper()
+	s, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func mustPut(t *testing.T, s *Store, key string, payload []byte) {
+	t.Helper()
+	if err := s.Put(key, payload); err != nil {
+		t.Fatalf("Put(%q): %v", key, err)
+	}
+}
+
+func TestPutGetRoundTripAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Config{})
+	want := map[string][]byte{}
+	for i := 0; i < 20; i++ {
+		k := fmt.Sprintf("key-%02d", i)
+		v := bytes.Repeat([]byte{byte(i)}, 10+i*7)
+		want[k] = v
+		mustPut(t, s, k, v)
+	}
+	// Overwrite: newest wins.
+	want["key-03"] = []byte("rewritten")
+	mustPut(t, s, "key-03", want["key-03"])
+
+	check := func(s *Store) {
+		t.Helper()
+		for k, v := range want {
+			got, ok := s.Get(k)
+			if !ok || !bytes.Equal(got, v) {
+				t.Fatalf("Get(%q) = %q, %v; want %q", k, got, ok, v)
+			}
+		}
+		if _, ok := s.Get("absent"); ok {
+			t.Fatal("Get(absent) hit")
+		}
+		if s.Len() != len(want) {
+			t.Fatalf("Len = %d, want %d", s.Len(), len(want))
+		}
+	}
+	check(s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openT(t, dir, Config{})
+	rec := s2.Recovery()
+	if rec.Quarantined != 0 || rec.Entries != len(want) {
+		t.Fatalf("clean reopen recovery: %+v", rec)
+	}
+	check(s2)
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Config{SegmentBytes: 256})
+	for i := 0; i < 30; i++ {
+		mustPut(t, s, fmt.Sprintf("k%d", i), bytes.Repeat([]byte("x"), 64))
+	}
+	if st := s.Stats(); st.Segments < 3 {
+		t.Fatalf("expected rotation across segments, got %d", st.Segments)
+	}
+	s.Close()
+	s2 := openT(t, dir, Config{SegmentBytes: 256})
+	for i := 0; i < 30; i++ {
+		if _, ok := s2.Get(fmt.Sprintf("k%d", i)); !ok {
+			t.Fatalf("k%d lost across rotation+reopen", i)
+		}
+	}
+}
+
+func TestTruncatedTailQuarantinedAndRewritable(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Config{})
+	mustPut(t, s, "alpha", []byte("alpha-payload"))
+	mustPut(t, s, "victim", bytes.Repeat([]byte("v"), 200))
+	s.Close()
+
+	// Cut the last record in half: a torn final write.
+	seg := onlySegment(t, dir)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, data[:len(data)-100], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openT(t, dir, Config{})
+	rec := s2.Recovery()
+	if rec.Quarantined != 1 || !rec.TruncatedTail {
+		t.Fatalf("recovery = %+v, want 1 quarantined span and a truncated tail", rec)
+	}
+	if _, ok := s2.Get("victim"); ok {
+		t.Fatal("torn entry still served")
+	}
+	if got, ok := s2.Get("alpha"); !ok || string(got) != "alpha-payload" {
+		t.Fatalf("intact entry lost: %q %v", got, ok)
+	}
+	// The tail was truncated back to the last whole record, so a
+	// recomputed entry appends cleanly and survives another reopen.
+	mustPut(t, s2, "victim", []byte("recomputed"))
+	if got, ok := s2.Get("victim"); !ok || string(got) != "recomputed" {
+		t.Fatalf("rewrite after truncation: %q %v", got, ok)
+	}
+	s2.Close()
+	s3 := openT(t, dir, Config{})
+	if rec := s3.Recovery(); rec.Quarantined != 0 {
+		t.Fatalf("third open still sees corruption: %+v", rec)
+	}
+	if got, ok := s3.Get("victim"); !ok || string(got) != "recomputed" {
+		t.Fatalf("rewritten entry lost: %q %v", got, ok)
+	}
+}
+
+func TestBitFlipQuarantinedOthersSurvive(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Config{})
+	mustPut(t, s, "first", bytes.Repeat([]byte("a"), 100))
+	mustPut(t, s, "second", bytes.Repeat([]byte("b"), 100))
+	mustPut(t, s, "third", bytes.Repeat([]byte("c"), 100))
+	s.Close()
+
+	// Flip one payload byte in the middle record; its checksum fails,
+	// the scan resynchronizes on the next magic, and the neighbors
+	// survive.
+	seg := onlySegment(t, dir)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := bytes.Index(data, bytes.Repeat([]byte("b"), 50))
+	if mid < 0 {
+		t.Fatal("second record's payload not found")
+	}
+	data[mid] ^= 0x40
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openT(t, dir, Config{})
+	rec := s2.Recovery()
+	if rec.Quarantined != 1 {
+		t.Fatalf("quarantined = %d, want 1 (recovery: %+v)", rec.Quarantined, rec)
+	}
+	if rec.Entries != 2 {
+		t.Fatalf("entries = %d, want the two intact neighbors", rec.Entries)
+	}
+	if _, ok := s2.Get("second"); ok {
+		t.Fatal("bit-flipped entry still served")
+	}
+	for _, k := range []string{"first", "third"} {
+		if _, ok := s2.Get(k); !ok {
+			t.Fatalf("intact neighbor %q lost to the corrupt record", k)
+		}
+	}
+	// The corrupt bytes were preserved for forensics.
+	if qs, _ := filepath.Glob(filepath.Join(dir, "quarantine", "*.bad")); len(qs) != 1 {
+		t.Fatalf("quarantine files: %v, want exactly one", qs)
+	}
+	// Recompute and rewrite the lost entry.
+	mustPut(t, s2, "second", []byte("fresh"))
+	if got, ok := s2.Get("second"); !ok || string(got) != "fresh" {
+		t.Fatalf("rewrite: %q %v", got, ok)
+	}
+}
+
+func TestReadTimeCorruptionQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Config{})
+	mustPut(t, s, "rotting", bytes.Repeat([]byte("r"), 128))
+	s.Sync()
+
+	// Rot the byte on disk *after* recovery indexed it: Get must verify
+	// the checksum, quarantine, and miss.
+	seg := onlySegment(t, dir)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-20] ^= 0x01
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("rotting"); ok {
+		t.Fatal("rotted entry served without checksum verification")
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Fatalf("Quarantined = %d, want 1", st.Quarantined)
+	}
+	if _, ok := s.Get("rotting"); ok {
+		t.Fatal("quarantined entry resurrected")
+	}
+}
+
+func TestCompactionBoundsSizeKeepsNewest(t *testing.T) {
+	dir := t.TempDir()
+	// Each record is ~1KiB framed; a 8KiB budget keeps ~6KiB (3/4).
+	s := openT(t, dir, Config{SegmentBytes: 2048, MaxBytes: 8192})
+	for i := 0; i < 40; i++ {
+		mustPut(t, s, fmt.Sprintf("k%02d", i), bytes.Repeat([]byte{byte('A' + i%26)}, 1024))
+	}
+	st := s.Stats()
+	if st.Compactions == 0 {
+		t.Fatal("no compaction ever triggered")
+	}
+	if st.Bytes > 8192+2048 {
+		t.Fatalf("store bytes %d not bounded by budget", st.Bytes)
+	}
+	// The newest entries survive; the oldest were dropped.
+	if _, ok := s.Get("k39"); !ok {
+		t.Fatal("newest entry dropped by compaction")
+	}
+	if _, ok := s.Get("k00"); ok {
+		t.Fatal("oldest entry survived a size-bounded compaction")
+	}
+	// Everything still consistent across a reopen.
+	s.Close()
+	s2 := openT(t, dir, Config{SegmentBytes: 2048, MaxBytes: 8192})
+	if rec := s2.Recovery(); rec.Quarantined != 0 {
+		t.Fatalf("post-compaction reopen: %+v", rec)
+	}
+	if _, ok := s2.Get("k39"); !ok {
+		t.Fatal("newest entry lost across reopen")
+	}
+}
+
+func TestCompactReclaimsShadowedBytes(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Config{})
+	for i := 0; i < 50; i++ {
+		mustPut(t, s, "same-key", bytes.Repeat([]byte("s"), 512))
+	}
+	before := s.Stats()
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Stats()
+	if after.Entries != 1 {
+		t.Fatalf("entries = %d, want 1", after.Entries)
+	}
+	if after.Bytes >= before.Bytes {
+		t.Fatalf("compaction did not reclaim: %d -> %d bytes", before.Bytes, after.Bytes)
+	}
+	if got, ok := s.Get("same-key"); !ok || len(got) != 512 {
+		t.Fatalf("entry lost in compaction: %v %v", len(got), ok)
+	}
+	// No stray temp files.
+	if tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(tmps) != 0 {
+		t.Fatalf("temp files left behind: %v", tmps)
+	}
+}
+
+func TestInterruptedCompactionTempIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Config{})
+	mustPut(t, s, "k", []byte("v"))
+	s.Close()
+	// Simulate a crash mid-compaction: a half-written temp segment.
+	if err := os.WriteFile(filepath.Join(dir, "00000099.seg.tmp"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openT(t, dir, Config{})
+	if rec := s2.Recovery(); rec.Quarantined != 0 {
+		t.Fatalf("temp file treated as data: %+v", rec)
+	}
+	if got, ok := s2.Get("k"); !ok || string(got) != "v" {
+		t.Fatalf("entry lost: %q %v", got, ok)
+	}
+	if tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(tmps) != 0 {
+		t.Fatalf("temp file not cleaned up: %v", tmps)
+	}
+}
+
+func TestPutAfterCloseFails(t *testing.T) {
+	s := openT(t, t.TempDir(), Config{})
+	s.Close()
+	if err := s.Put("k", []byte("v")); err == nil {
+		t.Fatal("Put after Close succeeded")
+	}
+}
+
+// onlySegment returns the single non-empty segment file, failing the
+// test when the layout is unexpected.
+func onlySegment(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nonEmpty []string
+	for _, s := range segs {
+		if fi, err := os.Stat(s); err == nil && fi.Size() > 0 {
+			nonEmpty = append(nonEmpty, s)
+		}
+	}
+	if len(nonEmpty) != 1 {
+		t.Fatalf("want exactly one non-empty segment, got %v", nonEmpty)
+	}
+	return nonEmpty[0]
+}
